@@ -1,0 +1,77 @@
+// Ablation (Section 5's "complementary techniques"): uniform Nyquist-rate
+// sampling vs compressive (random sub-Nyquist) sampling for signals with
+// sparse spectra. Sweeps the sampling budget and reports reconstruction
+// error for both strategies.
+#include <cstdio>
+
+#include "common.h"
+#include "reconstruct/compressive.h"
+#include "reconstruct/error.h"
+#include "reconstruct/lowpass_reconstructor.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Ablation: Nyquist-rate vs compressive sampling on a "
+              "sparse spectrum ===\n\n");
+
+  // Two tones; spectral sparsity 2. Nyquist rate = 2 * 0.11 = 0.22 Hz.
+  const sig::SumOfSines signal({{0.05, 2.0, 0.0}, {0.11, 1.0, 0.0}}, 10.0);
+  const double duration = 20000.0;
+  const double nyquist_rate = 2.0 * signal.bandwidth_hz();
+  const auto dense = signal.sample(0.0, 1.0, 20000);  // ground truth at 1 Hz
+
+  AsciiTable table({"budget (samples)", "vs Nyquist need", "uniform NRMSE",
+                    "compressive NRMSE"});
+  CsvWriter csv(bench::csv_path("ablation_compressive"),
+                {"samples", "fraction_of_nyquist", "uniform_nrmse",
+                 "compressive_nrmse"});
+
+  const auto nyquist_need =
+      static_cast<std::size_t>(duration * nyquist_rate);  // 4400 samples
+  for (double fraction : {0.1, 0.25, 0.5, 1.0, 1.5}) {
+    const auto budget =
+        static_cast<std::size_t>(static_cast<double>(nyquist_need) * fraction);
+
+    // Uniform plan: evenly spaced samples, band-limited reconstruction.
+    const double uni_dt = duration / static_cast<double>(budget);
+    const auto uniform = signal.sample(0.0, uni_dt, budget);
+    const auto uni_recon = rec::reconstruct(uniform, dense.size());
+    const double uni_err = rec::nrmse(dense.span(), uni_recon.span());
+
+    // Compressive plan: the same budget spent at random times + OMP.
+    Rng rng(31337 + static_cast<std::uint64_t>(fraction * 100));
+    sig::TimeSeries random_samples;
+    for (std::size_t i = 0; i < budget; ++i) {
+      const double t = rng.uniform(0.0, duration);
+      random_samples.push(t, signal.value(t));
+    }
+    rec::CompressiveConfig cc;
+    cc.sparsity = 2;
+    cc.grid_bins = 1000;
+    cc.max_frequency_hz = 0.125;
+    const auto model = rec::compressive_recover(random_samples, cc);
+    const auto cs_recon = model.sample(0.0, dense.dt(), dense.size());
+    const double cs_err = rec::nrmse(dense.span(), cs_recon.span());
+
+    char frac_label[16];
+    std::snprintf(frac_label, sizeof frac_label, "%.2fx", fraction);
+    table.row({std::to_string(budget), frac_label,
+               AsciiTable::format_double(uni_err),
+               AsciiTable::format_double(cs_err)});
+    csv.row_numeric({static_cast<double>(budget), fraction, uni_err, cs_err});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: below the Nyquist budget uniform sampling aliases\n"
+              "and cannot recover the signal, while compressive sampling of\n"
+              "the sparse spectrum succeeds with a fraction of the samples —\n"
+              "the complementary regime the paper's Section 5 points at.\n"
+              "At and above the Nyquist budget the uniform plan matches it\n"
+              "without needing the sparsity assumption.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation (Section 4.1 closing remark): full-spectrum dual-rate detection
+// vs the targeted (Goertzel, candidate-frequency) detector "specific to the
+// actual frequencies ... that appear in datacenter measurements".
+//
+// The harness compares the two detectors on the same workloads: detection
+// verdicts, and the analysis cost (FFT bins computed vs Goertzel probes).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "nyquist/aliasing_detector.h"
+#include "nyquist/targeted_detector.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Ablation: full-spectrum vs targeted aliasing detection "
+              "===\n\n");
+
+  const double slow_rate = 0.02;
+  const double duration = 40000.0;
+
+  struct Workload {
+    const char* name;
+    std::shared_ptr<const sig::ContinuousSignal> signal;
+    bool truth_aliased;
+  };
+  Rng rng(3);
+  const Workload workloads[] = {
+      {"diurnal only (clean)",
+       sig::make_diurnal(5.0, 3, rng, 40.0), false},
+      {"1-min cron above Nyquist",
+       std::make_shared<sig::SumOfSines>(
+           std::vector<sig::Tone>{{1.0 / 60.0, 1.0, 0.3},
+                                  {1.0 / 86400.0, 3.0, 0.0}}),
+       true},
+      {"off-list tone above Nyquist",
+       std::make_shared<sig::SumOfSines>(
+           std::vector<sig::Tone>{{0.0137, 1.0, 0.0}}),
+       true},
+  };
+
+  const nyq::DualRateAliasingDetector full;
+  const nyq::TargetedAliasingDetector targeted;
+  const auto candidates = nyq::TargetedAliasingDetector::default_candidates();
+
+  AsciiTable table({"workload", "truth", "full-spectrum", "targeted",
+                    "full us", "targeted us"});
+  CsvWriter csv(bench::csv_path("ablation_detector_cost"),
+                {"workload", "truth", "full", "targeted", "full_us",
+                 "targeted_us"});
+
+  for (const auto& w : workloads) {
+    auto measure = [&w](double t) { return w.signal->value(t); };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rf = full.probe(measure, 0.0, duration, slow_rate);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto rt = targeted.probe(measure, 0.0, duration, slow_rate,
+                                   candidates);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    const double full_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    const double targeted_us =
+        std::chrono::duration<double, std::micro>(t2 - t1).count();
+
+    table.row({w.name, w.truth_aliased ? "aliased" : "clean",
+               rf.aliasing_detected ? "aliased" : "clean",
+               rt.aliasing_detected ? "aliased" : "clean",
+               AsciiTable::format_double(full_us),
+               AsciiTable::format_double(targeted_us)});
+    csv.row({w.name, w.truth_aliased ? "1" : "0",
+             rf.aliasing_detected ? "1" : "0",
+             rt.aliasing_detected ? "1" : "0",
+             CsvWriter::format_double(full_us),
+             CsvWriter::format_double(targeted_us)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Trade-off: the targeted detector matches the full-spectrum\n"
+              "verdict on known datacenter periodicities at a fraction of\n"
+              "the analysis cost, but is blind to frequencies outside its\n"
+              "candidate list (the off-list workload) — exactly the\n"
+              "specialize-for-the-datacenter bet the paper sketches.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation of the 99% energy cutoff (Section 3.2): "Using a higher
+// parameter value such as 99.99% would increase our estimate of the
+// Nyquist rate and reduce performance gains but, in our experience, does
+// not necessarily lead to a lower reconstruction error since the delta
+// that is being captured is often just the noise."
+//
+// The harness sweeps the cutoff on a noisy band-limited signal and reports
+// the estimated rate, the possible reduction, and the reconstruction error
+// after downsampling to the estimate — reproducing the paper's argument
+// that 99% is the sweet spot.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "nyquist/estimator.h"
+#include "reconstruct/error.h"
+#include "reconstruct/lowpass_reconstructor.h"
+#include "signal/generators.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Ablation: energy cutoff (90%% / 99%% / 99.9%% / "
+              "99.99%%) ===\n\n");
+
+  // A band-limited signal plus faint wideband measurement noise — the
+  // regime the 99% rule is designed for.
+  Rng rng(5150);
+  const auto proc = sig::make_bandlimited_process(2e-3, 5.0, 32, rng, 40.0);
+  auto trace = proc->sample(0.0, 30.0, 2880);  // one day of 30 s polls
+  Rng noise(42);
+  for (auto& v : trace.mutable_values()) v += noise.normal(0.0, 0.5);
+  const auto clean = proc->sample(0.0, 30.0, 2880);
+
+  AsciiTable table({"cutoff", "est. Nyquist (Hz)", "possible reduction",
+                    "recon NRMSE vs clean"});
+  CsvWriter csv(bench::csv_path("ablation_energy_cutoff"),
+                {"cutoff", "nyquist_hz", "reduction", "nrmse"});
+
+  for (double cutoff : {0.90, 0.99, 0.999, 0.9999}) {
+    nyq::EstimatorConfig cfg;
+    cfg.energy_cutoff = cutoff;
+    const auto est = nyq::NyquistEstimator(cfg).estimate(trace);
+    if (!est.ok()) {
+      table.row({AsciiTable::format_double(cutoff), "n/a", "n/a", "n/a"});
+      continue;
+    }
+    const double target = 1.5 * est.nyquist_rate_hz;
+    const auto factor = static_cast<std::size_t>(
+        std::max(1.0, std::floor(trace.sample_rate_hz() / target)));
+    const auto recon = rec::round_trip(trace, factor);
+    const double err = rec::nrmse(clean.span(), recon.span());
+    table.row({AsciiTable::format_double(cutoff),
+               AsciiTable::format_double(est.nyquist_rate_hz),
+               AsciiTable::format_double(est.reduction_ratio()) + "x",
+               AsciiTable::format_double(err)});
+    csv.row_numeric({cutoff, est.nyquist_rate_hz, est.reduction_ratio(), err});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper shape: raising the cutoff inflates the estimated rate\n"
+              "(smaller saving) without a matching reconstruction-error\n"
+              "improvement — the captured delta is mostly noise.\n");
+  return 0;
+}

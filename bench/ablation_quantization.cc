@@ -1,0 +1,71 @@
+// Ablation of quantization handling (Section 4.3): "we can add the same
+// quantization in order to recover the signal more accurately. However, in
+// such cases the signal is no longer 'perfectly recoverable'".
+//
+// The harness downsample/reconstructs a quantized temperature trace with
+// and without re-quantization, across quantization steps — quantifying how
+// much the trick recovers.
+#include <cstdio>
+
+#include "common.h"
+#include "dsp/quantize.h"
+#include "reconstruct/error.h"
+#include "reconstruct/lowpass_reconstructor.h"
+#include "signal/generators.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Ablation: quantization-aware recovery (Section 4.3) "
+              "===\n\n");
+
+  AsciiTable table({"quant step", "exact samples (plain)",
+                    "exact samples (requantized)", "RMSE plain",
+                    "RMSE requantized"});
+  CsvWriter csv(bench::csv_path("ablation_quantization"),
+                {"step", "exact_plain", "exact_requant", "rmse_plain",
+                 "rmse_requant"});
+
+  for (double step : {0.25, 0.5, 1.0, 2.0}) {
+    Rng rng(808);
+    const auto temp = sig::make_bandlimited_process(
+        1.0 / 43200.0, 2.0, 24, rng, 45.0);
+    const dsp::Quantizer quant(step);
+    auto dense = temp->sample(0.0, 300.0, 4096);
+    for (auto& v : dense.mutable_values()) v = quant.apply(v);
+
+    rec::ReconstructionConfig plain;
+    plain.lowpass_cutoff_hz = 2.0 * temp->bandwidth_hz();
+    rec::ReconstructionConfig requant = plain;
+    requant.requantize = quant;
+
+    const auto r_plain = rec::round_trip(dense, 4, plain);
+    const auto r_req = rec::round_trip(dense, 4, requant);
+
+    auto exact_frac = [&dense](const sig::RegularSeries& r) {
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < dense.size(); ++i)
+        if (dense[i] == r[i]) ++n;
+      return static_cast<double>(n) / static_cast<double>(dense.size());
+    };
+    const double ep = exact_frac(r_plain);
+    const double er = exact_frac(r_req);
+    const double rp = rec::rmse(dense.span(), r_plain.span());
+    const double rr = rec::rmse(dense.span(), r_req.span());
+    char b1[16], b2[16];
+    std::snprintf(b1, sizeof b1, "%.1f%%", 100.0 * ep);
+    std::snprintf(b2, sizeof b2, "%.1f%%", 100.0 * er);
+    table.row({AsciiTable::format_double(step), b1, b2,
+               AsciiTable::format_double(rp), AsciiTable::format_double(rr)});
+    csv.row_numeric({step, ep, er, rp, rr});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper shape: re-applying the source quantizer snaps most\n"
+              "samples back onto the exact lattice (near-zero L2), at the\n"
+              "cost of giving up 'perfect recoverability' in the\n"
+              "Nyquist-Shannon sense.\n");
+  return 0;
+}

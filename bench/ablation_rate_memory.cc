@@ -1,0 +1,62 @@
+// Ablation of rate memory (Section 4.2): "We can even 'remember' previous
+// maximum Nyquist rates to ramp up more quickly in the future."
+//
+// A flapping workload (busy -> calm -> busy): the harness compares the
+// adaptive sampler with and without rate memory, reporting windows spent
+// under-provisioned during the recurrence and total cost.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "nyquist/adaptive_sampler.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Ablation: rate memory on a recurring-event workload "
+              "===\n\n");
+
+  auto busy = std::make_shared<sig::SumOfSines>(
+      std::vector<sig::Tone>{{0.04, 1.0, 0.0}});
+  auto calm = std::make_shared<sig::SumOfSines>(
+      std::vector<sig::Tone>{{0.001, 1.0, 0.0}});
+  const double t1 = 800000.0, t2 = 1600000.0, t_end = 2400000.0;
+  const sig::PiecewiseSignal workload({busy, calm, busy}, {t1, t2});
+  const double needed_rate = 2.0 * 0.04;  // true Nyquist of the busy phase
+
+  AsciiTable table({"variant", "slow windows in 2nd busy phase",
+                    "total samples", "final rate (Hz)"});
+  CsvWriter csv(bench::csv_path("ablation_rate_memory"),
+                {"variant", "slow_windows", "total_samples", "final_rate"});
+
+  for (bool memory : {true, false}) {
+    nyq::AdaptiveConfig cfg;
+    cfg.initial_rate_hz = 0.005;
+    cfg.min_rate_hz = 1e-4;
+    cfg.max_rate_hz = 10.0;
+    cfg.window_duration_s = 50000.0;
+    cfg.use_rate_memory = memory;
+    const auto run = nyq::AdaptiveSampler(cfg).run(
+        [&workload](double t) { return workload.value(t); }, 0.0, t_end);
+
+    std::size_t slow = 0;
+    for (const auto& step : run.steps)
+      if (step.window_start_s >= t2 && step.rate_hz < needed_rate) ++slow;
+
+    table.row({memory ? "with rate memory" : "without rate memory",
+               std::to_string(slow), std::to_string(run.total_samples),
+               AsciiTable::format_double(run.final_rate_hz)});
+    csv.row({memory ? "memory" : "no-memory", std::to_string(slow),
+             std::to_string(run.total_samples),
+             CsvWriter::format_double(run.final_rate_hz)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper shape: remembering the previous maximum rate cuts the\n"
+              "re-ramp time when the busy condition recurs (fewer windows\n"
+              "spent sampling below the signal's needs).\n");
+  return 0;
+}

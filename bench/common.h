@@ -1,0 +1,38 @@
+// Shared plumbing for the experiment harnesses: the paper-scale fleet
+// audit (1613 metric-device pairs, 14 metrics) and CSV output management.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "monitor/audit.h"
+#include "telemetry/fleet.h"
+
+namespace nyqmon::bench {
+
+/// Seed used by every harness so all figures describe the same fleet.
+inline constexpr std::uint64_t kFleetSeed = 20211110;  // HotNets'21 day 1
+
+/// The paper's study population: 1613 metric-device pairs.
+inline tel::Fleet make_paper_fleet() {
+  tel::FleetConfig cfg;
+  cfg.target_pairs = 1613;
+  cfg.seed = kFleetSeed;
+  return tel::Fleet(cfg);
+}
+
+/// Audit of the full paper-scale fleet (shared by Figures 1, 4, 5 and the
+/// headline table).
+inline mon::AuditResult run_paper_audit() {
+  const tel::Fleet fleet = make_paper_fleet();
+  mon::AuditConfig cfg;
+  return mon::run_audit(fleet, cfg);
+}
+
+/// Directory for CSV results (created on demand): ./bench_results/.
+inline std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results/" + name + ".csv";
+}
+
+}  // namespace nyqmon::bench

@@ -1,0 +1,92 @@
+// Figure 3: the paper's worked example. "The original signal is the
+// superposition of two sin waves at 400 and 440 Hz. Variants: (b) sampled
+// above the Nyquist rate (890 Hz), (c) slightly below (800 Hz), (d) far
+// below (600 Hz). Aliasing is observable in the frequency domain of (c)
+// and (d); reconstructing a signal from the DFT of (d) results in a
+// distorted result."
+//
+// The harness reports, for each variant, where the spectral peaks land and
+// the reconstruction error against the analytic signal.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "dsp/psd.h"
+#include "reconstruct/error.h"
+#include "reconstruct/lowpass_reconstructor.h"
+#include "signal/generators.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Figure 3: 400+440 Hz two-tone, sampled at 890 / 800 / "
+              "600 Hz ===\n\n");
+
+  const sig::SumOfSines signal({{400.0, 1.0, 0.0}, {440.0, 1.0, 0.0}});
+  const double duration = 2.0;
+  const double dense_fs = 4000.0;
+  const auto truth =
+      signal.sample(0.0, 1.0 / dense_fs,
+                    static_cast<std::size_t>(duration * dense_fs));
+
+  AsciiTable table({"variant", "fs (Hz)", "peak1 (Hz)", "peak2 (Hz)",
+                    "recon NRMSE", "verdict"});
+  CsvWriter csv(bench::csv_path("fig3_two_tone_aliasing"),
+                {"variant", "fs_hz", "peak1_hz", "peak2_hz", "recon_nrmse"});
+
+  struct Variant {
+    const char* label;
+    double fs;
+  };
+  const Variant variants[] = {{"(b) above Nyquist", 890.0},
+                              {"(c) slightly below", 800.0},
+                              {"(d) far below", 600.0}};
+
+  for (const auto& v : variants) {
+    const auto n = static_cast<std::size_t>(duration * v.fs);
+    const auto sampled = signal.sample(0.0, 1.0 / v.fs, n);
+
+    dsp::PeriodogramConfig pc;
+    pc.window = dsp::WindowType::kHann;
+    const auto psd = dsp::periodogram(sampled.span(), v.fs, pc);
+
+    // Two strongest local maxima.
+    std::vector<std::pair<double, double>> peaks;  // power, freq
+    for (std::size_t k = 1; k + 1 < psd.bins(); ++k) {
+      if (psd.power[k] > psd.power[k - 1] && psd.power[k] > psd.power[k + 1])
+        peaks.emplace_back(psd.power[k], psd.frequency_hz[k]);
+    }
+    std::sort(peaks.rbegin(), peaks.rend());
+    const double p1 = peaks.size() > 0 ? peaks[0].second : 0.0;
+    const double p2 = peaks.size() > 1 ? peaks[1].second : 0.0;
+
+    // Reconstruct (upsample) onto the dense grid and compare with truth.
+    const auto recon = rec::reconstruct(sampled, truth.size());
+    // Interior only: block-edge ringing is a property of finite blocks,
+    // not of aliasing.
+    const std::size_t lo = truth.size() / 8;
+    const std::size_t hi = truth.size() * 7 / 8;
+    std::vector<double> t_mid(truth.values().begin() + static_cast<std::ptrdiff_t>(lo),
+                              truth.values().begin() + static_cast<std::ptrdiff_t>(hi));
+    std::vector<double> r_mid(recon.values().begin() + static_cast<std::ptrdiff_t>(lo),
+                              recon.values().begin() + static_cast<std::ptrdiff_t>(hi));
+    const double err = rec::nrmse(t_mid, r_mid);
+
+    const bool aliased = v.fs < 880.0;
+    table.row({v.label, AsciiTable::format_double(v.fs),
+               AsciiTable::format_double(std::max(p1, p2)),
+               AsciiTable::format_double(std::min(p1, p2)),
+               AsciiTable::format_double(err),
+               aliased ? "aliased" : "clean"});
+    csv.row_numeric({static_cast<double>(&v - variants), v.fs,
+                     std::max(p1, p2), std::min(p1, p2), err});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper shape: at 890 Hz the peaks sit at 400/440 Hz and the\n"
+              "reconstruction matches; at 800 Hz the 440 Hz tone folds to\n"
+              "360 Hz; at 600 Hz both tones fold (200/160 Hz) and the\n"
+              "reconstruction is badly distorted.\n");
+  return 0;
+}

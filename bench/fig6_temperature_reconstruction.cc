@@ -1,0 +1,89 @@
+// Figure 6: "Comparing an actual temperature signal in blue (sampled every
+// 5 minutes) with the signal in red that was downsampled to the nyquist
+// rate and then upsampled back again just for the purpose of comparison.
+// The L2 distance between these signals is 0. Here, we used the method in
+// Section 4.2 to dynamically adapt the sampling rate."
+//
+// The harness runs the dynamic method over a synthetic temperature device:
+// the windowed tracker infers the Nyquist rate, the trace is downsampled to
+// (headroom x) that rate, reconstructed by low-pass interpolation with the
+// source quantizer re-applied (Section 4.3), and compared to the original.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "dsp/quantize.h"
+#include "nyquist/windowed_tracker.h"
+#include "reconstruct/error.h"
+#include "reconstruct/lowpass_reconstructor.h"
+#include "signal/generators.h"
+#include "telemetry/metric_model.h"
+#include "telemetry/poller.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Figure 6: temperature round trip (downsample to the "
+              "Nyquist rate, upsample back) ===\n\n");
+
+  // A temperature device polled every 5 minutes (the paper's trace), with
+  // integer quantization. Seed chosen so the device has a clear but slow
+  // daily pattern, like the plotted trace.
+  Rng rng(7);
+  const auto temp = sig::make_bandlimited_process(
+      1.0 / 43200.0, 2.0, 24, rng, /*dc=*/45.0);
+  const dsp::Quantizer quant(1.0);
+  auto dense = temp->sample(0.0, 300.0, 4096);  // ~14 days of 5-min polls
+  for (auto& v : dense.mutable_values()) v = quant.apply(v);
+
+  // Dynamic inference (Section 4.2 offline form): moving-window tracker,
+  // 6 h window / 5 min step as in Figure 7.
+  nyq::TrackerConfig tcfg;
+  const auto tracked = nyq::WindowedNyquistTracker(tcfg).track(dense);
+  const auto max_rate = nyq::WindowedNyquistTracker::max_rate(tracked);
+  const double nyquist = max_rate.value_or(dense.sample_rate_hz());
+  std::printf("inferred Nyquist rate (max over windows): %.3g Hz "
+              "(current rate %.3g Hz)\n", nyquist, dense.sample_rate_hz());
+
+  // Downsample to headroom * Nyquist and reconstruct.
+  const double target = std::min(dense.sample_rate_hz(), 1.5 * nyquist);
+  const auto factor = static_cast<std::size_t>(
+      std::max(1.0, std::floor(dense.sample_rate_hz() / target)));
+  rec::ReconstructionConfig rcfg;
+  rcfg.requantize = quant;
+  rcfg.lowpass_cutoff_hz = nyquist;  // the paper's low-pass at f0
+  const auto recon = rec::round_trip(dense, factor, rcfg);
+
+  const double l2 = rec::l2_distance(dense.span(), recon.span());
+  std::size_t exact = 0;
+  for (std::size_t i = 0; i < dense.size(); ++i)
+    if (dense[i] == recon[i]) ++exact;
+
+  std::printf("downsample factor: %zux (%zu -> %zu samples)\n", factor,
+              dense.size(), dense.size() / factor);
+  std::printf("L2 distance: %.6g   exactly-recovered samples: %zu/%zu "
+              "(%.2f%%)   RMSE: %.4g deg\n",
+              l2, exact, dense.size(),
+              100.0 * static_cast<double>(exact) /
+                  static_cast<double>(dense.size()),
+              rec::rmse(dense.span(), recon.span()));
+
+  std::printf("\noriginal (5-min polls):\n%s",
+              ascii_series(dense.values(), 72, 8).c_str());
+  std::printf("reconstructed from the downsampled trace:\n%s\n",
+              ascii_series(recon.values(), 72, 8).c_str());
+
+  CsvWriter csv(bench::csv_path("fig6_temperature_reconstruction"),
+                {"t_s", "original", "reconstructed"});
+  for (std::size_t i = 0; i < dense.size(); ++i)
+    csv.row_numeric({dense.time_at(i), dense[i], recon[i]});
+
+  std::printf("Paper claim: L2 distance 0. The round trip reproduces the\n"
+              "trace exactly wherever the signal sits away from a\n"
+              "quantization boundary; when the inferred Nyquist rate is at\n"
+              "or above the production rate (factor 1), the trip is the\n"
+              "identity and L2 is exactly 0.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks for the DSP substrate: FFT (radix-2 and Bluestein),
+// periodogram, Welch, resampling, filtering, Goertzel.
+#include <benchmark/benchmark.h>
+
+#include "dsp/fft.h"
+#include "dsp/filter.h"
+#include "dsp/goertzel.h"
+#include "dsp/psd.h"
+#include "dsp/resample.h"
+#include "signal/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace nyqmon;
+
+std::vector<double> random_signal(std::size_t n) {
+  Rng rng(99);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal(0.0, 1.0);
+  return x;
+}
+
+void BM_FftRadix2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::cdouble> x(n);
+  Rng rng(1);
+  for (auto& v : x) v = dsp::cdouble(rng.normal(0, 1), 0.0);
+  for (auto _ : state) {
+    auto spec = dsp::fft(x);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftRadix2)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FftBluestein(benchmark::State& state) {
+  // Prime-ish lengths force the chirp-z path (typical trace lengths are
+  // not powers of two).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::cdouble> x(n);
+  Rng rng(2);
+  for (auto& v : x) v = dsp::cdouble(rng.normal(0, 1), 0.0);
+  for (auto _ : state) {
+    auto spec = dsp::fft(x);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftBluestein)->Arg(257)->Arg(1009)->Arg(2880)->Arg(8640);
+
+void BM_Periodogram(benchmark::State& state) {
+  const auto x = random_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto psd = dsp::periodogram(x, 1.0);
+    benchmark::DoNotOptimize(psd);
+  }
+}
+BENCHMARK(BM_Periodogram)->Arg(1024)->Arg(2880)->Arg(8640);
+
+void BM_Welch(benchmark::State& state) {
+  const auto x = random_signal(static_cast<std::size_t>(state.range(0)));
+  dsp::WelchConfig cfg;
+  cfg.segment_length = 512;
+  for (auto _ : state) {
+    auto psd = dsp::welch(x, 1.0, cfg);
+    benchmark::DoNotOptimize(psd);
+  }
+}
+BENCHMARK(BM_Welch)->Arg(4096)->Arg(16384);
+
+void BM_ResampleFourierUp4x(benchmark::State& state) {
+  const auto x = random_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto y = dsp::resample_fourier(x, x.size() * 4);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_ResampleFourierUp4x)->Arg(720)->Arg(2880);
+
+void BM_IdealLowpass(benchmark::State& state) {
+  const auto x = random_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto y = dsp::ideal_lowpass(x, 1.0, 0.1);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_IdealLowpass)->Arg(2880)->Arg(8640);
+
+void BM_FirFilter(benchmark::State& state) {
+  const auto x = random_signal(4096);
+  const auto h = dsp::design_lowpass_fir(
+      static_cast<std::size_t>(state.range(0)), 0.1, 1.0);
+  for (auto _ : state) {
+    auto y = dsp::filter_same(x, h);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_FirFilter)->Arg(31)->Arg(127);
+
+void BM_Goertzel(benchmark::State& state) {
+  const auto x = random_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::goertzel_power(x, 1.0, 0.1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Goertzel)->Arg(2880)->Arg(8640);
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Microbenchmarks for the core: Nyquist estimation, windowed tracking,
+// dual-rate detection, adaptive sampling, and trace pre-cleaning — the
+// "analysis CPU" term of the monitoring cost model.
+#include <benchmark/benchmark.h>
+
+#include "nyquist/adaptive_sampler.h"
+#include "nyquist/aliasing_detector.h"
+#include "nyquist/estimator.h"
+#include "nyquist/windowed_tracker.h"
+#include "signal/generators.h"
+#include "signal/preclean.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace nyqmon;
+
+sig::RegularSeries day_trace(std::size_t n, double dt) {
+  Rng rng(7);
+  const auto proc = sig::make_bandlimited_process(1e-3, 5.0, 32, rng, 40.0);
+  return proc->sample(0.0, dt, n);
+}
+
+void BM_NyquistEstimate(benchmark::State& state) {
+  const auto trace = day_trace(static_cast<std::size_t>(state.range(0)), 30.0);
+  const nyq::NyquistEstimator estimator;
+  for (auto _ : state) {
+    auto est = estimator.estimate(trace);
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_NyquistEstimate)->Arg(2880)->Arg(8640)->Arg(28800);
+
+void BM_NyquistEstimateWelch(benchmark::State& state) {
+  const auto trace = day_trace(8640, 30.0);
+  nyq::EstimatorConfig cfg;
+  cfg.welch_segments = 8;
+  const nyq::NyquistEstimator estimator(cfg);
+  for (auto _ : state) {
+    auto est = estimator.estimate(trace);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_NyquistEstimateWelch);
+
+void BM_WindowedTracker(benchmark::State& state) {
+  // One day of 30 s samples, 6 h window / 30 min step.
+  const auto trace = day_trace(2880, 30.0);
+  nyq::TrackerConfig cfg;
+  cfg.window_duration_s = 6.0 * 3600.0;
+  cfg.step_s = 1800.0;
+  const nyq::WindowedNyquistTracker tracker(cfg);
+  for (auto _ : state) {
+    auto tracked = tracker.track(trace);
+    benchmark::DoNotOptimize(tracked);
+  }
+}
+BENCHMARK(BM_WindowedTracker);
+
+void BM_DualRateDetect(benchmark::State& state) {
+  Rng rng(9);
+  const auto proc = sig::make_bandlimited_process(0.01, 1.0, 32, rng);
+  const auto fast = proc->sample(0.0, 1.0 / 0.185, 4096);
+  const auto slow = proc->sample(0.0, 1.0 / 0.1, 2214);
+  const nyq::DualRateAliasingDetector detector;
+  for (auto _ : state) {
+    auto result = detector.detect(fast, slow);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DualRateDetect);
+
+void BM_AdaptiveSamplerRun(benchmark::State& state) {
+  Rng rng(10);
+  const auto proc = sig::make_bandlimited_process(0.002, 1.0, 16, rng);
+  nyq::AdaptiveConfig cfg;
+  cfg.initial_rate_hz = 0.02;
+  cfg.window_duration_s = 20000.0;
+  const nyq::AdaptiveSampler sampler(cfg);
+  for (auto _ : state) {
+    auto run = sampler.run([&proc](double t) { return proc->value(t); }, 0.0,
+                           200000.0);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_AdaptiveSamplerRun);
+
+void BM_Preclean(benchmark::State& state) {
+  Rng rng(11);
+  sig::TimeSeries raw;
+  for (int i = 0; i < 2880; ++i)
+    raw.push(i * 30.0 + rng.uniform(-3.0, 3.0), rng.normal(40.0, 5.0));
+  sig::PrecleanConfig cfg;
+  cfg.dt = 30.0;
+  for (auto _ : state) {
+    auto trace = sig::regularize(raw, cfg);
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2880);
+}
+BENCHMARK(BM_Preclean);
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Section 4.2 (no figure in the paper): the dynamic sampling method.
+// "Initially, we do not know the Nyquist rate of the underlying signal and
+//  so we must probe, i.e., multiplicatively increase the measurement rate
+//  ... Once we no longer detect aliasing, we use the method in Section 3.2
+//  which will successfully identify the Nyquist rate of the signal."
+//
+// The harness compares the adaptive sampler against static strategies on
+// three workloads (calm, busy, step change) reporting cost and
+// reconstruction quality — the cost-vs-quality sweet spot of the title.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "monitor/pipeline.h"
+#include "reconstruct/error.h"
+#include "reconstruct/lowpass_reconstructor.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace nyqmon;
+
+struct Workload {
+  const char* name;
+  std::shared_ptr<const sig::ContinuousSignal> signal;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 4.2: adaptive sampling vs static strategies ===\n\n");
+
+  const double production_rate = 1.0 / 60.0;  // 1-min polls
+  const double duration = 1000000.0;
+
+  auto calm = std::make_shared<sig::SumOfSines>(
+      std::vector<sig::Tone>{{0.0002, 5.0, 0.0}}, 50.0);
+  auto busy = std::make_shared<sig::SumOfSines>(
+      std::vector<sig::Tone>{{0.0002, 5.0, 0.0}, {0.004, 2.0, 1.0}}, 50.0);
+  auto step = std::make_shared<sig::PiecewiseSignal>(
+      std::vector<std::shared_ptr<const sig::ContinuousSignal>>{calm, busy},
+      std::vector<double>{duration / 2.0});
+
+  const Workload workloads[] = {
+      {"calm (bw 2e-4 Hz)", calm},
+      {"busy (bw 4e-3 Hz)", busy},
+      {"step calm->busy", step},
+  };
+
+  AsciiTable table({"workload", "strategy", "samples", "vs prod", "NRMSE"});
+  CsvWriter csv(bench::csv_path("table_adaptive_convergence"),
+                {"workload", "strategy", "samples", "savings", "nrmse"});
+
+  for (const auto& w : workloads) {
+    // Adaptive pipeline.
+    mon::PipelineConfig cfg;
+    cfg.sampler.initial_rate_hz = production_rate;
+    cfg.sampler.min_rate_hz = 1e-4;
+    cfg.sampler.max_rate_hz = 0.5;
+    cfg.sampler.window_duration_s = 25000.0;
+    const auto adaptive =
+        mon::AdaptiveMonitoringPipeline(cfg).run(*w.signal, 0.0, duration,
+                                                 production_rate);
+    table.row({w.name, "adaptive",
+               std::to_string(adaptive.run.total_samples),
+               AsciiTable::format_double(adaptive.cost_savings) + "x less",
+               AsciiTable::format_double(adaptive.nrmse)});
+    csv.row({w.name, "adaptive", std::to_string(adaptive.run.total_samples),
+             CsvWriter::format_double(adaptive.cost_savings),
+             CsvWriter::format_double(adaptive.nrmse)});
+
+    // Static strategies: production rate and a naive 10x reduction.
+    for (double factor : {1.0, 10.0}) {
+      const double rate = production_rate / factor;
+      const auto n = static_cast<std::size_t>(duration * rate);
+      const auto trace = w.signal->sample(0.0, 1.0 / rate, n);
+      // Evaluate on the production grid via band-limited upsampling.
+      const auto n_prod = static_cast<std::size_t>(duration * production_rate);
+      const auto recon = rec::reconstruct(trace, n_prod);
+      const auto truth = w.signal->sample(recon.t0(), recon.dt(), recon.size());
+      const double err = rec::nrmse(truth.span(), recon.span());
+      char label[32];
+      std::snprintf(label, sizeof label, "static 1/%g", factor);
+      table.row({w.name, label, std::to_string(n),
+                 AsciiTable::format_double(factor) + "x less",
+                 AsciiTable::format_double(err)});
+      csv.row({w.name, label, std::to_string(n),
+               CsvWriter::format_double(factor),
+               CsvWriter::format_double(err)});
+    }
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper shape: the adaptive sampler approaches the cheap static\n"
+              "strategy's cost on calm signals while keeping the accurate\n"
+              "strategy's quality — and unlike any static choice it survives\n"
+              "the step change (a naive 10x reduction aliases the busy\n"
+              "half).\n");
+  return 0;
+}

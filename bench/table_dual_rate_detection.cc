@@ -1,0 +1,70 @@
+// Section 4.1 (no figure in the paper): the dual-rate aliasing detector.
+// "the authors propose to sample at two distinct frequencies f1 and f2 ...
+//  if aliasing occurs ... comparing the discrete fourier transforms of the
+//  two sampled signals would show discrepancies."
+//
+// The harness sweeps the signal band limit across the detector's operating
+// rate and reports the detection decision — the detection-accuracy table
+// behind the paper's design argument, including the ~2x cost overhead.
+#include <cstdio>
+
+#include "common.h"
+#include "nyquist/aliasing_detector.h"
+#include "signal/generators.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Section 4.1: dual-rate aliasing detection accuracy ===\n\n");
+
+  const double operating_rate = 0.1;  // rate under test (f2)
+  const nyq::DualRateAliasingDetector detector;
+  const double ratio = detector.config().rate_ratio;
+
+  AsciiTable table({"signal bw (Hz)", "bw / (f2/2)", "ground truth",
+                    "detected", "discrepancy", "correct"});
+  CsvWriter csv(bench::csv_path("table_dual_rate_detection"),
+                {"bandwidth_hz", "relative_bw", "truth_aliased",
+                 "detected_aliased", "discrepancy"});
+
+  std::size_t correct = 0, total = 0;
+  const double nyq_f2 = operating_rate / 2.0;
+  for (double rel : {0.1, 0.25, 0.5, 0.7, 0.9, 1.2, 1.5, 2.0, 3.0, 5.0}) {
+    const double bw = rel * nyq_f2;
+    Rng rng(1000 + static_cast<std::uint64_t>(rel * 100));
+    const auto proc = sig::make_bandlimited_process(
+        bw, 1.0, 64, rng, 0.0, sig::SpectralShape::kFlat);
+    const auto result = detector.probe(
+        [&proc](double t) { return proc->value(t); }, 0.0, 40000.0,
+        operating_rate);
+
+    const bool truth = bw > nyq_f2;  // content above f2/2 => aliasing at f2
+    const bool match = truth == result.aliasing_detected;
+    // The +-15% band around the Nyquist edge is genuinely ambiguous
+    // (leakage); count accuracy outside it.
+    if (rel < 0.85 || rel > 1.15) {
+      ++total;
+      if (match) ++correct;
+    }
+    table.row({AsciiTable::format_double(bw), AsciiTable::format_double(rel),
+               truth ? "aliased" : "clean",
+               result.aliasing_detected ? "aliased" : "clean",
+               AsciiTable::format_double(result.discrepancy),
+               match ? "yes" : "NO"});
+    csv.row_numeric({bw, rel, truth ? 1.0 : 0.0,
+                     result.aliasing_detected ? 1.0 : 0.0,
+                     result.discrepancy});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("accuracy outside the +-15%% ambiguity band: %zu/%zu\n",
+              correct, total);
+  std::printf("dual-rate probe cost: %.2fx the rate under test (f1 = %.2f "
+              "f2) — the paper's 'roughly doubles' overhead — and\n"
+              "transient: after the check, the excess measurements are "
+              "discarded by re-sampling at the identified rate.\n",
+              1.0 + ratio, ratio);
+  return 0;
+}

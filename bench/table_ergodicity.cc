@@ -1,0 +1,82 @@
+// Section 6 "Beyond Nyquist" (future work made concrete): ergodicity and
+// canarying. "Extrapolating canary results to other devices relies on
+// ergodicity. Does this assumption hold in practice? How long of an
+// observation period is required?"
+//
+// The harness builds two fleets — one genuinely ergodic (same process,
+// independent phases) and one heterogeneous (per-device identity) — and
+// reports the convergence fraction plus the canary observation horizon.
+#include <cstdio>
+
+#include "common.h"
+#include "nyquist/ergodicity.h"
+#include "signal/generators.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace nyqmon;
+
+std::vector<sig::RegularSeries> make_fleet(bool ergodic, double bandwidth,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<sig::RegularSeries> fleet;
+  for (int d = 0; d < 32; ++d) {
+    Rng child = rng.fork();
+    const double dc = ergodic ? 50.0 : child.uniform(20.0, 80.0);
+    const auto proc =
+        sig::make_bandlimited_process(bandwidth, 3.0, 24, child, dc);
+    fleet.push_back(proc->sample(0.0, 10.0, 8192));
+  }
+  return fleet;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 6: ergodicity — when can a canary speak for the "
+              "fleet? ===\n\n");
+
+  AsciiTable table({"fleet", "bandwidth (Hz)", "converged fraction",
+                    "canary horizon (s)"});
+  CsvWriter csv(bench::csv_path("table_ergodicity"),
+                {"fleet", "bandwidth_hz", "converged_fraction", "horizon_s"});
+
+  struct Case {
+    const char* name;
+    bool ergodic;
+    double bandwidth;
+  };
+  const Case cases[] = {
+      {"ergodic, fast dynamics", true, 0.02},
+      {"ergodic, slow dynamics", true, 0.002},
+      {"heterogeneous devices", false, 0.02},
+  };
+
+  const nyq::ErgodicityAnalyzer analyzer;
+  for (const auto& c : cases) {
+    const auto fleet = make_fleet(c.ergodic, c.bandwidth, 20211110);
+    const auto report = analyzer.analyze(fleet);
+    const std::string horizon =
+        report.convergence_horizon_s
+            ? AsciiTable::format_double(*report.convergence_horizon_s)
+            : std::string("never (within window)");
+    table.row({c.name, AsciiTable::format_double(c.bandwidth),
+               AsciiTable::format_double(report.converged_fraction), horizon});
+    csv.row({c.name, CsvWriter::format_double(c.bandwidth),
+             CsvWriter::format_double(report.converged_fraction),
+             report.convergence_horizon_s
+                 ? CsvWriter::format_double(*report.convergence_horizon_s)
+                 : "-1"});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: for ergodic fleets a canary observed for the horizon\n"
+              "duration is statistically exchangeable with sampling the whole\n"
+              "fleet at once — and faster dynamics shorten the horizon. For\n"
+              "heterogeneous fleets the assumption simply fails, however long\n"
+              "the canary runs: the paper's caution is warranted.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Section 3.2 headline numbers:
+//   "In total, we studied 1613 metric and device pairs (14 distinct
+//    metrics). Of these, 89% were sampling at higher than their Nyquist
+//    rate." ... "the existing sampling rate is below the Nyquist rate ...
+//    in about 11% of the metric-device pairs" ... "in 20% of the examples
+//    the sampling rate can be reduced by a factor of 1000x" ...
+//    "for the temperature signal, the Nyquist rate ranges from
+//    7.99e-7 Hz to 0.003 Hz".
+#include <cstdio>
+
+#include "analysis/cdf.h"
+#include "common.h"
+#include "signal/stats.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Section 3.2 headline statistics ===\n\n");
+
+  const auto audit = bench::run_paper_audit();
+
+  std::vector<double> all_ratios;
+  for (const auto& p : audit.pairs)
+    if (p.reduction_ratio) all_ratios.push_back(*p.reduction_ratio);
+  const ana::Cdf ratio_cdf(all_ratios);
+
+  const auto temp_it = audit.by_metric.find(tel::MetricKind::kTemperature);
+  double temp_min = 0.0, temp_max = 0.0;
+  if (temp_it != audit.by_metric.end() &&
+      !temp_it->second.nyquist_rates_hz.empty()) {
+    const auto s = sig::summarize(temp_it->second.nyquist_rates_hz);
+    temp_min = s.min;
+    temp_max = s.max;
+  }
+
+  AsciiTable table({"statistic", "paper", "measured"});
+  char buf[64];
+  table.row({"metric-device pairs", "1613", std::to_string(audit.total_pairs())});
+  table.row({"distinct metrics", "14", std::to_string(audit.by_metric.size())});
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * audit.fraction_oversampled());
+  table.row({"sampling above Nyquist rate", "89%", buf});
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * audit.fraction_undersampled());
+  table.row({"sampling below Nyquist rate", "~11%", buf});
+  std::snprintf(buf, sizeof buf, "%.1f%%",
+                100.0 * (1.0 - ratio_cdf.fraction_at(1000.0)));
+  table.row({"reducible by >= 1000x", "~20%", buf});
+  std::snprintf(buf, sizeof buf, "%.3g Hz", temp_min);
+  table.row({"temperature Nyquist min", "7.99e-7 Hz", buf});
+  std::snprintf(buf, sizeof buf, "%.3g Hz", temp_max);
+  table.row({"temperature Nyquist max", "0.003 Hz", buf});
+
+  std::printf("%s\n", table.render().c_str());
+
+  // Fleet-wide resource bill at current vs Nyquist rates (one day).
+  const double day = 86400.0;
+  const auto current = audit.current_cost(day);
+  const auto nyquist = audit.nyquist_cost(day);
+  std::printf("One day of fleet monitoring at current rates:  %s\n",
+              to_string(current).c_str());
+  std::printf("One day at estimated Nyquist rates:            %s\n",
+              to_string(nyquist).c_str());
+  std::printf("Overall storage reduction: %.1fx\n",
+              current.storage_bytes / std::max(1.0, nyquist.storage_bytes));
+
+  CsvWriter csv(bench::csv_path("table_headline_stats"),
+                {"statistic", "value"});
+  csv.row({"pairs", std::to_string(audit.total_pairs())});
+  csv.row({"fraction_oversampled",
+           CsvWriter::format_double(audit.fraction_oversampled())});
+  csv.row({"fraction_undersampled",
+           CsvWriter::format_double(audit.fraction_undersampled())});
+  csv.row({"fraction_reducible_1000x",
+           CsvWriter::format_double(1.0 - ratio_cdf.fraction_at(1000.0))});
+  csv.row({"temperature_nyquist_min_hz", CsvWriter::format_double(temp_min)});
+  csv.row({"temperature_nyquist_max_hz", CsvWriter::format_double(temp_max)});
+  csv.row({"storage_reduction_x",
+           CsvWriter::format_double(current.storage_bytes /
+                                    std::max(1.0, nyquist.storage_bytes))});
+  return 0;
+}

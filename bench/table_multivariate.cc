@@ -1,0 +1,94 @@
+// Section 6 "Multivariate signals" (future work made concrete):
+// "As long as we sample each individual signal at a rate higher than its
+//  Nyquist rate, we can recover the original signal and preserve any
+//  correlations."
+//
+// The harness monitors a bundle of correlated metrics from one device
+// (link util in, link util out, CPU), compares three sampling plans —
+// production rate, per-component Nyquist, common Nyquist — on cost and
+// correlation distortion.
+#include <cstdio>
+
+#include "common.h"
+#include "nyquist/multivariate.h"
+#include "reconstruct/lowpass_reconstructor.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nyqmon;
+  std::printf("=== Section 6: multivariate bundles — cost vs correlation "
+              "preservation ===\n\n");
+
+  // Three correlated signals: shared load tone + private components with
+  // different band limits.
+  const sig::Tone shared{0.002, 4.0, 0.4};
+  const sig::SumOfSines in_util({shared, {0.0008, 2.0, 1.2}}, 40.0);
+  const sig::SumOfSines out_util({shared, {0.0035, 2.0, 2.1}}, 35.0);
+  const sig::SumOfSines cpu({shared, {0.0005, 1.5, 0.3}}, 30.0);
+
+  const double fs = 1.0 / 5.0;  // production: one poll per 5 s
+  const std::size_t n = 16384;
+  const std::vector<sig::RegularSeries> dense{
+      in_util.sample(0.0, 1.0 / fs, n), out_util.sample(0.0, 1.0 / fs, n),
+      cpu.sample(0.0, 1.0 / fs, n)};
+  const auto before = nyq::correlation_matrix(dense);
+
+  const auto multi = nyq::MultivariateNyquistEstimator().estimate(dense);
+  NYQMON_CHECK(multi.all_ok());
+
+  AsciiTable table({"plan", "samples/s (bundle)", "vs production",
+                    "correlation distortion"});
+  CsvWriter csv(bench::csv_path("table_multivariate"),
+                {"plan", "samples_per_s", "savings", "corr_distortion"});
+
+  auto report = [&](const char* plan, double samples_per_s,
+                    const std::vector<sig::RegularSeries>& recon) {
+    const auto after = nyq::correlation_matrix(recon);
+    const double distortion = nyq::correlation_distortion(before, after);
+    const double savings = 3.0 * fs / samples_per_s;
+    char sv[24];
+    std::snprintf(sv, sizeof sv, "%.1fx less", savings);
+    table.row({plan, AsciiTable::format_double(samples_per_s), sv,
+               AsciiTable::format_double(distortion)});
+    csv.row({plan, CsvWriter::format_double(samples_per_s),
+             CsvWriter::format_double(savings),
+             CsvWriter::format_double(distortion)});
+  };
+
+  // Production plan: everything at fs.
+  report("production (all at fs)", 3.0 * fs, dense);
+
+  // Per-component Nyquist plan (with 1.5x headroom each).
+  {
+    std::vector<sig::RegularSeries> recon;
+    double samples_per_s = 0.0;
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      const double target = 1.5 * multi.components[i].nyquist_rate_hz;
+      const auto factor =
+          static_cast<std::size_t>(std::max(1.0, fs / target));
+      samples_per_s += fs / static_cast<double>(factor);
+      recon.push_back(rec::round_trip(dense[i], factor));
+    }
+    report("per-component Nyquist", samples_per_s, recon);
+  }
+
+  // Common-rate plan: the whole bundle at the max component rate.
+  {
+    const double target = 1.5 * multi.common_nyquist_rate_hz;
+    const auto factor = static_cast<std::size_t>(std::max(1.0, fs / target));
+    std::vector<sig::RegularSeries> recon;
+    for (const auto& d : dense) recon.push_back(rec::round_trip(d, factor));
+    report("common Nyquist rate", 3.0 * fs / static_cast<double>(factor),
+           recon);
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper shape: both Nyquist plans keep the correlation matrix\n"
+              "essentially intact while cutting the bundle's sample bill;\n"
+              "per-component collection is the cheaper of the two.\n");
+  return 0;
+}

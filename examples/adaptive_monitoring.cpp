@@ -1,0 +1,73 @@
+// Adaptive monitoring: the paper's Section 4 system end to end.
+//
+// A temperature sensor starts calm, then a cooling failure makes it swing
+// rapidly for a while, then it calms again. The adaptive sampler starts at
+// the production default (one poll per 5 minutes), verifies its rate with
+// the dual-rate aliasing check, backs off while the signal is calm, ramps
+// up through the incident, and returns to the cheap rate afterwards — with
+// rate memory making the second ramp instant.
+#include <cstdio>
+#include <memory>
+
+#include "monitor/pipeline.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/ascii.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nyqmon;
+
+  // Calm (diurnal-ish drift) -> incident (fast oscillation) -> calm.
+  Rng rng(77);
+  auto calm = sig::make_bandlimited_process(1.0 / 21600.0, 6.0, 16, rng, 45.0);
+  auto incident =
+      sig::make_bandlimited_process(1.0 / 240.0, 8.0, 16, rng, 52.0);
+  const double t1 = 4.0 * 86400.0;  // incident begins on day 4
+  const double t2 = 5.0 * 86400.0;  // and lasts one day
+  auto signal = std::make_shared<sig::PiecewiseSignal>(
+      std::vector<std::shared_ptr<const sig::ContinuousSignal>>{calm, incident,
+                                                                calm},
+      std::vector<double>{t1, t2});
+
+  mon::PipelineConfig cfg;
+  cfg.sampler.initial_rate_hz = 1.0 / 300.0;  // production default: 5 min
+  cfg.sampler.min_rate_hz = 1.0 / 7200.0;
+  cfg.sampler.max_rate_hz = 1.0 / 15.0;
+  cfg.sampler.window_duration_s = 6.0 * 3600.0;
+  cfg.quantization_step = 1.0;  // integer temperature readings
+
+  const mon::AdaptiveMonitoringPipeline pipeline(cfg);
+  const auto result =
+      pipeline.run(*signal, 0.0, 9.0 * 86400.0, 1.0 / 300.0, /*seed=*/5);
+
+  std::printf("window-by-window adaptation (6 h windows):\n");
+  std::printf("%-12s %-8s %-12s %-10s %s\n", "t (days)", "mode", "rate (Hz)",
+              "aliasing", "est. Nyquist (Hz)");
+  for (const auto& step : result.run.steps) {
+    std::printf("%-12.2f %-8s %-12.3g %-10s %.3g\n",
+                step.window_start_s / 86400.0,
+                step.mode == nyq::SamplerMode::kProbe ? "probe" : "track",
+                step.rate_hz, step.aliasing_detected ? "DETECTED" : "-",
+                step.estimate.ok() ? step.estimate.nyquist_rate_hz : -1.0);
+  }
+
+  std::printf("\nsampling rate over time:\n");
+  std::vector<double> rates;
+  for (const auto& step : result.run.steps) rates.push_back(step.rate_hz);
+  std::printf("%s\n", ascii_series(rates, 72, 8).c_str());
+
+  std::printf("cost: %zu samples adaptive vs %zu at the production rate "
+              "(%.1fx cheaper)\n",
+              result.run.total_samples,
+              result.run.baseline_samples(1.0 / 300.0), result.cost_savings);
+  std::printf("reconstruction NRMSE vs ground truth: %.4f (max abs err "
+              "%.2f deg)\n",
+              result.nrmse, result.max_abs_error);
+  std::printf("note: the incident's band limit (%.4g Hz) is above the\n"
+              "production Nyquist frequency (%.4g Hz) — a fixed 5-min poller\n"
+              "would have aliased it; the adaptive sampler caught it at\n"
+              "about the same total cost.\n",
+              1.0 / 240.0, (1.0 / 300.0) / 2.0);
+  return 0;
+}

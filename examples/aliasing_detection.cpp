@@ -1,0 +1,61 @@
+// Aliasing detection: the Penny et al. dual-rate check (paper Section 4.1)
+// as a standalone tool.
+//
+// An operator wants to know whether polling FCS error counters once per
+// minute is enough. The detector samples the signal at the candidate rate
+// and at 1.85x that rate, compares the two spectra on the common band and
+// reports whether the candidate rate folds signal energy.
+#include <cstdio>
+
+#include "nyquist/aliasing_detector.h"
+#include "nyquist/estimator.h"
+#include "signal/generators.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nyqmon;
+
+  // Two switches: one with slow background corrosion errors, one with a
+  // fast-flapping transceiver.
+  Rng rng(99);
+  const auto slow_device = sig::make_burst_process(
+      /*duration=*/4.0 * 86400.0, /*rate=*/10.0 / 86400.0, /*sigma=*/3600.0,
+      /*amplitude=*/30.0, rng);
+  const auto flappy_device = sig::make_burst_process(
+      4.0 * 86400.0, 400.0 / 86400.0, /*sigma=*/20.0, 30.0, rng);
+
+  const nyq::DualRateAliasingDetector detector;
+  const double candidate_rate = 1.0 / 60.0;  // one poll per minute
+
+  struct Case {
+    const char* name;
+    const sig::ContinuousSignal* signal;
+  };
+  for (const Case& c : {Case{"slow corrosion", slow_device.get()},
+                        Case{"flapping transceiver", flappy_device.get()}}) {
+    const auto result = detector.probe(
+        [&c](double t) { return c.signal->value(t); }, 0.0, 2.0 * 86400.0,
+        candidate_rate);
+    std::printf("%-22s true band limit %.4g Hz, candidate rate %.4g Hz\n",
+                c.name, c.signal->bandwidth_hz(), candidate_rate);
+    std::printf("  verdict: %s (spectral discrepancy %.3f over %zu bins)\n",
+                result.aliasing_detected ? "ALIASING — poll faster"
+                                         : "clean — rate is sufficient",
+                result.discrepancy, result.compared_bins);
+
+    if (!result.aliasing_detected) {
+      // Rate is sufficient: how much lower could it go? Ask the estimator.
+      const auto trace = c.signal->sample(0.0, 1.0 / candidate_rate,
+                                          static_cast<std::size_t>(
+                                              2.0 * 86400.0 * candidate_rate));
+      const auto est = nyq::NyquistEstimator().estimate(trace);
+      if (est.ok()) {
+        std::printf("  bonus: the trace's own Nyquist estimate is %.4g Hz "
+                    "(%.0fx below the candidate)\n",
+                    est.nyquist_rate_hz, est.reduction_ratio());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fleet audit: run the paper's Section 3.2 study on a synthetic datacenter.
+//
+// Builds a 300-pair fleet (ToR/agg/core switches and servers exporting the
+// paper's 14 metrics), polls every metric at its production rate, estimates
+// each trace's Nyquist rate, and prints the over/under-sampling breakdown
+// plus the projected monitoring bill at Nyquist rates.
+#include <cstdio>
+
+#include "analysis/cdf.h"
+#include "monitor/audit.h"
+#include "telemetry/fleet.h"
+#include "util/ascii.h"
+
+int main() {
+  using namespace nyqmon;
+
+  tel::FleetConfig fleet_cfg;
+  fleet_cfg.target_pairs = 300;
+  fleet_cfg.seed = 1234;
+  fleet_cfg.topology.pods = 4;
+  const tel::Fleet fleet(fleet_cfg);
+  std::printf("fleet: %zu devices, %zu metric-device pairs\n",
+              fleet.topology().size(), fleet.size());
+
+  const mon::AuditResult audit = mon::run_audit(fleet, mon::AuditConfig{});
+
+  AsciiTable table({"metric", "pairs", "oversampled", "undersampled",
+                    "median reduction"});
+  for (auto kind : tel::all_metrics()) {
+    const auto it = audit.by_metric.find(kind);
+    if (it == audit.by_metric.end()) continue;
+    const auto& agg = it->second;
+    std::string median = "-";
+    if (!agg.reduction_ratios.empty()) {
+      median = AsciiTable::format_double(
+                   ana::Cdf(agg.reduction_ratios).quantile(0.5)) + "x";
+    }
+    table.row({tel::metric_name(kind), std::to_string(agg.pairs),
+               std::to_string(agg.oversampled),
+               std::to_string(agg.undersampled), median});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+
+  std::printf("fleet-wide: %.1f%% oversampled, %.1f%% undersampled\n",
+              100.0 * audit.fraction_oversampled(),
+              100.0 * audit.fraction_undersampled());
+
+  const double day = 86400.0;
+  std::printf("monitoring bill today:      %s\n",
+              to_string(audit.current_cost(day)).c_str());
+  std::printf("monitoring bill at Nyquist: %s\n",
+              to_string(audit.nyquist_cost(day)).c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "analysis/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nyqmon::ana {
+
+Cdf::Cdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  NYQMON_CHECK(!sorted_.empty());
+  NYQMON_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - std::floor(pos);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Cdf::min() const {
+  NYQMON_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Cdf::max() const {
+  NYQMON_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+std::vector<std::pair<double, double>> Cdf::log_rows(int decade_lo,
+                                                     int decade_hi,
+                                                     int per_decade) const {
+  NYQMON_CHECK(decade_hi >= decade_lo);
+  NYQMON_CHECK(per_decade >= 1);
+  std::vector<std::pair<double, double>> rows;
+  for (int d = decade_lo; d <= decade_hi; ++d) {
+    for (int s = 0; s < per_decade; ++s) {
+      if (d == decade_hi && s > 0) break;
+      const double x =
+          std::pow(10.0, static_cast<double>(d) +
+                             static_cast<double>(s) /
+                                 static_cast<double>(per_decade));
+      rows.emplace_back(x, fraction_at(x));
+    }
+  }
+  return rows;
+}
+
+}  // namespace nyqmon::ana

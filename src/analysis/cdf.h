@@ -1,0 +1,37 @@
+// Empirical CDFs — the representation behind Figure 4 (reduction-ratio CDFs
+// per metric) and the log-decade summary rows the benches print.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nyqmon::ana {
+
+class Cdf {
+ public:
+  explicit Cdf(std::span<const double> samples);
+
+  std::size_t count() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  /// Fraction of samples <= x (the empirical CDF value at x).
+  double fraction_at(double x) const;
+
+  /// Value at quantile q in [0, 1] (linear interpolation).
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+
+  /// Evaluate at log-spaced points: decades 10^lo .. 10^hi inclusive,
+  /// `per_decade` points per decade. Returns (x, F(x)) pairs — the rows
+  /// Figure 4's log-x CDF panels plot.
+  std::vector<std::pair<double, double>> log_rows(int decade_lo, int decade_hi,
+                                                  int per_decade = 1) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace nyqmon::ana

@@ -1,0 +1,69 @@
+#include "analysis/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ascii.h"
+#include "util/check.h"
+
+namespace nyqmon::ana {
+
+Histogram::Histogram(std::span<const double> samples, std::size_t bins,
+                     bool log_scale)
+    : log_(log_scale), counts_(bins, 0) {
+  NYQMON_CHECK(bins >= 1);
+  NYQMON_CHECK(!samples.empty());
+
+  auto to_space = [this](double v) { return log_ ? std::log10(v) : v; };
+  lo_ = hi_ = 0.0;
+  bool first = true;
+  for (double v : samples) {
+    if (log_) NYQMON_CHECK_MSG(v > 0.0, "log histogram needs positive samples");
+    const double x = to_space(v);
+    if (first) {
+      lo_ = hi_ = x;
+      first = false;
+    } else {
+      lo_ = std::min(lo_, x);
+      hi_ = std::max(hi_, x);
+    }
+  }
+  if (hi_ == lo_) hi_ = lo_ + 1.0;  // degenerate: single-valued input
+
+  const double width = (hi_ - lo_) / static_cast<double>(bins);
+  for (double v : samples) {
+    const double x = to_space(v);
+    auto idx = static_cast<std::size_t>((x - lo_) / width);
+    idx = std::min(idx, bins - 1);
+    ++counts_[idx];
+    ++total_;
+  }
+}
+
+std::pair<double, double> Histogram::edges(std::size_t bin) const {
+  NYQMON_CHECK(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double a = lo_ + width * static_cast<double>(bin);
+  const double b = a + width;
+  if (log_) return {std::pow(10.0, a), std::pow(10.0, b)};
+  return {a, b};
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render(int width) const {
+  std::vector<std::pair<std::string, double>> bars;
+  bars.reserve(counts_.size());
+  char label[48];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [lo, hi] = edges(b);
+    std::snprintf(label, sizeof label, "[%.3g, %.3g)", lo, hi);
+    bars.emplace_back(label, static_cast<double>(counts_[b]));
+  }
+  return ascii_barchart(bars, width);
+}
+
+}  // namespace nyqmon::ana

@@ -1,0 +1,40 @@
+// Equal-width histogram — the remaining summary the analysis layer offers
+// next to CDFs and box plots; the benches use it for distribution shapes
+// that a five-number summary hides (e.g. the bimodal reduction ratios of a
+// fleet that mixes idle and hot devices).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nyqmon::ana {
+
+class Histogram {
+ public:
+  /// Bins the samples into `bins` equal-width buckets over [min, max].
+  /// With log_scale, binning happens in log10 space (all samples must be
+  /// positive).
+  Histogram(std::span<const double> samples, std::size_t bins,
+            bool log_scale = false);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  /// [lo, hi) edges of a bin in the original (linear) domain.
+  std::pair<double, double> edges(std::size_t bin) const;
+  /// Index of the fullest bin.
+  std::size_t mode_bin() const;
+
+  /// ASCII rendering: one bar per bin.
+  std::string render(int width = 50) const;
+
+ private:
+  bool log_;
+  double lo_ = 0.0;
+  double hi_ = 0.0;  // in binning space (log10 when log_)
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nyqmon::ana

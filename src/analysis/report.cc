@@ -1,0 +1,34 @@
+#include "analysis/report.h"
+
+#include <sstream>
+
+#include "util/ascii.h"
+
+namespace nyqmon::ana {
+
+std::string render_box_table(const std::vector<BoxRow>& rows) {
+  AsciiTable table({"metric", "n", "min", "q1", "median", "q3", "max"});
+  for (const auto& r : rows) {
+    table.row({r.label, std::to_string(r.summary.count),
+               AsciiTable::format_double(r.summary.min),
+               AsciiTable::format_double(r.summary.q1),
+               AsciiTable::format_double(r.summary.median),
+               AsciiTable::format_double(r.summary.q3),
+               AsciiTable::format_double(r.summary.max)});
+  }
+  return table.render();
+}
+
+std::string render_cdf_rows(
+    const std::string& label,
+    const std::vector<std::pair<double, double>>& rows) {
+  std::ostringstream os;
+  os << label << '\n';
+  AsciiTable table({"x", "CDF(x)"});
+  for (const auto& [x, f] : rows)
+    table.row({AsciiTable::format_double(x), AsciiTable::format_double(f)});
+  os << table.render();
+  return os.str();
+}
+
+}  // namespace nyqmon::ana

@@ -1,0 +1,28 @@
+// Figure/table rendering helpers shared by the bench harnesses: box-plot
+// rows (Figure 5), CDF tables (Figure 4), and bar charts (Figure 1), each
+// printed as ASCII and exportable to CSV.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "signal/stats.h"
+
+namespace nyqmon::ana {
+
+/// One labelled box-plot row (Figure 5 style).
+struct BoxRow {
+  std::string label;
+  sig::Summary summary;
+};
+
+/// Render labelled five-number summaries as a table.
+std::string render_box_table(const std::vector<BoxRow>& rows);
+
+/// Render a labelled CDF as "x  F(x)" rows.
+std::string render_cdf_rows(
+    const std::string& label,
+    const std::vector<std::pair<double, double>>& rows);
+
+}  // namespace nyqmon::ana

@@ -1,0 +1,51 @@
+#include "dsp/detrend.h"
+
+#include "util/check.h"
+
+namespace nyqmon::dsp {
+
+std::vector<double> remove_mean(std::span<const double> x) {
+  NYQMON_CHECK(!x.empty());
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (double v : x) out.push_back(v - mean);
+  return out;
+}
+
+LineFit fit_line(std::span<const double> x) {
+  NYQMON_CHECK(!x.empty());
+  const double n = static_cast<double>(x.size());
+  // Closed-form least squares with t = 0..n-1.
+  double sum_t = 0.0, sum_x = 0.0, sum_tt = 0.0, sum_tx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i);
+    sum_t += t;
+    sum_x += x[i];
+    sum_tt += t * t;
+    sum_tx += t * x[i];
+  }
+  const double denom = n * sum_tt - sum_t * sum_t;
+  LineFit fit;
+  if (denom == 0.0) {
+    fit.intercept = sum_x / n;
+    fit.slope = 0.0;
+  } else {
+    fit.slope = (n * sum_tx - sum_t * sum_x) / denom;
+    fit.intercept = (sum_x - fit.slope * sum_t) / n;
+  }
+  return fit;
+}
+
+std::vector<double> remove_linear_trend(std::span<const double> x) {
+  const LineFit fit = fit_line(x);
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out.push_back(x[i] - (fit.intercept + fit.slope * static_cast<double>(i)));
+  return out;
+}
+
+}  // namespace nyqmon::dsp

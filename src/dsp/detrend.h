@@ -1,0 +1,26 @@
+// Detrending.
+//
+// Counters and utilizations carry large DC offsets and slow linear drifts
+// that would dominate the "total energy" used by the 99% rule; the Nyquist
+// estimator removes them before spectral analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nyqmon::dsp {
+
+/// Subtract the sample mean.
+std::vector<double> remove_mean(std::span<const double> x);
+
+/// Subtract the least-squares straight line a + b*t fitted to the samples.
+std::vector<double> remove_linear_trend(std::span<const double> x);
+
+/// Least-squares line fit; returns {intercept, slope-per-sample}.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LineFit fit_line(std::span<const double> x);
+
+}  // namespace nyqmon::dsp

@@ -1,0 +1,183 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace nyqmon::dsp {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Bit-reversal permutation for the iterative radix-2 FFT.
+void bit_reverse_permute(std::vector<cdouble>& x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+// Bluestein chirp-z transform: DFT of arbitrary length N via a circular
+// convolution of length M = next_pow2(2N-1).
+std::vector<cdouble> bluestein(std::span<const cdouble> x, bool inverse) {
+  const std::size_t n = x.size();
+  NYQMON_ENSURE(n >= 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp w[k] = exp(sign * i * pi * k^2 / n). Index k^2 mod 2n keeps the
+  // phase argument bounded for large n (k^2 overflows double precision of
+  // the angle otherwise).
+  std::vector<cdouble> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = sign * kPi * static_cast<double>(k2) /
+                         static_cast<double>(n);
+    w[k] = cdouble(std::cos(angle), std::sin(angle));
+  }
+
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  std::vector<cdouble> a(m, cdouble(0, 0));
+  std::vector<cdouble> b(m, cdouble(0, 0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * w[k];
+  b[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(w[k]);
+
+  fft_radix2_inplace(a, /*inverse=*/false);
+  fft_radix2_inplace(b, /*inverse=*/false);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  fft_radix2_inplace(a, /*inverse=*/true);
+
+  std::vector<cdouble> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * w[k];
+  if (inverse) {
+    for (auto& v : out) v /= static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<cdouble> transform(std::span<const cdouble> x, bool inverse) {
+  NYQMON_CHECK_MSG(!x.empty(), "FFT of empty sequence");
+  if (is_power_of_two(x.size())) {
+    std::vector<cdouble> out(x.begin(), x.end());
+    fft_radix2_inplace(out, inverse);
+    return out;
+  }
+  return bluestein(x, inverse);
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  NYQMON_CHECK(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_radix2_inplace(std::vector<cdouble>& x, bool inverse) {
+  const std::size_t n = x.size();
+  NYQMON_CHECK_MSG(is_power_of_two(n), "radix-2 FFT requires power-of-two length");
+  bit_reverse_permute(x);
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const cdouble wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      cdouble w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cdouble u = x[i + k];
+        const cdouble v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& v : x) v /= static_cast<double>(n);
+  }
+}
+
+std::vector<cdouble> fft(std::span<const cdouble> x) {
+  return transform(x, /*inverse=*/false);
+}
+
+std::vector<cdouble> ifft(std::span<const cdouble> x) {
+  return transform(x, /*inverse=*/true);
+}
+
+std::vector<cdouble> fft_real(std::span<const double> x) {
+  std::vector<cdouble> cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = cdouble(x[i], 0.0);
+  return fft(cx);
+}
+
+std::vector<cdouble> rfft(std::span<const double> x) {
+  const std::size_t n = x.size();
+  NYQMON_CHECK_MSG(n >= 1, "FFT of empty sequence");
+  // Packed real FFT: for even n, fold the real sequence into an n/2-point
+  // complex sequence z[k] = x[2k] + i*x[2k+1], transform once, and unpack
+  // with the split formula — half the work of the generic complex path.
+  if (n >= 4 && n % 2 == 0) {
+    const std::size_t half = n / 2;
+    std::vector<cdouble> z(half);
+    for (std::size_t k = 0; k < half; ++k)
+      z[k] = cdouble(x[2 * k], x[2 * k + 1]);
+    const auto zf = fft(z);
+
+    std::vector<cdouble> out(half + 1);
+    for (std::size_t k = 0; k <= half; ++k) {
+      const std::size_t k1 = k % half;
+      const std::size_t k2 = (half - k1) % half;
+      const cdouble a = zf[k1];
+      const cdouble b = std::conj(zf[k2]);
+      // Even/odd halves of the original sequence's spectrum.
+      const cdouble even = 0.5 * (a + b);
+      const cdouble odd = cdouble(0, -0.5) * (a - b);
+      const double angle = -2.0 * kPi * static_cast<double>(k) /
+                           static_cast<double>(n);
+      out[k] = even + cdouble(std::cos(angle), std::sin(angle)) * odd;
+    }
+    return out;
+  }
+  auto full = fft_real(x);
+  full.resize(n / 2 + 1);
+  return full;
+}
+
+std::vector<double> irfft(std::span<const cdouble> half, std::size_t n) {
+  NYQMON_CHECK(n >= 1);
+  NYQMON_CHECK_MSG(half.size() == n / 2 + 1, "irfft: half-spectrum size mismatch");
+  std::vector<cdouble> full(n);
+  for (std::size_t k = 0; k < half.size(); ++k) full[k] = half[k];
+  for (std::size_t k = half.size(); k < n; ++k) full[k] = std::conj(full[n - k]);
+  auto time = ifft(full);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real();
+  return out;
+}
+
+std::vector<cdouble> dft_reference(std::span<const cdouble> x) {
+  const std::size_t n = x.size();
+  NYQMON_CHECK(n >= 1);
+  std::vector<cdouble> out(n, cdouble(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * kPi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      out[k] += x[t] * cdouble(std::cos(angle), std::sin(angle));
+    }
+  }
+  return out;
+}
+
+}  // namespace nyqmon::dsp

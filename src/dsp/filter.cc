@@ -1,0 +1,113 @@
+#include "dsp/filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.h"
+#include "util/check.h"
+
+namespace nyqmon::dsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+std::vector<double> ideal_lowpass(std::span<const double> x,
+                                  double sample_rate_hz, double cutoff_hz) {
+  NYQMON_CHECK(!x.empty());
+  NYQMON_CHECK(sample_rate_hz > 0.0);
+  NYQMON_CHECK(cutoff_hz >= 0.0);
+  const std::size_t n = x.size();
+  auto spectrum = fft_real(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Frequency of bin k accounting for the conjugate (negative) half.
+    const std::size_t kk = k <= n / 2 ? k : n - k;
+    const double f = static_cast<double>(kk) * sample_rate_hz /
+                     static_cast<double>(n);
+    if (f > cutoff_hz) spectrum[k] = cdouble(0.0, 0.0);
+  }
+  auto time = ifft(spectrum);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real();
+  return out;
+}
+
+std::vector<double> design_lowpass_fir(std::size_t taps, double cutoff_hz,
+                                       double sample_rate_hz,
+                                       WindowType window) {
+  NYQMON_CHECK_MSG(taps >= 3 && taps % 2 == 1, "taps must be odd and >= 3");
+  NYQMON_CHECK(sample_rate_hz > 0.0);
+  NYQMON_CHECK(cutoff_hz > 0.0 && cutoff_hz <= sample_rate_hz / 2.0);
+
+  const double fc = cutoff_hz / sample_rate_hz;  // normalized cutoff
+  const auto w = make_window(window, taps, /*symmetric=*/true);
+  const double mid = static_cast<double>(taps - 1) / 2.0;
+  std::vector<double> h(taps);
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    const double sinc = t == 0.0 ? 2.0 * fc
+                                 : std::sin(2.0 * kPi * fc * t) / (kPi * t);
+    h[i] = sinc * w[i];
+  }
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  NYQMON_ENSURE(sum != 0.0);
+  for (double& v : h) v /= sum;  // unit DC gain
+  return h;
+}
+
+std::vector<double> convolve(std::span<const double> x,
+                             std::span<const double> h) {
+  NYQMON_CHECK(!x.empty() && !h.empty());
+  std::vector<double> out(x.size() + h.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t j = 0; j < h.size(); ++j) out[i + j] += x[i] * h[j];
+  return out;
+}
+
+std::vector<double> filter_same(std::span<const double> x,
+                                std::span<const double> h) {
+  NYQMON_CHECK_MSG(h.size() % 2 == 1, "filter_same needs an odd-length kernel");
+  auto full = convolve(x, h);
+  const std::size_t delay = (h.size() - 1) / 2;
+  return std::vector<double>(full.begin() + static_cast<std::ptrdiff_t>(delay),
+                             full.begin() + static_cast<std::ptrdiff_t>(delay + x.size()));
+}
+
+std::vector<double> moving_average(std::span<const double> x,
+                                   std::size_t width) {
+  NYQMON_CHECK_MSG(width % 2 == 1, "moving_average needs odd width");
+  NYQMON_CHECK(!x.empty());
+  const std::size_t half = width / 2;
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(x.size() - 1, i + half);
+    double sum = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) sum += x[j];
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> median_filter(std::span<const double> x,
+                                  std::size_t width) {
+  NYQMON_CHECK_MSG(width % 2 == 1, "median_filter needs odd width");
+  NYQMON_CHECK(!x.empty());
+  const std::size_t half = width / 2;
+  std::vector<double> out(x.size());
+  std::vector<double> buf;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(x.size() - 1, i + half);
+    buf.assign(x.begin() + static_cast<std::ptrdiff_t>(lo),
+               x.begin() + static_cast<std::ptrdiff_t>(hi + 1));
+    const auto mid = buf.begin() + static_cast<std::ptrdiff_t>(buf.size() / 2);
+    std::nth_element(buf.begin(), mid, buf.end());
+    out[i] = *mid;
+  }
+  return out;
+}
+
+}  // namespace nyqmon::dsp

@@ -1,0 +1,32 @@
+#include "dsp/goertzel.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace nyqmon::dsp {
+
+double goertzel_power(std::span<const double> x, double sample_rate_hz,
+                      double frequency_hz) {
+  NYQMON_CHECK(x.size() >= 2);
+  NYQMON_CHECK(sample_rate_hz > 0.0);
+  NYQMON_CHECK(frequency_hz >= 0.0 && frequency_hz <= sample_rate_hz / 2.0);
+
+  const double n = static_cast<double>(x.size());
+  const double omega = 2.0 * std::numbers::pi * frequency_hz / sample_rate_hz;
+  const double coeff = 2.0 * std::cos(omega);
+
+  double s_prev = 0.0;
+  double s_prev2 = 0.0;
+  for (double v : x) {
+    const double s = v + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  const double power =
+      s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2;
+  return power / (n * n);
+}
+
+}  // namespace nyqmon::dsp

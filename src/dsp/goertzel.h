@@ -1,0 +1,15 @@
+// Goertzel algorithm: power of a single frequency bin in O(N) without a
+// full FFT. The dual-rate aliasing detector uses it to spot-check a handful
+// of frequencies cheaply, as an online system would.
+#pragma once
+
+#include <span>
+
+namespace nyqmon::dsp {
+
+/// Power (|X(f)|^2 / N^2, matching the periodogram normalization up to
+/// one-sided folding) of x at `frequency_hz` given the sampling rate.
+double goertzel_power(std::span<const double> x, double sample_rate_hz,
+                      double frequency_hz);
+
+}  // namespace nyqmon::dsp

@@ -1,0 +1,80 @@
+#include "dsp/lombscargle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nyqmon::dsp {
+
+Psd lomb_scargle(std::span<const double> times, std::span<const double> values,
+                 const LombScargleConfig& config) {
+  NYQMON_CHECK_MSG(times.size() >= 4, "lomb_scargle needs >= 4 samples");
+  NYQMON_CHECK(times.size() == values.size());
+  NYQMON_CHECK(config.bins >= 2);
+
+  const std::size_t n = times.size();
+
+  double mean = 0.0;
+  if (config.remove_mean) {
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(n);
+  }
+
+  double f_max = config.max_frequency_hz;
+  if (f_max <= 0.0) {
+    // Pseudo-Nyquist frequency from the median sample spacing.
+    std::vector<double> gaps;
+    gaps.reserve(n - 1);
+    for (std::size_t i = 1; i < n; ++i) gaps.push_back(times[i] - times[i - 1]);
+    const auto mid = gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
+    std::nth_element(gaps.begin(), mid, gaps.end());
+    NYQMON_CHECK_MSG(*mid > 0.0, "timestamps must be strictly increasing");
+    f_max = 1.0 / (2.0 * *mid);
+  }
+
+  Psd psd;
+  psd.sample_rate_hz = 2.0 * f_max;  // pseudo rate for downstream consumers
+  psd.frequency_hz.resize(config.bins);
+  psd.power.resize(config.bins);
+
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  for (std::size_t k = 0; k < config.bins; ++k) {
+    // Bin centres from f_max/bins up to f_max (no DC bin: the mean is
+    // removed and DC is undefined for the Lomb form).
+    const double f = f_max * static_cast<double>(k + 1) /
+                     static_cast<double>(config.bins);
+    const double w = kTwoPi * f;
+
+    // tau makes the periodogram invariant under time translation.
+    double s2 = 0.0, c2 = 0.0;
+    for (double t : times) {
+      s2 += std::sin(2.0 * w * t);
+      c2 += std::cos(2.0 * w * t);
+    }
+    const double tau = std::atan2(s2, c2) / (2.0 * w);
+
+    double cs = 0.0, ss = 0.0, cc = 0.0, s_s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double arg = w * (times[i] - tau);
+      const double c = std::cos(arg);
+      const double si = std::sin(arg);
+      const double d = values[i] - mean;
+      cs += d * c;
+      ss += d * si;
+      cc += c * c;
+      s_s += si * si;
+    }
+
+    double p = 0.0;
+    if (cc > 0.0) p += cs * cs / cc;
+    if (s_s > 0.0) p += ss * ss / s_s;
+    psd.frequency_hz[k] = f;
+    psd.power[k] = std::max(0.0, p / static_cast<double>(n));
+  }
+  return psd;
+}
+
+}  // namespace nyqmon::dsp

@@ -1,0 +1,40 @@
+// Lomb-Scargle periodogram: spectral estimation for *irregularly* sampled
+// signals.
+//
+// The paper pre-cleans jittered traces by nearest-neighbour re-sampling
+// before the FFT (Section 3.2). That is cheap but injects interpolation
+// noise. The Lomb-Scargle periodogram estimates spectral power directly
+// from the raw (timestamp, value) pairs -- the classical astronomy tool for
+// unevenly spaced data -- giving the Nyquist analysis a second,
+// re-sampling-free path whose trade-offs bench/ablation_irregular_sampling
+// quantifies.
+//
+// Implementation: the standard Lomb normalized periodogram with the
+// per-frequency time offset tau that makes the estimate invariant to time
+// shifts; O(N) per frequency.
+#pragma once
+
+#include <span>
+
+#include "dsp/psd.h"
+
+namespace nyqmon::dsp {
+
+struct LombScargleConfig {
+  /// Number of frequency bins between f > 0 and max_frequency_hz.
+  std::size_t bins = 256;
+  /// Top of the analysed band; 0 = use the pseudo-Nyquist frequency
+  /// 1/(2 * median sample spacing).
+  double max_frequency_hz = 0.0;
+  /// Subtract the sample mean first (almost always wanted).
+  bool remove_mean = true;
+};
+
+/// Lomb-Scargle power spectrum of an irregular trace given parallel arrays
+/// of timestamps (seconds, ascending) and values. The result reuses the
+/// Psd container: frequency_hz ascending, power >= 0, normalized by N so
+/// relative energy distributions are comparable across traces.
+Psd lomb_scargle(std::span<const double> times, std::span<const double> values,
+                 const LombScargleConfig& config = {});
+
+}  // namespace nyqmon::dsp

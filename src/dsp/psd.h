@@ -1,0 +1,64 @@
+// Power Spectral Density estimation.
+//
+// The paper's Nyquist-rate method (Section 3.2) operates on the PSD of a
+// measured trace: total signal energy is the sum of the one-sided PSD, and
+// the Nyquist rate estimate is twice the frequency at which the cumulative
+// PSD reaches a cutoff fraction (99% by default) of the total energy.
+//
+// Two estimators are provided: a single-block periodogram and Welch's
+// method (averaged overlapping windowed periodograms) for noisy traces.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace nyqmon::dsp {
+
+/// One-sided power spectral density of a uniformly sampled real signal.
+struct Psd {
+  std::vector<double> frequency_hz;  ///< bin centre frequencies, ascending
+  std::vector<double> power;         ///< power in each bin (>= 0)
+  double sample_rate_hz = 0.0;       ///< fs of the analysed signal
+
+  std::size_t bins() const { return power.size(); }
+
+  /// Sum of power across all bins ("total energy" in the paper's sense).
+  double total_energy() const;
+
+  /// Frequency resolution (spacing between bins).
+  double resolution_hz() const;
+
+  /// Smallest index k such that sum(power[0..k]) >= fraction * total.
+  /// `fraction` must be in (0, 1]. Returns bins()-1 when the tail is needed.
+  std::size_t cumulative_energy_bin(double fraction) const;
+
+  /// Frequency at cumulative_energy_bin(fraction).
+  double cumulative_energy_frequency(double fraction) const;
+};
+
+struct PeriodogramConfig {
+  WindowType window = WindowType::kHann;
+  bool remove_mean = true;  ///< subtract the sample mean before analysis
+};
+
+/// Single-block (windowed) periodogram. Power is normalized by the window
+/// energy so results are comparable across window types.
+Psd periodogram(std::span<const double> x, double sample_rate_hz,
+                const PeriodogramConfig& config = {});
+
+struct WelchConfig {
+  std::size_t segment_length = 0;  ///< 0: pick ~8 segments automatically
+  double overlap = 0.5;            ///< fraction of segment overlap [0, 1)
+  WindowType window = WindowType::kHann;
+  bool remove_mean = true;
+};
+
+/// Welch's method: average of windowed periodograms over overlapping
+/// segments; lower variance than a single periodogram at the cost of
+/// frequency resolution.
+Psd welch(std::span<const double> x, double sample_rate_hz,
+          const WelchConfig& config = {});
+
+}  // namespace nyqmon::dsp

@@ -1,0 +1,42 @@
+#include "dsp/quantize.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nyqmon::dsp {
+
+Quantizer::Quantizer(double step, double offset) : step_(step), offset_(offset) {
+  NYQMON_CHECK_MSG(step > 0.0, "quantizer step must be positive");
+}
+
+double Quantizer::apply(double x) const {
+  return std::round((x - offset_) / step_) * step_ + offset_;
+}
+
+std::vector<double> Quantizer::apply(std::span<const double> x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (double v : x) out.push_back(apply(v));
+  return out;
+}
+
+double Quantizer::noise_power() const { return step_ * step_ / 12.0; }
+
+double measured_sqnr_db(std::span<const double> original,
+                        std::span<const double> quantized) {
+  NYQMON_CHECK(original.size() == quantized.size());
+  NYQMON_CHECK(!original.empty());
+  double signal = 0.0;
+  double noise = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    signal += original[i] * original[i];
+    const double e = original[i] - quantized[i];
+    noise += e * e;
+  }
+  if (noise == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace nyqmon::dsp

@@ -1,0 +1,40 @@
+// Uniform quantization.
+//
+// Monitoring pipelines emit quantized readings (integer temperatures,
+// counter deltas); Section 4.3 of the paper discusses how the resulting
+// high-frequency quantization noise perturbs Nyquist estimation and how
+// re-applying the same quantizer after reconstruction recovers the signal.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nyqmon::dsp {
+
+/// Mid-tread uniform quantizer: q(x) = round((x - offset)/step)*step + offset.
+class Quantizer {
+ public:
+  /// step > 0; offset shifts the lattice (default 0).
+  explicit Quantizer(double step, double offset = 0.0);
+
+  double step() const { return step_; }
+  double offset() const { return offset_; }
+
+  double apply(double x) const;
+  std::vector<double> apply(std::span<const double> x) const;
+
+  /// Theoretical quantization-noise power for a uniform quantizer:
+  /// step^2 / 12 (valid when the signal exercises many levels).
+  double noise_power() const;
+
+ private:
+  double step_;
+  double offset_;
+};
+
+/// Signal-to-quantization-noise ratio (dB) of `quantized` against `original`
+/// (sizes must match). Returns +inf when the sequences are identical.
+double measured_sqnr_db(std::span<const double> original,
+                        std::span<const double> quantized);
+
+}  // namespace nyqmon::dsp

@@ -1,0 +1,106 @@
+#include "dsp/resample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "dsp/filter.h"
+#include "util/check.h"
+
+namespace nyqmon::dsp {
+
+std::vector<double> decimate(std::span<const double> x, std::size_t factor) {
+  NYQMON_CHECK(factor >= 1);
+  NYQMON_CHECK(!x.empty());
+  std::vector<double> out;
+  out.reserve(x.size() / factor + 1);
+  for (std::size_t i = 0; i < x.size(); i += factor) out.push_back(x[i]);
+  return out;
+}
+
+std::vector<double> decimate_antialiased(std::span<const double> x,
+                                         double sample_rate_hz,
+                                         std::size_t factor) {
+  NYQMON_CHECK(factor >= 1);
+  if (factor == 1) return std::vector<double>(x.begin(), x.end());
+  const double new_nyquist = sample_rate_hz / (2.0 * static_cast<double>(factor));
+  const auto filtered = ideal_lowpass(x, sample_rate_hz, new_nyquist);
+  return decimate(filtered, factor);
+}
+
+std::vector<double> resample_fourier(std::span<const double> x,
+                                     std::size_t n_out) {
+  NYQMON_CHECK(!x.empty());
+  NYQMON_CHECK(n_out >= 1);
+  const std::size_t n_in = x.size();
+  if (n_out == n_in) return std::vector<double>(x.begin(), x.end());
+
+  auto spectrum = fft_real(x);  // length n_in, conjugate symmetric
+  std::vector<cdouble> out_spec(n_out, cdouble(0.0, 0.0));
+
+  // Copy the lower half of the spectrum (and its conjugate image) into the
+  // new length, up to the smaller of the two Nyquist limits.
+  const std::size_t half = std::min(n_in, n_out) / 2;
+  for (std::size_t k = 0; k <= half; ++k) out_spec[k] = spectrum[k];
+  for (std::size_t k = 1; k <= half; ++k)
+    out_spec[n_out - k] = std::conj(out_spec[k]);
+  // If min(n_in, n_out) is even, the shared Nyquist bin was copied at
+  // k == half and then mirrored; for a real result the bin at exactly n/2
+  // must be real — enforce it.
+  if (half >= 1 && 2 * half == std::min(n_in, n_out)) {
+    out_spec[half] = cdouble(out_spec[half].real(), 0.0);
+    if (n_out - half != half)
+      out_spec[n_out - half] = out_spec[half];
+  }
+
+  auto time = ifft(out_spec);
+  const double scale = static_cast<double>(n_out) / static_cast<double>(n_in);
+  std::vector<double> out(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) out[i] = time[i].real() * scale;
+  return out;
+}
+
+namespace {
+
+template <typename Pick>
+std::vector<double> interp_impl(std::span<const double> x,
+                                double sample_rate_hz,
+                                std::span<const double> query_times,
+                                Pick pick) {
+  NYQMON_CHECK(!x.empty());
+  NYQMON_CHECK(sample_rate_hz > 0.0);
+  std::vector<double> out;
+  out.reserve(query_times.size());
+  const double dt = 1.0 / sample_rate_hz;
+  const double t_max = static_cast<double>(x.size() - 1) * dt;
+  for (double t : query_times) {
+    const double tc = std::clamp(t, 0.0, t_max);
+    out.push_back(pick(tc / dt));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> interp_linear(std::span<const double> x,
+                                  double sample_rate_hz,
+                                  std::span<const double> query_times) {
+  return interp_impl(x, sample_rate_hz, query_times, [&](double idx) {
+    const std::size_t i0 = static_cast<std::size_t>(std::floor(idx));
+    const std::size_t i1 = std::min(i0 + 1, x.size() - 1);
+    const double frac = idx - std::floor(idx);
+    return x[i0] * (1.0 - frac) + x[i1] * frac;
+  });
+}
+
+std::vector<double> interp_nearest(std::span<const double> x,
+                                   double sample_rate_hz,
+                                   std::span<const double> query_times) {
+  return interp_impl(x, sample_rate_hz, query_times, [&](double idx) {
+    const std::size_t i = std::min(
+        static_cast<std::size_t>(std::llround(idx)), x.size() - 1);
+    return x[i];
+  });
+}
+
+}  // namespace nyqmon::dsp

@@ -1,0 +1,26 @@
+#include "monitor/collector.h"
+
+#include "util/check.h"
+
+namespace nyqmon::mon {
+
+Collector::Collector(CostModel model) : model_(model) {}
+
+void Collector::ingest(const std::string& stream,
+                       const sig::TimeSeries& trace) {
+  auto& dst = traces_[stream];
+  for (const auto& s : trace.samples()) dst.push(s.t, s.v);
+  total_ += cost_of_samples(trace.size(), model_);
+}
+
+const sig::TimeSeries& Collector::trace(const std::string& stream) const {
+  const auto it = traces_.find(stream);
+  NYQMON_CHECK_MSG(it != traces_.end(), "unknown stream: " + stream);
+  return it->second;
+}
+
+bool Collector::has(const std::string& stream) const {
+  return traces_.count(stream) > 0;
+}
+
+}  // namespace nyqmon::mon

@@ -1,0 +1,34 @@
+// A collector accumulates the traces a set of pollers produce and accounts
+// their resource usage against a CostModel — the storage/analysis side of
+// the monitoring pipeline.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "monitor/cost_model.h"
+#include "signal/timeseries.h"
+
+namespace nyqmon::mon {
+
+class Collector {
+ public:
+  explicit Collector(CostModel model = {});
+
+  /// Ingest a trace under a stream key ("device42/Temperature").
+  void ingest(const std::string& stream, const sig::TimeSeries& trace);
+
+  std::size_t streams() const { return traces_.size(); }
+  const sig::TimeSeries& trace(const std::string& stream) const;
+  bool has(const std::string& stream) const;
+
+  /// Aggregate resource usage across all ingested streams.
+  const Cost& total_cost() const { return total_; }
+
+ private:
+  CostModel model_;
+  std::map<std::string, sig::TimeSeries> traces_;
+  Cost total_;
+};
+
+}  // namespace nyqmon::mon

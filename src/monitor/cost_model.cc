@@ -1,0 +1,38 @@
+#include "monitor/cost_model.h"
+
+#include <cstdio>
+
+namespace nyqmon::mon {
+
+Cost& Cost::operator+=(const Cost& other) {
+  samples += other.samples;
+  collection_cpu_s += other.collection_cpu_s;
+  transmission_bytes += other.transmission_bytes;
+  storage_bytes += other.storage_bytes;
+  analysis_cpu_s += other.analysis_cpu_s;
+  return *this;
+}
+
+Cost cost_of_samples(std::size_t samples, const CostModel& model) {
+  Cost c;
+  c.samples = samples;
+  const double n = static_cast<double>(samples);
+  c.collection_cpu_s = n * model.collection_cpu_us_per_sample * 1e-6;
+  c.transmission_bytes = n * model.transmission_bytes_per_sample;
+  c.storage_bytes = n * model.storage_bytes_per_sample;
+  c.analysis_cpu_s = n * model.analysis_cpu_us_per_sample * 1e-6;
+  return c;
+}
+
+std::string to_string(const Cost& cost) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%zu samples, %.3g MB tx, %.3g MB stored, %.3g s collect CPU, "
+                "%.3g s analysis CPU",
+                cost.samples, cost.transmission_bytes / 1e6,
+                cost.storage_bytes / 1e6, cost.collection_cpu_s,
+                cost.analysis_cpu_s);
+  return buf;
+}
+
+}  // namespace nyqmon::mon

@@ -1,0 +1,41 @@
+// Monitoring cost accounting.
+//
+// "Every aspect of the task of monitoring — collection, transmission,
+//  analysis, and storage — all consume resources" (Section 3.1). The cost
+// model turns sample counts into those four resource buckets so experiments
+// can report the savings that Nyquist-rate sampling unlocks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace nyqmon::mon {
+
+/// Per-sample unit costs. Defaults model a typical SNMP-style counter
+/// pipeline: a reading is a few dozen bytes on the wire, is stored twice
+/// (hot + cold), and is touched by one analysis pass.
+struct CostModel {
+  double bytes_per_sample = 64.0;
+  double collection_cpu_us_per_sample = 5.0;   ///< device-side poll cost
+  double transmission_bytes_per_sample = 96.0; ///< reading + envelope
+  double storage_bytes_per_sample = 128.0;     ///< replicated at rest
+  double analysis_cpu_us_per_sample = 2.0;     ///< per-sample scan cost
+};
+
+/// Total resource usage of a monitoring stream.
+struct Cost {
+  std::size_t samples = 0;
+  double collection_cpu_s = 0.0;
+  double transmission_bytes = 0.0;
+  double storage_bytes = 0.0;
+  double analysis_cpu_s = 0.0;
+
+  Cost& operator+=(const Cost& other);
+};
+
+Cost cost_of_samples(std::size_t samples, const CostModel& model = {});
+
+/// Human-readable one-line summary ("1.2 MB stored, ...").
+std::string to_string(const Cost& cost);
+
+}  // namespace nyqmon::mon

@@ -1,0 +1,44 @@
+#include "monitor/rate_prior.h"
+
+#include <algorithm>
+
+#include "signal/stats.h"
+#include "util/check.h"
+
+namespace nyqmon::mon {
+
+void RatePriorStore::learn_from(const AuditResult& audit) {
+  for (const auto& pair : audit.pairs) {
+    if (pair.estimate.ok())
+      samples_[pair.kind].push_back(pair.estimate.nyquist_rate_hz);
+  }
+}
+
+void RatePriorStore::observe(tel::MetricKind kind, double nyquist_rate_hz) {
+  NYQMON_CHECK(nyquist_rate_hz > 0.0);
+  samples_[kind].push_back(nyquist_rate_hz);
+}
+
+std::optional<RatePrior> RatePriorStore::prior(tel::MetricKind kind) const {
+  const auto it = samples_.find(kind);
+  if (it == samples_.end() || it->second.empty()) return std::nullopt;
+  RatePrior p;
+  p.observations = it->second.size();
+  p.median_rate_hz = sig::quantile(it->second, 0.5);
+  p.p90_rate_hz = sig::quantile(it->second, 0.9);
+  p.max_rate_hz = *std::max_element(it->second.begin(), it->second.end());
+  return p;
+}
+
+nyq::AdaptiveConfig RatePriorStore::warm_start(
+    tel::MetricKind kind, const nyq::AdaptiveConfig& base) const {
+  nyq::AdaptiveConfig cfg = base;
+  const auto p = prior(kind);
+  if (p) {
+    cfg.initial_rate_hz = std::clamp(cfg.headroom * p->p90_rate_hz,
+                                     cfg.min_rate_hz, cfg.max_rate_hz);
+  }
+  return cfg;
+}
+
+}  // namespace nyqmon::mon

@@ -1,0 +1,53 @@
+// Learned rate priors (paper Section 4.2):
+//
+// "Similarly, we may be able to learn information about applications'
+//  Nyquist shift distributions from other (oversampled) datasets from the
+//  same application."
+//
+// A RatePriorStore aggregates the Nyquist-rate estimates a fleet audit (or
+// past adaptive runs) produced per metric, and answers "what rate should a
+// fresh device of this metric start at?" — warm-starting the adaptive
+// sampler so it skips most of the probe phase.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "monitor/audit.h"
+#include "nyquist/adaptive_sampler.h"
+#include "telemetry/metric_model.h"
+
+namespace nyqmon::mon {
+
+struct RatePrior {
+  std::size_t observations = 0;
+  double median_rate_hz = 0.0;
+  double p90_rate_hz = 0.0;  ///< conservative starting point
+  double max_rate_hz = 0.0;  ///< the "remembered maximum" across the fleet
+};
+
+class RatePriorStore {
+ public:
+  /// Ingest every Ok estimate from a fleet audit.
+  void learn_from(const AuditResult& audit);
+
+  /// Record one directly observed rate (e.g. from an adaptive run).
+  void observe(tel::MetricKind kind, double nyquist_rate_hz);
+
+  /// Prior for a metric; nullopt until at least one observation exists.
+  std::optional<RatePrior> prior(tel::MetricKind kind) const;
+
+  /// Adaptive-sampler config warm-started from the prior: initial rate at
+  /// headroom * p90 of the fleet's estimates (unchanged `base` when no
+  /// prior exists).
+  nyq::AdaptiveConfig warm_start(tel::MetricKind kind,
+                                 const nyq::AdaptiveConfig& base) const;
+
+  std::size_t metrics_known() const { return samples_.size(); }
+
+ private:
+  std::map<tel::MetricKind, std::vector<double>> samples_;
+};
+
+}  // namespace nyqmon::mon

@@ -1,0 +1,154 @@
+#include "monitor/store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/resample.h"
+#include "util/check.h"
+
+namespace nyqmon::mon {
+
+RetentionStore::RetentionStore(StoreConfig config) : config_(config) {
+  NYQMON_CHECK(config_.chunk_samples >= 32);
+  NYQMON_CHECK(config_.headroom >= 1.0);
+}
+
+void RetentionStore::create_stream(const std::string& name,
+                                   double collection_rate_hz, double t0) {
+  NYQMON_CHECK(collection_rate_hz > 0.0);
+  NYQMON_CHECK_MSG(streams_.find(name) == streams_.end(),
+                   "stream already exists: " + name);
+  Stream s;
+  s.collection_rate_hz = collection_rate_hz;
+  s.t0 = t0;
+  s.hot_t0 = t0;
+  streams_.emplace(name, std::move(s));
+}
+
+void RetentionStore::append(const std::string& name, double value) {
+  const auto it = streams_.find(name);
+  NYQMON_CHECK_MSG(it != streams_.end(), "unknown stream: " + name);
+  Stream& s = it->second;
+  s.hot.push_back(value);
+  ++s.ingested;
+  ++s.stats.ingested_samples;
+  if (s.hot.size() >= config_.chunk_samples) seal_chunk(s);
+}
+
+void RetentionStore::seal_chunk(Stream& s) {
+  NYQMON_ENSURE(!s.hot.empty());
+  const double raw_dt = 1.0 / s.collection_rate_hz;
+
+  Chunk chunk;
+  chunk.t0 = s.hot_t0;
+  chunk.dt = raw_dt;
+  chunk.values = s.hot;
+
+  // A-posteriori re-sampling: estimate the chunk's Nyquist rate and keep
+  // only headroom * that rate when it undercuts the collection rate.
+  const nyq::NyquistEstimator estimator(config_.estimator);
+  const auto est = estimator.estimate(s.hot, s.collection_rate_hz);
+  if (est.ok()) {
+    const double keep_rate =
+        std::min(s.collection_rate_hz, config_.headroom * est.nyquist_rate_hz);
+    const auto n_keep = static_cast<std::size_t>(std::max(
+        2.0, std::ceil(static_cast<double>(s.hot.size()) * keep_rate /
+                       s.collection_rate_hz)));
+    if (n_keep < s.hot.size()) {
+      chunk.values = dsp::resample_fourier(s.hot, n_keep);
+      chunk.dt = raw_dt * static_cast<double>(s.hot.size()) /
+                 static_cast<double>(n_keep);
+      ++s.stats.chunks_reduced;
+    }
+  }
+
+  s.stats.stored_samples += chunk.values.size();
+  ++s.stats.chunks;
+  s.hot_t0 += raw_dt * static_cast<double>(s.hot.size());
+  s.hot.clear();
+  s.chunks.push_back(std::move(chunk));
+}
+
+const RetentionStore::Stream& RetentionStore::stream(
+    const std::string& name) const {
+  const auto it = streams_.find(name);
+  NYQMON_CHECK_MSG(it != streams_.end(), "unknown stream: " + name);
+  return it->second;
+}
+
+sig::RegularSeries RetentionStore::query(const std::string& name,
+                                         double t_begin, double t_end) const {
+  NYQMON_CHECK(t_end > t_begin);
+  const Stream& s = stream(name);
+  const double dt = 1.0 / s.collection_rate_hz;
+
+  // Assemble the query grid and fill it chunk by chunk; each sealed chunk
+  // is reconstructed onto the collection grid by band-limited resampling,
+  // the hot tail is already on it.
+  const auto n = static_cast<std::size_t>(
+      std::floor((t_end - t_begin) / dt + 0.5));
+  NYQMON_CHECK(n >= 1);
+  std::vector<double> grid(n, 0.0);
+  std::vector<bool> filled(n, false);
+
+  auto fill_from = [&](double c_t0, double c_dt,
+                       const std::vector<double>& values) {
+    if (values.empty()) return;
+    const double c_end = c_t0 + c_dt * static_cast<double>(values.size());
+    // Dense representation of this chunk on the collection grid.
+    const auto dense_n = static_cast<std::size_t>(std::max(
+        2.0, std::round((c_end - c_t0) / dt)));
+    std::vector<double> dense =
+        values.size() == dense_n
+            ? values
+            : dsp::resample_fourier(values, dense_n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = t_begin + static_cast<double>(i) * dt;
+      if (t < c_t0 - 1e-9 || t >= c_end - 1e-9) continue;
+      const auto j = static_cast<std::size_t>(
+          std::min(static_cast<double>(dense.size() - 1),
+                   std::max(0.0, std::round((t - c_t0) / dt))));
+      grid[i] = dense[j];
+      filled[i] = true;
+    }
+  };
+
+  for (const auto& chunk : s.chunks) fill_from(chunk.t0, chunk.dt, chunk.values);
+  fill_from(s.hot_t0, dt, s.hot);
+
+  // Holes (queries beyond stored data) hold the nearest filled value.
+  double last = 0.0;
+  bool seen = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (filled[i]) {
+      last = grid[i];
+      seen = true;
+    } else if (seen) {
+      grid[i] = last;
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    if (filled[i]) {
+      last = grid[i];
+      seen = true;
+    } else if (seen) {
+      grid[i] = last;
+    }
+  }
+  return sig::RegularSeries(t_begin, dt, std::move(grid));
+}
+
+StreamStats RetentionStore::stats(const std::string& name) const {
+  return stream(name).stats;
+}
+
+Cost RetentionStore::storage_cost() const {
+  std::size_t samples = 0;
+  for (const auto& [name, s] : streams_) {
+    samples += s.hot.size();
+    for (const auto& chunk : s.chunks) samples += chunk.values.size();
+  }
+  return cost_of_samples(samples, config_.cost);
+}
+
+}  // namespace nyqmon::mon

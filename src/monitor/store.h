@@ -1,0 +1,98 @@
+// Nyquist-aware retention store.
+//
+// "In some cases, the actual measurement may be inexpensive relative to the
+//  cost to store the metric or the cost of downstream analysis; in such
+//  cases, we can use the above techniques a posteriori, i.e., measure at a
+//  high rate, compute the nyquist rate over the measurements and store or
+//  present for later analysis only the measurements that are re-sampled at
+//  the lower nyquist rate." (paper Section 4, opening)
+//
+// RetentionStore implements exactly that policy: streams are ingested at
+// the (high) collection rate into a bounded hot buffer; when a chunk of the
+// hot buffer seals, the store estimates its Nyquist rate and persists the
+// chunk re-sampled at headroom * that rate (falling back to the raw rate
+// when the estimate is unusable). Queries reconstruct any time range back
+// onto the collection grid by band-limited interpolation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitor/cost_model.h"
+#include "nyquist/estimator.h"
+#include "signal/timeseries.h"
+
+namespace nyqmon::mon {
+
+struct StoreConfig {
+  /// Samples per sealed chunk (the unit of re-sampling decisions).
+  std::size_t chunk_samples = 512;
+  /// Rate headroom kept above the estimated Nyquist rate.
+  double headroom = 1.5;
+  nyq::EstimatorConfig estimator;
+  CostModel cost;
+};
+
+struct StreamStats {
+  std::size_t ingested_samples = 0;
+  std::size_t stored_samples = 0;  ///< after re-sampling (sealed chunks)
+  std::size_t chunks = 0;
+  std::size_t chunks_reduced = 0;  ///< chunks stored below the raw rate
+
+  double reduction() const {
+    return stored_samples == 0
+               ? 1.0
+               : static_cast<double>(ingested_samples) /
+                     static_cast<double>(stored_samples);
+  }
+};
+
+class RetentionStore {
+ public:
+  explicit RetentionStore(StoreConfig config = {});
+
+  /// Create a stream ingesting at `collection_rate_hz` starting at t0.
+  /// Stream names must be unique.
+  void create_stream(const std::string& name, double collection_rate_hz,
+                     double t0 = 0.0);
+
+  /// Append the next reading of a stream (readings arrive in grid order).
+  void append(const std::string& name, double value);
+
+  /// Reconstruct [t_begin, t_end) on the stream's collection grid from
+  /// whatever the store kept (sealed chunks re-sampled, the hot tail raw).
+  sig::RegularSeries query(const std::string& name, double t_begin,
+                           double t_end) const;
+
+  StreamStats stats(const std::string& name) const;
+
+  /// Storage bill for everything currently persisted (sealed + hot).
+  Cost storage_cost() const;
+
+  std::size_t streams() const { return streams_.size(); }
+
+ private:
+  struct Chunk {
+    double t0 = 0.0;
+    double dt = 0.0;
+    std::vector<double> values;
+  };
+  struct Stream {
+    double collection_rate_hz = 0.0;
+    double t0 = 0.0;
+    std::size_t ingested = 0;
+    std::vector<double> hot;  ///< unsealed tail, at the collection rate
+    double hot_t0 = 0.0;
+    std::vector<Chunk> chunks;
+    StreamStats stats;
+  };
+
+  void seal_chunk(Stream& stream);
+  const Stream& stream(const std::string& name) const;
+
+  StoreConfig config_;
+  std::map<std::string, Stream> streams_;
+};
+
+}  // namespace nyqmon::mon

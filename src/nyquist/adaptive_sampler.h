@@ -1,0 +1,98 @@
+// Dynamic sampling-rate adaptation (paper Section 4.2).
+//
+// The sampler measures a live signal window by window and adjusts its rate:
+//
+//   * Each window the sampler acquires a primary stream at its operating
+//     rate plus a checker stream at ratio * rate (non-integer ratio); the
+//     Penny comparison of the two spectra on [0, rate/2) certifies or
+//     indicts the operating rate. This is the "roughly doubles measurement
+//     cost" configuration of Section 4.1.
+//   * PROBE mode — while aliasing persists, multiplicatively increase the
+//     rate ("we must probe, i.e., multiplicatively increase the measurement
+//     rate along with the method in Section 4.1").
+//   * TRACK mode — once a window is alias-free, run the Section 3.2
+//     estimator on it and settle at headroom * estimated-Nyquist;
+//     adaptively decrease when the estimate falls, and re-enter PROBE the
+//     moment the dual-rate detector fires again.
+//   * RATE MEMORY — optionally "remember previous maximum Nyquist rates to
+//     ramp up more quickly in the future": on a new aliasing event, jump
+//     straight to the remembered rate instead of doubling step by step.
+//
+// Every acquired sample (both detector streams) is counted, so experiments
+// can report true measurement cost against a fixed-rate baseline.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nyquist/aliasing_detector.h"
+#include "nyquist/estimator.h"
+#include "signal/timeseries.h"
+
+namespace nyqmon::nyq {
+
+struct AdaptiveConfig {
+  double initial_rate_hz = 1.0 / 300.0;  ///< typical production default: 5 min
+  double min_rate_hz = 1.0 / 7200.0;     ///< never slower than one sample/2h
+  double max_rate_hz = 1.0;              ///< hardware/poller ceiling
+  /// Multiplicative increase factor while probing.
+  double probe_factor = 2.0;
+  /// Sampling-rate headroom above the estimated Nyquist rate when tracking
+  /// (the paper recommends "maintaining ample headroom").
+  double headroom = 1.5;
+  /// Maximum multiplicative decrease per window (gradual ramp-down).
+  double max_decrease_factor = 2.0;
+  /// Duration of each adaptation window (seconds).
+  double window_duration_s = 3600.0;
+  /// Remember the highest rate that was ever needed and jump straight back
+  /// to it when aliasing recurs.
+  bool use_rate_memory = true;
+  /// While tracking, run the dual-rate check only every this many windows
+  /// ("leverage temporal stability to make adaptation ... less expensive");
+  /// probing windows always check. 1 = check every window.
+  std::size_t recheck_interval_windows = 4;
+  DetectorConfig detector;
+  EstimatorConfig estimator;
+};
+
+enum class SamplerMode { kProbe, kTrack };
+
+/// Per-window log entry.
+struct AdaptiveStep {
+  double window_start_s = 0.0;
+  SamplerMode mode = SamplerMode::kProbe;
+  double rate_hz = 0.0;            ///< primary acquisition rate this window
+  bool aliasing_detected = false;  ///< dual-rate verdict for this window
+  NyquistEstimate estimate;        ///< Section 3.2 estimate on the window
+  double next_rate_hz = 0.0;       ///< rate chosen for the following window
+  std::size_t samples_acquired = 0;///< primary + detector stream samples
+};
+
+struct AdaptiveRun {
+  std::vector<AdaptiveStep> steps;
+  /// All primary-stream samples (timestamps are real acquisition times).
+  sig::TimeSeries collected;
+  std::size_t total_samples = 0;   ///< includes detector overhead
+  double final_rate_hz = 0.0;
+
+  /// Samples a fixed-rate poller would have taken over the same span.
+  std::size_t baseline_samples(double baseline_rate_hz) const;
+  double duration_s = 0.0;
+};
+
+class AdaptiveSampler {
+ public:
+  explicit AdaptiveSampler(AdaptiveConfig config = {});
+
+  const AdaptiveConfig& config() const { return config_; }
+
+  /// Run over [t0, t0 + duration): `measure(t)` returns the metric reading
+  /// at time t (the live signal, possibly noisy/quantized).
+  AdaptiveRun run(const std::function<double(double)>& measure, double t0,
+                  double duration_s) const;
+
+ private:
+  AdaptiveConfig config_;
+};
+
+}  // namespace nyqmon::nyq

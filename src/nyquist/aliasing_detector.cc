@@ -1,0 +1,104 @@
+#include "nyquist/aliasing_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nyqmon::nyq {
+
+DualRateAliasingDetector::DualRateAliasingDetector(DetectorConfig config)
+    : config_(config) {
+  NYQMON_CHECK(config_.rate_ratio > 1.0);
+  NYQMON_CHECK_MSG(std::abs(config_.rate_ratio - std::round(config_.rate_ratio)) > 1e-9,
+                   "rate_ratio must not be an integer (Penny et al.)");
+  NYQMON_CHECK(config_.discrepancy_threshold > 0.0);
+  NYQMON_CHECK(config_.band_guard_fraction >= 0.0 &&
+               config_.band_guard_fraction < 1.0);
+}
+
+DetectionResult DualRateAliasingDetector::detect(
+    const sig::RegularSeries& fast, const sig::RegularSeries& slow) const {
+  NYQMON_CHECK(fast.size() >= 8 && slow.size() >= 8);
+  NYQMON_CHECK_MSG(fast.sample_rate_hz() > slow.sample_rate_hz(),
+                   "fast stream must have the higher sampling rate");
+
+  dsp::PeriodogramConfig pc;
+  pc.window = config_.window;
+  pc.remove_mean = true;
+  const dsp::Psd psd_fast = dsp::periodogram(fast.span(), fast.sample_rate_hz(), pc);
+  const dsp::Psd psd_slow = dsp::periodogram(slow.span(), slow.sample_rate_hz(), pc);
+
+  DetectionResult result;
+  result.common_band_hz = slow.sample_rate_hz() / 2.0 *
+                          (1.0 - config_.band_guard_fraction);
+
+  // Interpolate the fast spectrum onto the slow spectrum's bins within the
+  // common band (linear interpolation in frequency).
+  auto interp = [&](const dsp::Psd& psd, double f) {
+    const auto& fr = psd.frequency_hz;
+    if (f <= fr.front()) return psd.power.front();
+    if (f >= fr.back()) return psd.power.back();
+    const auto it = std::lower_bound(fr.begin(), fr.end(), f);
+    const std::size_t hi = static_cast<std::size_t>(it - fr.begin());
+    const std::size_t lo = hi - 1;
+    const double frac = (f - fr[lo]) / (fr[hi] - fr[lo]);
+    return psd.power[lo] * (1.0 - frac) + psd.power[hi] * frac;
+  };
+
+  std::vector<double> a, b;  // common-band spectra: a = fast, b = slow
+  for (std::size_t k = 0; k < psd_slow.bins(); ++k) {
+    const double f = psd_slow.frequency_hz[k];
+    if (f > result.common_band_hz) break;
+    a.push_back(interp(psd_fast, f));
+    b.push_back(psd_slow.power[k]);
+  }
+  result.compared_bins = a.size();
+  if (a.size() < 3) return result;  // nothing meaningful to compare
+
+  // Noise floor: ignore bins tiny in both spectra.
+  double peak = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    peak = std::max({peak, a[i], b[i]});
+  if (peak <= 0.0) return result;  // both spectra empty: no aliasing signal
+  const double floor = peak * config_.noise_floor_fraction;
+  double sum_a = 0.0, sum_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < floor && b[i] < floor) {
+      a[i] = b[i] = 0.0;
+    }
+    sum_a += a[i];
+    sum_b += b[i];
+  }
+  if (sum_a <= 0.0 || sum_b <= 0.0) return result;
+
+  // Total-variation distance between the normalized spectra (in [0, 2]).
+  double tv = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    tv += std::abs(a[i] / sum_a - b[i] / sum_b);
+  result.discrepancy = tv;
+  result.aliasing_detected = tv > config_.discrepancy_threshold;
+  return result;
+}
+
+DetectionResult DualRateAliasingDetector::probe(
+    const std::function<double(double)>& measure, double t0,
+    double duration_s, double slow_rate_hz) const {
+  NYQMON_CHECK(duration_s > 0.0);
+  NYQMON_CHECK(slow_rate_hz > 0.0);
+  const double fast_rate = slow_rate_hz * config_.rate_ratio;
+
+  auto acquire = [&](double rate) {
+    const std::size_t n = std::max<std::size_t>(
+        8, static_cast<std::size_t>(std::floor(duration_s * rate)));
+    std::vector<double> v(n);
+    const double dt = 1.0 / rate;
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = measure(t0 + static_cast<double>(i) * dt);
+    return sig::RegularSeries(t0, dt, std::move(v));
+  };
+
+  return detect(acquire(fast_rate), acquire(slow_rate_hz));
+}
+
+}  // namespace nyqmon::nyq

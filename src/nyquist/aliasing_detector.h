@@ -1,0 +1,71 @@
+// Dual-rate aliasing detection (paper Section 4.1, after Penny et al. 2003).
+//
+// Sample the same signal over the same interval at two rates f1 > f2 whose
+// ratio is not an integer (and f2 not a factor of f1). Frequencies below
+// f2/2 appear identically in both spectra when no aliasing occurs at f2;
+// if the signal carries energy above f2/2, the f2-sampled spectrum folds
+// that energy onto the common band and the two spectra disagree there.
+//
+// The detector compares amplitude-normalized PSDs on the common band
+// [0, f2/2) and reports aliasing when the total-variation style discrepancy
+// exceeds a threshold. Small-amplitude wideband noise is tamed by a
+// relative power floor (the "standard techniques" filtering the paper
+// refers to).
+#pragma once
+
+#include <functional>
+
+#include "dsp/psd.h"
+#include "signal/source.h"
+#include "signal/timeseries.h"
+
+namespace nyqmon::nyq {
+
+struct DetectorConfig {
+  /// f1 = rate_ratio * f2. Non-integer by contract; 1.85 keeps the
+  /// "roughly doubles measurement cost" property the paper cites.
+  double rate_ratio = 1.85;
+  /// Discrepancy above this fraction (0..2, total-variation distance of the
+  /// normalized spectra) is reported as aliasing.
+  double discrepancy_threshold = 0.25;
+  /// Bins whose power is below this fraction of the strongest compared bin
+  /// in *both* spectra are ignored (noise floor filter).
+  double noise_floor_fraction = 1e-4;
+  /// Exclude the top fraction of the common band where the two analyses'
+  /// leakage differs most (transition-band guard).
+  double band_guard_fraction = 0.1;
+  dsp::WindowType window = dsp::WindowType::kHann;
+};
+
+struct DetectionResult {
+  bool aliasing_detected = false;
+  /// Total-variation distance between the normalized common-band spectra.
+  double discrepancy = 0.0;
+  double common_band_hz = 0.0;  ///< top of the compared band
+  std::size_t compared_bins = 0;
+};
+
+class DualRateAliasingDetector {
+ public:
+  explicit DualRateAliasingDetector(DetectorConfig config = {});
+
+  const DetectorConfig& config() const { return config_; }
+
+  /// Compare two already-acquired streams of the same signal. `fast` must
+  /// be sampled at a strictly higher rate than `slow`; the verdict applies
+  /// to the *slow* stream's rate.
+  DetectionResult detect(const sig::RegularSeries& fast,
+                         const sig::RegularSeries& slow) const;
+
+  /// Acquire both streams from a measurement function over
+  /// [t0, t0+duration) — `measure(t)` returns the reading at time t — then
+  /// detect. `slow_rate_hz` is the rate under test.
+  DetectionResult probe(const std::function<double(double)>& measure,
+                        double t0, double duration_s,
+                        double slow_rate_hz) const;
+
+ private:
+  DetectorConfig config_;
+};
+
+}  // namespace nyqmon::nyq

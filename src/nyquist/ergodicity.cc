@@ -1,0 +1,72 @@
+#include "nyquist/ergodicity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nyqmon::nyq {
+
+ErgodicityAnalyzer::ErgodicityAnalyzer(ErgodicityConfig config)
+    : config_(config) {
+  NYQMON_CHECK(config_.mean_tolerance_sigmas > 0.0);
+  NYQMON_CHECK(config_.ensemble_instants >= 2);
+}
+
+ErgodicityReport ErgodicityAnalyzer::analyze(
+    const std::vector<sig::RegularSeries>& fleet) const {
+  NYQMON_CHECK_MSG(fleet.size() >= 2, "need at least two devices");
+  const std::size_t n = fleet.front().size();
+  NYQMON_CHECK(n >= 2);
+  for (const auto& t : fleet) {
+    NYQMON_CHECK_MSG(t.size() == n, "traces must share a length");
+    NYQMON_CHECK_MSG(std::abs(t.dt() - fleet.front().dt()) < 1e-12,
+                     "traces must share a grid");
+  }
+
+  ErgodicityReport report;
+
+  // Ensemble statistics: every device's reading at a spread of instants.
+  std::vector<double> ensemble_samples;
+  const std::size_t instants = std::min(config_.ensemble_instants, n);
+  ensemble_samples.reserve(fleet.size() * instants);
+  for (std::size_t k = 0; k < instants; ++k) {
+    const std::size_t idx = k * (n - 1) / (instants - 1);
+    for (const auto& device : fleet) ensemble_samples.push_back(device[idx]);
+  }
+  report.ensemble = sig::summarize(ensemble_samples);
+  const double sigma = sig::stddev(ensemble_samples);
+  const double tol = config_.mean_tolerance_sigmas * std::max(sigma, 1e-300);
+
+  // Per-device time means over the full window.
+  report.device_time_means.reserve(fleet.size());
+  std::size_t converged = 0;
+  for (const auto& device : fleet) {
+    const double m = sig::mean(device.span());
+    report.device_time_means.push_back(m);
+    if (std::abs(m - report.ensemble.mean) <= tol) ++converged;
+  }
+  report.converged_fraction =
+      static_cast<double>(converged) / static_cast<double>(fleet.size());
+
+  // Convergence horizon: running prefix means per device; the first prefix
+  // length at which >= 90% of devices agree with the ensemble mean.
+  std::vector<double> running_sum(fleet.size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t agree = 0;
+    for (std::size_t d = 0; d < fleet.size(); ++d) {
+      running_sum[d] += fleet[d][i];
+      const double prefix_mean = running_sum[d] / static_cast<double>(i + 1);
+      if (std::abs(prefix_mean - report.ensemble.mean) <= tol) ++agree;
+    }
+    if (static_cast<double>(agree) >=
+        0.9 * static_cast<double>(fleet.size())) {
+      report.convergence_horizon_s =
+          static_cast<double>(i + 1) * fleet.front().dt();
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace nyqmon::nyq

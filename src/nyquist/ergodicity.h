@@ -1,0 +1,59 @@
+// Ergodicity analysis (paper Section 6, "Beyond Nyquist").
+//
+// "Samples from the system are ergodic if the statistical properties of a
+//  set of samples derived from a single CPU over a sufficiently long
+//  sequence of time are equivalent to those of a set of samples derived
+//  from measuring the entire fleet at once. ... Extrapolating canary
+//  results to other devices relies on ergodicity. Does this assumption
+//  hold in practice? How long of an observation period is required?"
+//
+// ErgodicityAnalyzer compares the time-average statistics of individual
+// devices against the ensemble statistics of the whole fleet at fixed
+// instants, and finds the observation horizon after which the two agree —
+// the quantitative answer to the paper's canarying question.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "signal/stats.h"
+#include "signal/timeseries.h"
+
+namespace nyqmon::nyq {
+
+struct ErgodicityConfig {
+  /// Agreement tolerance: |time mean - ensemble mean| below this multiple
+  /// of the ensemble standard deviation counts as converged.
+  double mean_tolerance_sigmas = 0.5;
+  /// Number of time instants at which the ensemble statistics are taken.
+  std::size_t ensemble_instants = 32;
+};
+
+struct ErgodicityReport {
+  /// Ensemble statistics: all devices sampled at the same instants.
+  sig::Summary ensemble;
+  /// Per-device time-average means over the full observation window.
+  std::vector<double> device_time_means;
+  /// Fraction of devices whose time mean is within the tolerance of the
+  /// ensemble mean over the full window (1.0 = fleet looks ergodic).
+  double converged_fraction = 0.0;
+  /// Shortest prefix duration (seconds) after which at least 90% of the
+  /// devices' running time-means agree with the ensemble mean; nullopt if
+  /// never reached within the window — the "how long must the canary run"
+  /// answer.
+  std::optional<double> convergence_horizon_s;
+};
+
+class ErgodicityAnalyzer {
+ public:
+  explicit ErgodicityAnalyzer(ErgodicityConfig config = {});
+
+  /// All traces must share grid parameters (t0, dt, length): one trace per
+  /// device of the same metric.
+  ErgodicityReport analyze(const std::vector<sig::RegularSeries>& fleet) const;
+
+ private:
+  ErgodicityConfig config_;
+};
+
+}  // namespace nyqmon::nyq

@@ -1,0 +1,120 @@
+#include "nyquist/estimator.h"
+
+#include <cmath>
+
+#include "dsp/detrend.h"
+#include "util/check.h"
+
+namespace nyqmon::nyq {
+
+double NyquistEstimate::reduction_ratio() const {
+  NYQMON_CHECK_MSG(verdict == Verdict::kOk,
+                   "reduction_ratio requires an Ok estimate");
+  NYQMON_ENSURE(nyquist_rate_hz > 0.0);
+  return trace_rate_hz / nyquist_rate_hz;
+}
+
+std::string to_string(NyquistEstimate::Verdict v) {
+  switch (v) {
+    case NyquistEstimate::Verdict::kOk: return "ok";
+    case NyquistEstimate::Verdict::kAliased: return "aliased";
+    case NyquistEstimate::Verdict::kTooShort: return "too-short";
+    case NyquistEstimate::Verdict::kFlat: return "flat";
+  }
+  return "unknown";
+}
+
+NyquistEstimator::NyquistEstimator(EstimatorConfig config)
+    : config_(config) {
+  NYQMON_CHECK(config_.energy_cutoff > 0.0 && config_.energy_cutoff <= 1.0);
+  NYQMON_CHECK(config_.aliased_bin_fraction > 0.0 &&
+               config_.aliased_bin_fraction <= 1.0);
+  NYQMON_CHECK(config_.min_samples >= 4);
+}
+
+NyquistEstimate NyquistEstimator::estimate(
+    const sig::RegularSeries& trace) const {
+  return estimate(trace.span(), trace.sample_rate_hz());
+}
+
+NyquistEstimate NyquistEstimator::estimate(std::span<const double> values,
+                                           double sample_rate_hz) const {
+  NYQMON_CHECK(sample_rate_hz > 0.0);
+
+  NyquistEstimate est;
+  est.trace_rate_hz = sample_rate_hz;
+  if (values.size() < config_.min_samples) {
+    est.verdict = NyquistEstimate::Verdict::kTooShort;
+    return est;
+  }
+
+  // Detrend. (Mean removal also happens inside the periodogram, but linear
+  // detrending must precede windowing, so handle both here and disable the
+  // periodogram's own mean removal.)
+  std::vector<double> x;
+  switch (config_.detrend) {
+    case DetrendMode::kNone:
+      x.assign(values.begin(), values.end());
+      break;
+    case DetrendMode::kMean:
+      x = dsp::remove_mean(values);
+      break;
+    case DetrendMode::kLinear:
+      x = dsp::remove_linear_trend(values);
+      break;
+  }
+
+  dsp::Psd psd;
+  if (config_.welch_segments > 1) {
+    dsp::WelchConfig wc;
+    wc.segment_length = std::max<std::size_t>(
+        config_.min_samples, x.size() / config_.welch_segments * 2);
+    wc.overlap = 0.5;
+    wc.window = config_.window;
+    wc.remove_mean = false;
+    psd = dsp::welch(x, sample_rate_hz, wc);
+  } else {
+    dsp::PeriodogramConfig pc;
+    pc.window = config_.window;
+    pc.remove_mean = false;
+    psd = dsp::periodogram(x, sample_rate_hz, pc);
+  }
+
+  est.total_bins = psd.bins();
+  est.total_energy = psd.total_energy();
+
+  // A (near-)constant trace has essentially no energy after detrending;
+  // relative to the signal magnitude, call it flat.
+  double scale = 0.0;
+  for (double v : values) scale = std::max(scale, std::abs(v));
+  const double flat_floor =
+      std::max(1e-24, 1e-20 * scale * scale * static_cast<double>(values.size()));
+  if (est.total_energy <= flat_floor) {
+    est.verdict = NyquistEstimate::Verdict::kFlat;
+    est.nyquist_rate_hz = 0.0;
+    return est;
+  }
+
+  const std::size_t k = psd.cumulative_energy_bin(config_.energy_cutoff);
+  est.cutoff_bin = k;
+  est.cutoff_frequency_hz = psd.frequency_hz[k];
+
+  // Paper step (c): if we need (essentially) every bin, the signal is
+  // probably aliased already; record -1.
+  if (static_cast<double>(k) >=
+      config_.aliased_bin_fraction * static_cast<double>(psd.bins() - 1)) {
+    est.verdict = NyquistEstimate::Verdict::kAliased;
+    est.nyquist_rate_hz = -1.0;
+    return est;
+  }
+
+  est.verdict = NyquistEstimate::Verdict::kOk;
+  est.nyquist_rate_hz = 2.0 * est.cutoff_frequency_hz;
+  // A nonzero-energy signal whose occupied band rounds to the DC bin still
+  // needs *some* sampling; report one bin's worth of bandwidth as a floor.
+  if (est.nyquist_rate_hz <= 0.0)
+    est.nyquist_rate_hz = 2.0 * psd.resolution_hz();
+  return est;
+}
+
+}  // namespace nyqmon::nyq

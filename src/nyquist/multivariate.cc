@@ -1,0 +1,106 @@
+#include "nyquist/multivariate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nyqmon::nyq {
+
+bool MultivariateEstimate::all_ok() const {
+  return !components.empty() &&
+         std::all_of(components.begin(), components.end(),
+                     [](const NyquistEstimate& e) { return e.ok(); });
+}
+
+MultivariateNyquistEstimator::MultivariateNyquistEstimator(
+    EstimatorConfig config)
+    : estimator_(config) {}
+
+MultivariateEstimate MultivariateNyquistEstimator::estimate(
+    const std::vector<sig::RegularSeries>& traces) const {
+  NYQMON_CHECK_MSG(!traces.empty(), "empty signal bundle");
+  const double rate = traces.front().sample_rate_hz();
+  const std::size_t n = traces.front().size();
+  for (const auto& t : traces) {
+    NYQMON_CHECK_MSG(std::abs(t.sample_rate_hz() - rate) < 1e-12 * rate,
+                     "bundle components must share a sampling rate");
+    NYQMON_CHECK_MSG(t.size() == n, "bundle components must share a length");
+  }
+
+  MultivariateEstimate out;
+  out.components.reserve(traces.size());
+  double common = 0.0;
+  bool certified = true;
+  for (const auto& t : traces) {
+    NyquistEstimate e = estimator_.estimate(t);
+    if (e.ok()) {
+      common = std::max(common, e.nyquist_rate_hz);
+      out.per_component_samples_per_s += e.nyquist_rate_hz;
+    } else if (e.verdict == NyquistEstimate::Verdict::kFlat) {
+      // A flat component imposes no rate requirement.
+    } else {
+      certified = false;
+    }
+    out.components.push_back(std::move(e));
+  }
+  if (certified && common > 0.0) {
+    out.common_nyquist_rate_hz = common;
+    out.common_rate_samples_per_s =
+        common * static_cast<double>(traces.size());
+  }
+  return out;
+}
+
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b) {
+  NYQMON_CHECK(a.size() == b.size());
+  NYQMON_CHECK(a.size() >= 2);
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<sig::RegularSeries>& traces) {
+  NYQMON_CHECK(!traces.empty());
+  const std::size_t k = traces.size();
+  std::vector<std::vector<double>> m(k, std::vector<double>(k, 1.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double r = pearson_correlation(traces[i].span(), traces[j].span());
+      m[i][j] = m[j][i] = r;
+    }
+  }
+  return m;
+}
+
+double correlation_distortion(
+    const std::vector<std::vector<double>>& before,
+    const std::vector<std::vector<double>>& after) {
+  NYQMON_CHECK(before.size() == after.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    NYQMON_CHECK(before[i].size() == after[i].size());
+    for (std::size_t j = 0; j < before[i].size(); ++j)
+      worst = std::max(worst, std::abs(before[i][j] - after[i][j]));
+  }
+  return worst;
+}
+
+}  // namespace nyqmon::nyq

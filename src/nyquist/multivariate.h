@@ -1,0 +1,64 @@
+// Multivariate signals (paper Section 6, "Multivariate signals").
+//
+// "Many applications may monitor and use multiple different signals. The
+//  correlation and joint distribution of these signals may be important to
+//  such applications. As long as we sample each individual signal at a rate
+//  higher than its Nyquist rate, we can recover the original signal and
+//  preserve any correlations."
+//
+// MultivariateNyquistEstimator runs the Section 3.2 estimator per component
+// and derives the joint sampling plan: either per-component rates (cheapest)
+// or one common rate (simplest collector). Correlation utilities quantify
+// whether a downsample/reconstruct round trip preserved the cross-signal
+// structure — the property the paper argues is retained above Nyquist.
+#pragma once
+
+#include <vector>
+
+#include "nyquist/estimator.h"
+#include "signal/timeseries.h"
+
+namespace nyqmon::nyq {
+
+/// Result of analysing a bundle of equally-sampled component traces.
+struct MultivariateEstimate {
+  std::vector<NyquistEstimate> components;
+  /// Highest component Nyquist rate (the common-rate plan); -1 when any
+  /// component is aliased (the bundle cannot be certified).
+  double common_nyquist_rate_hz = -1.0;
+  /// Sum over components of per-component rates vs components * common
+  /// rate: the saving from rate-per-component collection.
+  double per_component_samples_per_s = 0.0;
+  double common_rate_samples_per_s = 0.0;
+
+  bool all_ok() const;
+};
+
+class MultivariateNyquistEstimator {
+ public:
+  explicit MultivariateNyquistEstimator(EstimatorConfig config = {});
+
+  /// All traces must share the same sampling rate and length.
+  MultivariateEstimate estimate(
+      const std::vector<sig::RegularSeries>& traces) const;
+
+ private:
+  NyquistEstimator estimator_;
+};
+
+/// Pearson correlation coefficient of two equal-length sequences.
+/// Returns 0 when either input is constant.
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Full correlation matrix of a bundle (rows = components).
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<sig::RegularSeries>& traces);
+
+/// Largest absolute entry-wise difference between two correlation matrices
+/// — the "correlation distortion" of a monitoring scheme.
+double correlation_distortion(
+    const std::vector<std::vector<double>>& before,
+    const std::vector<std::vector<double>>& after);
+
+}  // namespace nyqmon::nyq

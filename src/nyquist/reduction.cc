@@ -1,0 +1,43 @@
+#include "nyquist/reduction.h"
+
+#include <cmath>
+
+namespace nyqmon::nyq {
+
+std::string to_string(SamplingClass c) {
+  switch (c) {
+    case SamplingClass::kOversampled: return "oversampled";
+    case SamplingClass::kUndersampled: return "undersampled";
+    case SamplingClass::kAtRate: return "at-rate";
+    case SamplingClass::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+SamplingClass classify_sampling(const NyquistEstimate& estimate,
+                                double tolerance) {
+  switch (estimate.verdict) {
+    case NyquistEstimate::Verdict::kAliased:
+      // The trace could not capture its own signal: by definition the
+      // system is sampling below the (unknown) Nyquist rate.
+      return SamplingClass::kUndersampled;
+    case NyquistEstimate::Verdict::kTooShort:
+      return SamplingClass::kUnknown;
+    case NyquistEstimate::Verdict::kFlat:
+      // A flat signal is trivially oversampled at any positive rate.
+      return SamplingClass::kOversampled;
+    case NyquistEstimate::Verdict::kOk:
+      break;
+  }
+  const double ratio = estimate.reduction_ratio();
+  if (std::abs(ratio - 1.0) <= tolerance) return SamplingClass::kAtRate;
+  return ratio > 1.0 ? SamplingClass::kOversampled
+                     : SamplingClass::kUndersampled;
+}
+
+std::optional<double> reduction_ratio(const NyquistEstimate& estimate) {
+  if (estimate.verdict != NyquistEstimate::Verdict::kOk) return std::nullopt;
+  return estimate.reduction_ratio();
+}
+
+}  // namespace nyqmon::nyq

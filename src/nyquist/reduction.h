@@ -1,0 +1,29 @@
+// Reduction-ratio bookkeeping: the paper's headline quantity is the ratio
+// between the rate a system currently samples at and the Nyquist rate its
+// signal actually needs ("Poss. Reduction Ratio", Figures 1 and 4).
+#pragma once
+
+#include <optional>
+
+#include "nyquist/estimator.h"
+
+namespace nyqmon::nyq {
+
+enum class SamplingClass {
+  kOversampled,   ///< current rate > Nyquist estimate (reducible)
+  kUndersampled,  ///< current rate < Nyquist estimate, or trace aliased
+  kAtRate,        ///< within tolerance of the Nyquist rate
+  kUnknown,       ///< estimator could not produce a verdict (short/flat)
+};
+
+std::string to_string(SamplingClass c);
+
+/// Classification tolerance: |ratio - 1| <= tolerance counts as kAtRate.
+SamplingClass classify_sampling(const NyquistEstimate& estimate,
+                                double tolerance = 0.05);
+
+/// Reduction ratio (current rate / Nyquist rate) when the estimate is Ok;
+/// nullopt otherwise. Ratios < 1 indicate under-sampling.
+std::optional<double> reduction_ratio(const NyquistEstimate& estimate);
+
+}  // namespace nyqmon::nyq

@@ -1,0 +1,62 @@
+// Targeted aliasing detection (paper Section 4.1, closing remark):
+//
+// "We believe that further improvements are possible for example by using
+//  an aliasing detector that is specific to the actual frequencies and
+//  changes that appear in datacenter measurements."
+//
+// Instead of comparing full spectra (an FFT per stream), the targeted
+// detector Goertzel-probes a handful of *candidate* frequencies — the
+// frequencies at which known datacenter phenomena live (diurnal harmonics,
+// cron/scrape periods, a device's previously observed band edge) — in both
+// the primary and checker streams. Energy that appears at a candidate in
+// the fast stream but lands elsewhere in the slow stream flags aliasing.
+// Cost: O(candidates * N) instead of O(N log N), with far fewer samples
+// needed for a stable answer.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "signal/timeseries.h"
+
+namespace nyqmon::nyq {
+
+struct TargetedDetectorConfig {
+  /// Checker stream rate multiplier (non-integer, as in Penny et al.).
+  double rate_ratio = 1.85;
+  /// A candidate is considered "present" when its power in the fast
+  /// stream exceeds this fraction of the fast stream's total (mean-removed)
+  /// power; present candidates whose energy the slow stream relocates trip
+  /// the detector.
+  double power_fraction_threshold = 0.02;
+};
+
+struct TargetedDetection {
+  bool aliasing_detected = false;
+  /// Candidate frequencies (Hz) whose energy the slow stream misplaces.
+  std::vector<double> offending_frequencies_hz;
+  std::size_t candidates_probed = 0;
+};
+
+class TargetedAliasingDetector {
+ public:
+  explicit TargetedAliasingDetector(TargetedDetectorConfig config = {});
+
+  /// Probe `measure` over [t0, t0+duration) at `slow_rate_hz` (the rate
+  /// under test) and at rate_ratio * slow_rate_hz, checking only the
+  /// candidate frequencies. Candidates at or below slow_rate/2 are ignored
+  /// (they cannot alias); candidates above the fast Nyquist are ignored
+  /// (neither stream can see them).
+  TargetedDetection probe(const std::function<double(double)>& measure,
+                          double t0, double duration_s, double slow_rate_hz,
+                          const std::vector<double>& candidates_hz) const;
+
+  /// The standard datacenter candidate set: diurnal harmonics plus common
+  /// cron/scrape periods (1 min, 30 s, 15 s, 10 s, 5 s).
+  static std::vector<double> default_candidates();
+
+ private:
+  TargetedDetectorConfig config_;
+};
+
+}  // namespace nyqmon::nyq

@@ -1,0 +1,53 @@
+#include "nyquist/windowed_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nyqmon::nyq {
+
+WindowedNyquistTracker::WindowedNyquistTracker(TrackerConfig config)
+    : config_(config) {
+  NYQMON_CHECK(config_.window_duration_s > 0.0);
+  NYQMON_CHECK(config_.step_s > 0.0);
+}
+
+std::vector<TrackedEstimate> WindowedNyquistTracker::track(
+    const sig::RegularSeries& trace) const {
+  NYQMON_CHECK(!trace.empty());
+  const NyquistEstimator estimator(config_.estimator);
+
+  const double dt = trace.dt();
+  const std::size_t win = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::lround(config_.window_duration_s / dt)));
+  const std::size_t step = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(config_.step_s / dt)));
+
+  std::vector<TrackedEstimate> out;
+  if (trace.size() <= win) {
+    out.push_back({trace.t0(), estimator.estimate(trace)});
+    return out;
+  }
+  for (std::size_t start = 0; start + win <= trace.size(); start += step) {
+    TrackedEstimate te;
+    te.window_start_s = trace.time_at(start);
+    te.estimate = estimator.estimate(trace.slice(start, win));
+    out.push_back(te);
+  }
+  return out;
+}
+
+std::optional<double> WindowedNyquistTracker::max_rate(
+    const std::vector<TrackedEstimate>& t) {
+  std::optional<double> best;
+  for (const auto& te : t) {
+    if (te.estimate.ok()) {
+      best = best ? std::max(*best, te.estimate.nyquist_rate_hz)
+                  : te.estimate.nyquist_rate_hz;
+    }
+  }
+  return best;
+}
+
+}  // namespace nyqmon::nyq

@@ -1,0 +1,46 @@
+// Moving-window Nyquist-rate tracking (paper Figure 7).
+//
+// Slides a fixed-duration window (paper: 6 hours) over a trace in fixed
+// steps (paper: 5 minutes) and runs the NyquistEstimator on each window,
+// yielding the inferred Nyquist rate as a function of time. This is the
+// offline analogue of the adaptive sampler and the tool used to study how
+// a metric's band limit drifts across the day.
+#pragma once
+
+#include <vector>
+
+#include "nyquist/estimator.h"
+#include "signal/timeseries.h"
+
+namespace nyqmon::nyq {
+
+struct TrackerConfig {
+  double window_duration_s = 6.0 * 3600.0;  ///< paper: 6 h window
+  double step_s = 5.0 * 60.0;               ///< paper: 5 min step
+  EstimatorConfig estimator;
+};
+
+struct TrackedEstimate {
+  double window_start_s = 0.0;  ///< timestamp of the window's first sample
+  NyquistEstimate estimate;
+};
+
+class WindowedNyquistTracker {
+ public:
+  explicit WindowedNyquistTracker(TrackerConfig config = {});
+
+  const TrackerConfig& config() const { return config_; }
+
+  /// Run over a uniform trace. Windows that would extend past the end of
+  /// the trace are not emitted; traces shorter than one window yield a
+  /// single estimate over the whole trace.
+  std::vector<TrackedEstimate> track(const sig::RegularSeries& trace) const;
+
+  /// Highest Ok Nyquist rate across windows; nullopt when no window was Ok.
+  static std::optional<double> max_rate(const std::vector<TrackedEstimate>& t);
+
+ private:
+  TrackerConfig config_;
+};
+
+}  // namespace nyqmon::nyq

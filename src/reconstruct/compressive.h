@@ -1,0 +1,57 @@
+// Compressive-sensing reconstruction (paper Section 5 / Section 1):
+//
+// "While signal processing techniques such as compressive sensing and
+//  sparse FFT have been applied before ..." — the paper positions these as
+//  complementary to the Nyquist analysis. This module makes the comparison
+//  concrete: when a signal's spectrum is *sparse* (a handful of tones), it
+//  can be recovered from far fewer than Nyquist-rate samples taken at
+//  random times.
+//
+// Implementation: Orthogonal Matching Pursuit (OMP) over a real
+// cosine/sine dictionary on a candidate frequency grid. Each iteration
+// picks the frequency most correlated with the residual, then solves the
+// small least-squares problem over all selected atoms (via normal
+// equations + Gaussian elimination — the dictionaries here are tiny).
+#pragma once
+
+#include <vector>
+
+#include "signal/timeseries.h"
+
+namespace nyqmon::rec {
+
+struct CompressiveConfig {
+  /// Number of frequency atoms to recover (the assumed spectral sparsity).
+  std::size_t sparsity = 4;
+  /// Candidate frequency grid: `grid_bins` frequencies spread uniformly
+  /// over (0, max_frequency_hz].
+  std::size_t grid_bins = 256;
+  double max_frequency_hz = 1.0;
+  /// Stop early when the residual energy falls below this fraction of the
+  /// input energy.
+  double residual_tolerance = 1e-6;
+};
+
+struct CompressiveModel {
+  /// Recovered atoms: frequency + cosine/sine amplitudes, plus a DC term.
+  struct Atom {
+    double frequency_hz = 0.0;
+    double cos_amp = 0.0;
+    double sin_amp = 0.0;
+  };
+  double dc = 0.0;
+  std::vector<Atom> atoms;
+  double residual_energy_fraction = 1.0;
+
+  /// Evaluate the recovered model at time t.
+  double value(double t) const;
+
+  /// Sample the model on a uniform grid.
+  sig::RegularSeries sample(double t0, double dt, std::size_t n) const;
+};
+
+/// Fit a sparse spectral model to irregular (e.g. randomly timed) samples.
+CompressiveModel compressive_recover(const sig::TimeSeries& samples,
+                                     const CompressiveConfig& config);
+
+}  // namespace nyqmon::rec

@@ -1,0 +1,45 @@
+#include "reconstruct/lowpass_reconstructor.h"
+
+#include "dsp/filter.h"
+#include "dsp/resample.h"
+#include "util/check.h"
+
+namespace nyqmon::rec {
+
+sig::RegularSeries reconstruct(const sig::RegularSeries& sparse,
+                               std::size_t n_out,
+                               const ReconstructionConfig& config) {
+  NYQMON_CHECK(!sparse.empty());
+  NYQMON_CHECK_MSG(n_out >= sparse.size(),
+                   "reconstruct only upsamples; n_out < input length");
+
+  auto values = dsp::resample_fourier(sparse.span(), n_out);
+  const double out_rate = static_cast<double>(n_out) /
+                          (sparse.dt() * static_cast<double>(sparse.size()));
+  if (config.lowpass_cutoff_hz) {
+    NYQMON_CHECK(*config.lowpass_cutoff_hz > 0.0);
+    values = dsp::ideal_lowpass(values, out_rate, *config.lowpass_cutoff_hz);
+  }
+  if (config.requantize) {
+    values = config.requantize->apply(values);
+  }
+  // The reconstructed grid covers the same duration with n_out points:
+  // dt_out = dt_in * n_in / n_out.
+  const double dt_out = sparse.dt() * static_cast<double>(sparse.size()) /
+                        static_cast<double>(n_out);
+  return sig::RegularSeries(sparse.t0(), dt_out, std::move(values));
+}
+
+sig::RegularSeries round_trip(const sig::RegularSeries& dense,
+                              std::size_t factor,
+                              const ReconstructionConfig& config) {
+  NYQMON_CHECK(factor >= 1);
+  NYQMON_CHECK(!dense.empty());
+  const auto down = dsp::decimate(dense.span(), factor);
+  const sig::RegularSeries sparse(dense.t0(),
+                                  dense.dt() * static_cast<double>(factor),
+                                  down);
+  return reconstruct(sparse, dense.size(), config);
+}
+
+}  // namespace nyqmon::rec

@@ -1,0 +1,47 @@
+// Signal reconstruction after Nyquist-rate downsampling (paper Section 4.3).
+//
+// "operators would have to pass the signal through a low-pass filter (for
+//  example, by taking an FFT of the sampled signal, setting all frequency
+//  components above f0 to 0 and then taking the IFFT)"
+//
+// reconstruct() upsamples a sparsely-sampled trace back onto a denser grid
+// using band-limited (Fourier) interpolation — exactly the paper's recipe.
+// When the original readings were quantized, re-applying the source
+// quantizer afterwards ("we can add the same quantization in order to
+// recover the signal more accurately") often makes the round trip bit-exact;
+// Figure 6's "L2 distance = 0" is this effect.
+#pragma once
+
+#include <optional>
+
+#include "dsp/quantize.h"
+#include "signal/timeseries.h"
+
+namespace nyqmon::rec {
+
+struct ReconstructionConfig {
+  /// Quantizer matching the source readings; re-applied after interpolation
+  /// when set (Section 4.3's recovery trick).
+  std::optional<dsp::Quantizer> requantize;
+  /// Extra low-pass at the signal's (estimated) occupied-band edge f0,
+  /// applied after upsampling. Fourier upsampling alone only limits the
+  /// band to the *sparse* stream's Nyquist; cutting further at f0 removes
+  /// in-band quantization/measurement noise above the true signal band and
+  /// is what makes the Figure 6 round trip land back on the exact lattice.
+  std::optional<double> lowpass_cutoff_hz;
+};
+
+/// Upsample `sparse` to exactly `n_out` samples covering the same time span
+/// (band-limited interpolation). n_out must be >= sparse.size().
+sig::RegularSeries reconstruct(const sig::RegularSeries& sparse,
+                               std::size_t n_out,
+                               const ReconstructionConfig& config = {});
+
+/// Convenience: downsample `dense` by keeping every `factor`-th sample
+/// (what a slower poller would have collected), then reconstruct back onto
+/// the original grid. The returned series has dense.size() samples.
+sig::RegularSeries round_trip(const sig::RegularSeries& dense,
+                              std::size_t factor,
+                              const ReconstructionConfig& config = {});
+
+}  // namespace nyqmon::rec

@@ -1,0 +1,114 @@
+#include "reconstruct/streaming.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace nyqmon::rec {
+
+namespace {
+
+// Windowed-sinc interpolation kernel value at (fractional) input-sample
+// offset x, with support |x| <= half_taps (Hann-windowed).
+double sinc_kernel(double x, double half_taps) {
+  if (std::abs(x) >= half_taps) return 0.0;
+  const double pi = std::numbers::pi;
+  const double s = x == 0.0 ? 1.0 : std::sin(pi * x) / (pi * x);
+  const double w = 0.5 * (1.0 + std::cos(pi * x / half_taps));
+  return s * w;
+}
+
+}  // namespace
+
+StreamingUpsampler::StreamingUpsampler(StreamingConfig config)
+    : config_(config) {
+  NYQMON_CHECK(config_.factor >= 1);
+  NYQMON_CHECK(config_.half_taps >= 1);
+
+  // Pre-compute one FIR kernel per output phase p/factor, p = 0..factor-1.
+  // Output sample at input-offset p/factor from the window centre combines
+  // the 2*half_taps+1 inputs around the centre.
+  const auto taps = 2 * config_.half_taps + 1;
+  const double half = static_cast<double>(config_.half_taps);
+  phase_kernels_.resize(config_.factor);
+  for (std::size_t p = 0; p < config_.factor; ++p) {
+    auto& kernel = phase_kernels_[p];
+    kernel.resize(taps);
+    const double frac = static_cast<double>(p) /
+                        static_cast<double>(config_.factor);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < taps; ++k) {
+      // Input k sits at offset (k - half_taps) from the centre; the output
+      // phase sits at +frac.
+      const double x = frac - (static_cast<double>(k) - half);
+      kernel[k] = sinc_kernel(x, half);
+      sum += kernel[k];
+    }
+    NYQMON_ENSURE(sum > 0.0);
+    for (auto& v : kernel) v /= sum;  // unit DC gain per phase
+  }
+}
+
+std::vector<double> StreamingUpsampler::emit_for_center(std::size_t) {
+  const auto taps = 2 * config_.half_taps + 1;
+  NYQMON_ENSURE(window_.size() == taps);
+  std::vector<double> out;
+  out.reserve(config_.factor);
+  for (std::size_t p = 0; p < config_.factor; ++p) {
+    const auto& kernel = phase_kernels_[p];
+    double acc = 0.0;
+    for (std::size_t k = 0; k < taps; ++k) acc += kernel[k] * window_[k];
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<double> StreamingUpsampler::push(double value) {
+  const auto taps = 2 * config_.half_taps + 1;
+  if (window_.empty()) {
+    // Prime the left half of the window with the first value (edge-hold).
+    for (std::size_t i = 0; i < config_.half_taps; ++i)
+      window_.push_back(value);
+  }
+  window_.push_back(value);
+  ++pushed_;
+  if (window_.size() < taps) return {};
+  while (window_.size() > taps) window_.pop_front();
+  return emit_for_center(pushed_ - config_.half_taps - 1);
+}
+
+std::vector<double> StreamingUpsampler::finish() {
+  if (window_.empty()) return {};
+  const auto taps = 2 * config_.half_taps + 1;
+  std::vector<double> out;
+  const double edge = window_.back();
+  // Push edge-hold values until every real sample has been the centre.
+  for (std::size_t i = 0; i < config_.half_taps; ++i) {
+    window_.push_back(edge);
+    if (window_.size() < taps) continue;
+    while (window_.size() > taps) window_.pop_front();
+    const auto chunk = emit_for_center(0);
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+sig::RegularSeries StreamingUpsampler::upsample(
+    const sig::RegularSeries& sparse, const StreamingConfig& config) {
+  NYQMON_CHECK(!sparse.empty());
+  StreamingUpsampler streamer(config);
+  std::vector<double> dense;
+  dense.reserve(sparse.size() * config.factor);
+  for (double v : sparse.values()) {
+    const auto chunk = streamer.push(v);
+    dense.insert(dense.end(), chunk.begin(), chunk.end());
+  }
+  const auto tail = streamer.finish();
+  dense.insert(dense.end(), tail.begin(), tail.end());
+  return sig::RegularSeries(sparse.t0(),
+                            sparse.dt() / static_cast<double>(config.factor),
+                            std::move(dense));
+}
+
+}  // namespace nyqmon::rec

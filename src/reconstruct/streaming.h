@@ -1,0 +1,63 @@
+// Streaming (low-latency) reconstruction (paper Section 4.3):
+//
+// "This reconstruction takes time and may not be acceptable to applications
+//  that expect low-latency. However, in many cases this reconstruction cost
+//  is acceptable."
+//
+// The offline reconstructor needs the whole trace (one big FFT). The
+// streaming upsampler trades a bounded delay for continuous operation: it
+// interpolates with a causal windowed-sinc FIR of K taps, so each dense
+// output sample is available K/2 input samples after its timestamp. Latency
+// (taps) versus fidelity is the knob the paper alludes to — quantified in
+// bench/ablation_streaming_latency.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "signal/timeseries.h"
+
+namespace nyqmon::rec {
+
+struct StreamingConfig {
+  /// Upsampling factor L (each input sample yields L output samples).
+  std::size_t factor = 4;
+  /// Sinc taps *per input sample* on each side; total kernel support is
+  /// 2*half_taps input samples, and the output delay is half_taps samples.
+  std::size_t half_taps = 8;
+};
+
+/// Push sparse samples in, pull dense samples out with a fixed delay.
+class StreamingUpsampler {
+ public:
+  explicit StreamingUpsampler(StreamingConfig config = {});
+
+  const StreamingConfig& config() const { return config_; }
+
+  /// Latency of the reconstruction, in input-sample periods.
+  std::size_t delay_samples() const { return config_.half_taps; }
+
+  /// Feed one input sample; returns the dense output samples that became
+  /// final with its arrival (config.factor of them once the pipeline is
+  /// primed, none before that).
+  std::vector<double> push(double value);
+
+  /// Flush remaining output at end of stream (pads with the edge value).
+  std::vector<double> finish();
+
+  /// Convenience: run a whole uniform trace through the streamer and
+  /// return the dense reconstruction aligned to the input grid.
+  static sig::RegularSeries upsample(const sig::RegularSeries& sparse,
+                                     const StreamingConfig& config = {});
+
+ private:
+  std::vector<double> emit_for_center(std::size_t center);
+
+  StreamingConfig config_;
+  std::deque<double> window_;   // last 2*half_taps+1 input samples
+  std::size_t pushed_ = 0;
+  std::vector<std::vector<double>> phase_kernels_;  // one per sub-sample phase
+};
+
+}  // namespace nyqmon::rec

@@ -1,0 +1,84 @@
+#include "signal/preclean.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nyqmon::sig {
+
+RegularSeries regularize(const TimeSeries& raw, const PrecleanConfig& config,
+                         PrecleanReport* report) {
+  PrecleanReport local;
+  local.input_samples = raw.size();
+
+  // Drop non-finite values; average duplicate timestamps.
+  std::vector<Sample> clean;
+  clean.reserve(raw.size());
+  for (const auto& s : raw.samples()) {
+    if (!std::isfinite(s.t) || !std::isfinite(s.v)) {
+      ++local.dropped_nonfinite;
+      continue;
+    }
+    if (!clean.empty() && s.t == clean.back().t) {
+      clean.back().v = 0.5 * (clean.back().v + s.v);
+      ++local.collapsed_duplicates;
+      continue;
+    }
+    clean.push_back(s);
+  }
+  NYQMON_CHECK_MSG(clean.size() >= 2,
+                   "regularize needs at least two finite samples");
+
+  double dt = config.dt;
+  if (dt <= 0.0) dt = TimeSeries(clean).median_interval();
+  NYQMON_CHECK_MSG(dt > 0.0, "cannot infer a positive sampling interval");
+  local.chosen_dt = dt;
+
+  const double t0 = clean.front().t;
+  const double t_end = clean.back().t;
+  const std::size_t n =
+      static_cast<std::size_t>(std::floor((t_end - t0) / dt)) + 1;
+
+  std::vector<double> grid(n);
+  std::size_t j = 0;  // clean[j] is the first sample with t >= grid time
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t0 + static_cast<double>(i) * dt;
+    while (j < clean.size() && clean[j].t < t) ++j;
+
+    if (config.interp == InterpKind::kNearest) {
+      if (j == 0) {
+        grid[i] = clean.front().v;
+      } else if (j == clean.size()) {
+        grid[i] = clean.back().v;
+      } else {
+        const double d_prev = t - clean[j - 1].t;
+        const double d_next = clean[j].t - t;
+        grid[i] = d_prev <= d_next ? clean[j - 1].v : clean[j].v;
+      }
+    } else {  // linear
+      if (j == 0) {
+        grid[i] = clean.front().v;
+      } else if (j == clean.size()) {
+        grid[i] = clean.back().v;
+      } else {
+        const auto& a = clean[j - 1];
+        const auto& b = clean[j];
+        const double frac = (t - a.t) / (b.t - a.t);
+        grid[i] = a.v * (1.0 - frac) + b.v * frac;
+      }
+    }
+
+    // Long-gap accounting: a grid point is "inside a long gap" when the
+    // bracketing raw samples are more than long_gap_steps*dt apart.
+    if (j > 0 && j < clean.size() &&
+        clean[j].t - clean[j - 1].t > config.long_gap_steps * dt) {
+      ++local.filled_in_long_gaps;
+    }
+  }
+
+  local.grid_points = n;
+  if (report != nullptr) *report = local;
+  return RegularSeries(t0, dt, std::move(grid));
+}
+
+}  // namespace nyqmon::sig

@@ -1,0 +1,43 @@
+// Pre-cleaning of raw monitoring traces (paper Section 3.2):
+// "In practice, monitoring systems do not produce perfectly sampled
+//  signals ... we pre-clean the signal using nearest neighbor re-sampling;
+//  that is, we add values for missing samples based on nearby samples."
+//
+// regularize() converts an irregular TimeSeries onto a uniform grid. It also
+// drops non-finite values and collapses duplicate timestamps first, so the
+// pipeline tolerates the data-corruption artifacts the paper mentions.
+#pragma once
+
+#include "signal/timeseries.h"
+
+namespace nyqmon::sig {
+
+enum class InterpKind {
+  kNearest,  ///< the paper's choice
+  kLinear,
+};
+
+struct PrecleanConfig {
+  /// Target grid spacing; 0 = use the trace's median interval.
+  double dt = 0.0;
+  InterpKind interp = InterpKind::kNearest;
+  /// Gaps longer than this many grid steps are still filled (the estimator
+  /// needs a complete grid) but reported via PrecleanReport.
+  double long_gap_steps = 5.0;
+};
+
+struct PrecleanReport {
+  std::size_t input_samples = 0;
+  std::size_t dropped_nonfinite = 0;   ///< NaN/inf inputs removed
+  std::size_t collapsed_duplicates = 0;///< same-timestamp repeats merged
+  std::size_t grid_points = 0;         ///< output length
+  std::size_t filled_in_long_gaps = 0; ///< grid points inside long gaps
+  double chosen_dt = 0.0;
+};
+
+/// Regularize `raw` onto a uniform grid. Requires >= 2 finite samples after
+/// cleaning; throws std::invalid_argument otherwise.
+RegularSeries regularize(const TimeSeries& raw, const PrecleanConfig& config = {},
+                         PrecleanReport* report = nullptr);
+
+}  // namespace nyqmon::sig

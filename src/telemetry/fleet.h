@@ -1,0 +1,53 @@
+// Fleet generation: the synthetic counterpart of the paper's study
+// population ("In total, we studied 1613 metric and device pairs (14
+// distinct metrics)").
+//
+// A Fleet pairs topology devices with metric instances. Metrics are
+// assigned by tier — switches export counter/error/link metrics, servers
+// export CPU/memory/temperature — and every pair carries its own
+// ground-truth band-limited signal.
+#pragma once
+
+#include <vector>
+
+#include "telemetry/metric_model.h"
+#include "telemetry/topology.h"
+#include "util/rng.h"
+
+namespace nyqmon::tel {
+
+/// One metric on one device: the unit of the paper's study.
+struct FleetPair {
+  Device device;
+  MetricInstance metric;
+};
+
+struct FleetConfig {
+  /// Target number of metric-device pairs; the paper studied 1613.
+  std::size_t target_pairs = 1613;
+  std::uint64_t seed = 42;
+  /// Default topology sized so the default pair target fits (6 pods of 8
+  /// racks yield ~1700 exportable pairs).
+  TopologyConfig topology{.pods = 6};
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& config);
+
+  const std::vector<FleetPair>& pairs() const { return pairs_; }
+  std::size_t size() const { return pairs_.size(); }
+  const Topology& topology() const { return topology_; }
+
+  /// All pairs carrying a given metric.
+  std::vector<const FleetPair*> pairs_of(MetricKind kind) const;
+
+  /// Metrics a device of this tier plausibly exports.
+  static std::vector<MetricKind> metrics_for(DeviceKind kind);
+
+ private:
+  Topology topology_;
+  std::vector<FleetPair> pairs_;
+};
+
+}  // namespace nyqmon::tel

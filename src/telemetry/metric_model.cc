@@ -1,0 +1,148 @@
+#include "telemetry/metric_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/generators.h"
+#include "util/check.h"
+
+namespace nyqmon::tel {
+
+namespace {
+
+constexpr double kDay = 86400.0;
+
+// The static per-metric table. Polling intervals are the ad-hoc production
+// defaults (30 s - 5 min depending on subsystem); band-limit ranges are
+// chosen so that the fleet-wide audit reproduces the paper's shape: ~89% of
+// metric-device pairs over-sampled, ~11% under-sampled, a ~20% tail with
+// >= 1000x possible reduction, and within-metric Nyquist spreads of 2-4
+// orders of magnitude (Figure 5). Temperature spans down to ~8e-7 Hz as in
+// the paper, which is why its traces run for 30 days.
+const MetricSpec kSpecs[kMetricCount] = {
+    // kind, poll_s, quant, bw_lo, bw_hi, dc, rms, trace_s, bursty, flapping
+    // Fast counter polls (10-30 s) reflect SNMP-style high-resolution
+    // collection; fluctuation scales keep quantization-noise power well
+    // below 1% of signal power so the 99% rule reads the signal, not the
+    // quantizer (Section 4.3).
+    {MetricKind::kOutboundDiscards, 15.0, 1.0, 1e-5, 3.0, 0.0, 40.0, 2 * kDay, true, false},
+    {MetricKind::kUnicastDrops,     15.0, 1.0, 1e-5, 2.0, 0.0, 60.0, 2 * kDay, true, false},
+    {MetricKind::kMulticastDrops,   30.0, 1.0, 1e-5, 1.5, 0.0, 40.0, 2 * kDay, true, false},
+    {MetricKind::kMulticastBytes,   30.0, 1e3, 1e-5, 2e-2, 5e6, 1e6, 2 * kDay, false, false},
+    {MetricKind::kUnicastBytes,     15.0, 1e3, 2e-5, 4e-2, 5e8, 1e8, 2 * kDay, false, false},
+    {MetricKind::kInboundDiscards,  15.0, 1.0, 1e-5, 3.0, 0.0, 40.0, 2 * kDay, true, false},
+    {MetricKind::kMemoryUsage,      60.0, 0.1, 5e-6, 5e-3, 60.0, 10.0, 7 * kDay, false, false},
+    {MetricKind::kPeakEgressBw,     30.0, 1e6, 1e-5, 3e-2, 4e9, 8e8, 2 * kDay, false, false},
+    {MetricKind::kPeakIngressBw,    30.0, 1e6, 1e-5, 3e-2, 4e9, 8e8, 2 * kDay, false, false},
+    {MetricKind::kLinkUtil,         10.0, 1.0, 2e-5, 6e-2, 40.0, 12.0, 2 * kDay, false, false},
+    {MetricKind::kLossyPaths,       30.0, 1.0, 1e-5, 1e-1, 4.0, 6.0, 2 * kDay, false, true},
+    {MetricKind::kCpuUtil5Pct,      30.0, 1.0, 1e-5, 2e-2, 30.0, 5.0, 2 * kDay, false, false},
+    {MetricKind::kTemperature,     300.0, 1.0, 4e-7, 1.5e-3, 45.0, 7.0, 30 * kDay, false, false},
+    {MetricKind::kFcsErrors,        30.0, 1.0, 1e-5, 5.0, 0.0, 30.0, 2 * kDay, true, false},
+};
+
+}  // namespace
+
+const std::vector<MetricKind>& all_metrics() {
+  static const std::vector<MetricKind> kAll = [] {
+    std::vector<MetricKind> v;
+    for (const auto& spec : kSpecs) v.push_back(spec.kind);
+    return v;
+  }();
+  return kAll;
+}
+
+std::string metric_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kOutboundDiscards: return "Out-bound discards";
+    case MetricKind::kUnicastDrops: return "Unicast drops";
+    case MetricKind::kMulticastDrops: return "Multicast drops";
+    case MetricKind::kMulticastBytes: return "Multicast bytes";
+    case MetricKind::kUnicastBytes: return "Unicast bytes";
+    case MetricKind::kInboundDiscards: return "In-bound discards";
+    case MetricKind::kMemoryUsage: return "Memory usage";
+    case MetricKind::kPeakEgressBw: return "Peak egress BW";
+    case MetricKind::kPeakIngressBw: return "Peak ingress BW";
+    case MetricKind::kLinkUtil: return "Link util";
+    case MetricKind::kLossyPaths: return "Lossy paths";
+    case MetricKind::kCpuUtil5Pct: return "5-pct CPU util";
+    case MetricKind::kTemperature: return "Temperature";
+    case MetricKind::kFcsErrors: return "FCS errors";
+  }
+  return "unknown";
+}
+
+const MetricSpec& metric_spec(MetricKind kind) {
+  for (const auto& spec : kSpecs)
+    if (spec.kind == kind) return spec;
+  throw std::logic_error("metric_spec: unknown MetricKind");
+}
+
+MetricInstance make_metric_instance(MetricKind kind, double duration_hint_s,
+                                    Rng& rng) {
+  NYQMON_CHECK(duration_hint_s > 0.0);
+  const MetricSpec& spec = metric_spec(kind);
+
+  MetricInstance inst;
+  inst.kind = kind;
+  inst.poll_interval_s = spec.poll_interval_s;
+  inst.quantization_step = spec.quantization_step;
+  inst.trace_duration_s = spec.trace_duration_s;
+
+  // Per-device true band limit, log-uniform across the metric's range —
+  // this is what makes "the Nyquist rate vary widely across devices".
+  const double bandwidth = rng.log_uniform(spec.bandwidth_lo_hz, spec.bandwidth_hi_hz);
+  const double horizon = std::max(duration_hint_s, spec.trace_duration_s);
+  // Per-device activity level: fleets mix idle and hot devices, so the
+  // fluctuation scale spans a decade around the metric's typical value.
+  // Quiet devices have DC-dominated spectra -- the source of the
+  // near-resolution-floor Nyquist estimates in the fleet study.
+  const double fluctuation = spec.fluctuation_rms * rng.log_uniform(0.5, 3.0);
+
+  if (spec.bursty) {
+    // Event counter: Poisson bursts of Gaussian bumps. The bump width sets
+    // the band limit (sigma = 0.8365/B for the 1e-6 spectrum floor).
+    const double sigma = 0.8365 / bandwidth;
+    // A handful of bursts per day, more for narrow (fast) bursts.
+    const double bursts_per_day = rng.uniform(8.0, 40.0);
+    auto bumps = sig::make_burst_process(horizon, bursts_per_day / kDay, sigma,
+                                         fluctuation, rng, spec.dc_level);
+    inst.signal = bumps;
+    inst.true_bandwidth_hz = bumps->bandwidth_hz();
+  } else if (spec.flapping) {
+    // Link-flap regimes: smooth level shifts whose edge width sets the band
+    // limit (width = 1.4/B), plus a small slow wander.
+    const double width = 1.4 / bandwidth;
+    const double flaps_per_day = rng.uniform(4.0, 24.0);
+    auto composite = std::make_shared<sig::CompositeSignal>();
+    composite->add(sig::make_flap_process(horizon, flaps_per_day / kDay, width,
+                                          fluctuation, rng, spec.dc_level));
+    composite->add(sig::make_bandlimited_process(
+        std::min(bandwidth, 2.0 / kDay), fluctuation * 0.1, 8, rng));
+    inst.signal = composite;
+    inst.true_bandwidth_hz = composite->bandwidth_hz();
+  } else {
+    // Smooth utilization-style metric: band-limited noise, plus diurnal
+    // harmonics when the device's band limit reaches daily frequencies
+    // (devices with tiny band limits — e.g. well-cooled temperatures — have
+    // no discernible daily cycle; that is what produces the paper's
+    // 7.99e-7 Hz lower tail).
+    auto composite = std::make_shared<sig::CompositeSignal>();
+    composite->add(sig::make_bandlimited_process(bandwidth, fluctuation, 32,
+                                                 rng, spec.dc_level));
+    if (bandwidth >= 1.0 / kDay) {
+      const auto harmonics = static_cast<std::size_t>(std::clamp(
+          std::floor(bandwidth * kDay), 1.0, 3.0));
+      composite->add(sig::make_diurnal(fluctuation * rng.uniform(0.5, 2.0),
+                                       harmonics, rng));
+    }
+    inst.signal = composite;
+    inst.true_bandwidth_hz = composite->bandwidth_hz();
+  }
+
+  NYQMON_ENSURE(inst.signal != nullptr);
+  NYQMON_ENSURE(inst.true_bandwidth_hz > 0.0);
+  return inst;
+}
+
+}  // namespace nyqmon::tel

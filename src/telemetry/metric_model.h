@@ -1,0 +1,99 @@
+// The paper's 14 production metrics as synthetic, band-limited random
+// processes.
+//
+// Figure 5 of the paper lists the monitored metrics: out-bound discards,
+// unicast drops, multicast drops, multicast bytes, unicast bytes, in-bound
+// discards, memory usage, peak egress BW, peak ingress BW, link util, lossy
+// paths, 5-pct CPU util, temperature and FCS errors. Each is modelled as a
+// ContinuousSignal whose *true* band limit is drawn per device from a
+// metric-specific heavy-ish (log-uniform) range — reproducing the paper's
+// observation that "within a metric, the Nyquist rate varies widely across
+// devices" — plus the ad-hoc production polling interval and the reading
+// quantization that real collectors apply.
+//
+// Process shapes per metric family:
+//   * slow environmental/utilization metrics (temperature, CPU, memory,
+//     link util, bytes, peak BW): DC + diurnal harmonics + band-limited
+//     noise (sum of random sines below the device's band limit);
+//   * event/burst counters (drops, discards, FCS errors): Poisson trains of
+//     Gaussian bumps whose width sets the band limit, over a zero baseline;
+//   * lossy paths: smooth level shifts (link flap regimes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace nyqmon::tel {
+
+enum class MetricKind {
+  kOutboundDiscards,
+  kUnicastDrops,
+  kMulticastDrops,
+  kMulticastBytes,
+  kUnicastBytes,
+  kInboundDiscards,
+  kMemoryUsage,
+  kPeakEgressBw,
+  kPeakIngressBw,
+  kLinkUtil,
+  kLossyPaths,
+  kCpuUtil5Pct,
+  kTemperature,
+  kFcsErrors,
+};
+
+inline constexpr std::size_t kMetricCount = 14;
+
+/// All 14 metrics in Figure 5's order.
+const std::vector<MetricKind>& all_metrics();
+
+std::string metric_name(MetricKind kind);
+
+/// Static per-metric facts: how production polls and quantizes it, and the
+/// range the per-device band limit is drawn from.
+struct MetricSpec {
+  MetricKind kind;
+  /// Ad-hoc production polling interval (seconds) — the rates operators
+  /// chose by "gut feeling" (paper Section 3.1).
+  double poll_interval_s;
+  /// Reading quantization step (1.0 for integer counters/temps, etc.).
+  double quantization_step;
+  /// Log-uniform range for the per-device true band limit (Hz).
+  double bandwidth_lo_hz;
+  double bandwidth_hi_hz;
+  /// Typical DC level and fluctuation scale of the reading.
+  double dc_level;
+  double fluctuation_rms;
+  /// Trace duration the fleet study records for this metric (seconds);
+  /// slow metrics need longer traces to resolve their tiny Nyquist rates.
+  double trace_duration_s;
+  /// True when the metric is a bursty event counter (bumps) rather than a
+  /// smooth utilization-style signal.
+  bool bursty;
+  /// True when the metric exhibits regime shifts (lossy paths).
+  bool flapping;
+};
+
+const MetricSpec& metric_spec(MetricKind kind);
+
+/// One device's instantiation of a metric: the ground-truth signal plus its
+/// true band limit (known because the signal is synthetic).
+struct MetricInstance {
+  MetricKind kind = MetricKind::kTemperature;
+  std::shared_ptr<const sig::ContinuousSignal> signal;
+  double true_bandwidth_hz = 0.0;
+  double poll_interval_s = 0.0;
+  double quantization_step = 1.0;
+  double trace_duration_s = 0.0;
+};
+
+/// Build a random instance of `kind` for one device. `duration_hint_s`
+/// bounds how long event trains need to cover; pass at least the intended
+/// trace duration. The drawn band limit is stored in true_bandwidth_hz.
+MetricInstance make_metric_instance(MetricKind kind, double duration_hint_s,
+                                    Rng& rng);
+
+}  // namespace nyqmon::tel

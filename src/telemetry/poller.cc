@@ -1,0 +1,44 @@
+#include "telemetry/poller.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nyqmon::tel {
+
+sig::TimeSeries poll(const sig::ContinuousSignal& signal, double t0,
+                     double duration_s, const PollerConfig& config, Rng& rng) {
+  NYQMON_CHECK(config.interval_s > 0.0);
+  NYQMON_CHECK(config.jitter_frac >= 0.0 && config.jitter_frac < 0.5);
+  NYQMON_CHECK(config.drop_prob >= 0.0 && config.drop_prob < 1.0);
+  NYQMON_CHECK(duration_s >= 2.0 * config.interval_s);
+
+  const std::size_t n = static_cast<std::size_t>(
+      std::floor(duration_s / config.interval_s));
+
+  sig::TimeSeries trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(config.drop_prob)) continue;  // lost poll
+    double t = t0 + static_cast<double>(i) * config.interval_s;
+    if (config.jitter_frac > 0.0) {
+      t += rng.uniform(-config.jitter_frac, config.jitter_frac) *
+           config.interval_s;
+    }
+    double v = signal.value(t);
+    if (config.noise_stddev > 0.0) v += rng.normal(0.0, config.noise_stddev);
+    if (config.quantization_step > 0.0) {
+      v = dsp::Quantizer(config.quantization_step).apply(v);
+    }
+    trace.push(t, v);
+  }
+  // Ensure the trace is non-degenerate even under unlucky drop sequences:
+  // re-poll the first and last nominal slots if everything was dropped.
+  if (trace.size() < 2) {
+    trace.push(t0, signal.value(t0));
+    const double t_end = t0 + static_cast<double>(n - 1) * config.interval_s;
+    trace.push(t_end, signal.value(t_end));
+  }
+  return trace;
+}
+
+}  // namespace nyqmon::tel

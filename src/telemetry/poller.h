@@ -1,0 +1,39 @@
+// The production poller: turns a ground-truth signal into the trace a real
+// monitoring system would record.
+//
+// Real collectors are imperfect — Section 3.2: "monitoring systems do not
+// produce perfectly sampled signals — samples are not always spaced at
+// equi-distant points in time". The poller models:
+//   * timestamp jitter (a fraction of the polling interval),
+//   * dropped polls (collector timeouts / lost reports),
+//   * additive measurement noise,
+//   * reading quantization (integer counters, rounded temperatures).
+#pragma once
+
+#include "dsp/quantize.h"
+#include "signal/source.h"
+#include "signal/timeseries.h"
+#include "util/rng.h"
+
+namespace nyqmon::tel {
+
+struct PollerConfig {
+  double interval_s = 60.0;
+  /// Uniform timestamp jitter as a fraction of the interval (0 = none;
+  /// 0.2 means each poll lands within +-20% of its nominal slot).
+  double jitter_frac = 0.1;
+  /// Probability that an individual poll is lost.
+  double drop_prob = 0.01;
+  /// Std-dev of additive Gaussian measurement noise (0 = noiseless).
+  double noise_stddev = 0.0;
+  /// Reading quantization step (0 = no quantization).
+  double quantization_step = 0.0;
+};
+
+/// Poll `signal` over [t0, t0 + duration). Returns the (possibly jittered
+/// and gappy) trace; at least two samples are guaranteed, otherwise the
+/// function throws (duration too short for the interval).
+sig::TimeSeries poll(const sig::ContinuousSignal& signal, double t0,
+                     double duration_s, const PollerConfig& config, Rng& rng);
+
+}  // namespace nyqmon::tel

@@ -1,0 +1,133 @@
+#include "util/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nyqmon {
+
+AsciiTable::AsciiTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  NYQMON_CHECK(!columns_.empty());
+}
+
+void AsciiTable::row(std::vector<std::string> cells) {
+  NYQMON_CHECK_MSG(cells.size() == columns_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(format_double(v));
+  row(std::move(text));
+}
+
+std::string AsciiTable::format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.size(); ++i)
+      widths[i] = std::max(widths[i], r[i].size());
+
+  auto emit = [&](std::ostringstream& os, const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << (i ? "  " : "") << r[i]
+         << std::string(widths[i] - r[i].size(), ' ');
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit(os, columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  os << std::string(total + 2 * (columns_.size() - 1), '-') << '\n';
+  for (const auto& r : rows_) emit(os, r);
+  return os.str();
+}
+
+std::string ascii_barchart(
+    const std::vector<std::pair<std::string, double>>& bars, int width) {
+  NYQMON_CHECK(width > 0);
+  double maxv = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    maxv = std::max(maxv, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, v] : bars) {
+    const int n = maxv > 0.0
+                      ? static_cast<int>(std::lround(v / maxv * width))
+                      : 0;
+    char num[32];
+    std::snprintf(num, sizeof num, "%8.3g", v);
+    os << label << std::string(label_w - label.size(), ' ') << " |"
+       << std::string(static_cast<std::size_t>(n), '#')
+       << std::string(static_cast<std::size_t>(width - n), ' ') << "| " << num
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string ascii_series(const std::vector<double>& values, int width,
+                         int height) {
+  NYQMON_CHECK(width > 0 && height > 1);
+  if (values.empty()) return "(empty series)\n";
+
+  // Downsample (by max-preserving buckets) to `width` columns.
+  std::vector<double> cols(static_cast<std::size_t>(width),
+                           std::numeric_limits<double>::quiet_NaN());
+  const std::size_t n = values.size();
+  for (int c = 0; c < width; ++c) {
+    const std::size_t lo = static_cast<std::size_t>(c) * n / static_cast<std::size_t>(width);
+    std::size_t hi = static_cast<std::size_t>(c + 1) * n / static_cast<std::size_t>(width);
+    hi = std::max(hi, lo + 1);
+    double m = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = lo; i < hi && i < n; ++i) m = std::max(m, values[i]);
+    cols[static_cast<std::size_t>(c)] = m;
+  }
+
+  double vmin = std::numeric_limits<double>::infinity();
+  double vmax = -std::numeric_limits<double>::infinity();
+  for (double v : cols) {
+    if (std::isfinite(v)) {
+      vmin = std::min(vmin, v);
+      vmax = std::max(vmax, v);
+    }
+  }
+  if (!std::isfinite(vmin)) return "(no finite values)\n";
+  if (vmax == vmin) vmax = vmin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (int c = 0; c < width; ++c) {
+    const double v = cols[static_cast<std::size_t>(c)];
+    if (!std::isfinite(v)) continue;
+    const int r = static_cast<int>(std::lround((v - vmin) / (vmax - vmin) *
+                                               (height - 1)));
+    grid[static_cast<std::size_t>(height - 1 - r)][static_cast<std::size_t>(c)] = '*';
+  }
+
+  std::ostringstream os;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "max %.4g\n", vmax);
+  os << buf;
+  for (const auto& line : grid) os << '|' << line << "|\n";
+  std::snprintf(buf, sizeof buf, "min %.4g\n", vmin);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace nyqmon

@@ -1,0 +1,37 @@
+// ASCII rendering helpers for the bench harnesses: fixed-width tables,
+// horizontal bar charts and sparkline-style series so every paper figure has
+// a terminal-readable analogue.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nyqmon {
+
+/// Fixed-width text table. Column widths auto-size to content.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> columns);
+
+  void row(std::vector<std::string> cells);
+  void row_numeric(const std::vector<double>& cells);
+
+  /// Render with a header rule; every cell right-padded to column width.
+  std::string render() const;
+
+  static std::string format_double(double v);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal bar chart: one labelled bar per entry, scaled to `width` chars.
+std::string ascii_barchart(const std::vector<std::pair<std::string, double>>& bars,
+                           int width = 50);
+
+/// Render a numeric series as a fixed-height character plot (rows = height).
+std::string ascii_series(const std::vector<double>& values, int width = 72,
+                         int height = 12);
+
+}  // namespace nyqmon

@@ -1,0 +1,43 @@
+// Lightweight contract checks used across nyqmon.
+//
+// NYQMON_CHECK is for precondition violations by the *caller*: it throws
+// std::invalid_argument so misuse is reportable and testable.
+// NYQMON_ENSURE is for internal invariants: it throws std::logic_error,
+// signalling a bug in nyqmon itself.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nyqmon {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw std::logic_error(std::string("invariant violated: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace nyqmon
+
+#define NYQMON_CHECK(expr)                                            \
+  do {                                                                \
+    if (!(expr)) ::nyqmon::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define NYQMON_CHECK_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) ::nyqmon::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define NYQMON_ENSURE(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) ::nyqmon::throw_invariant(#expr, __FILE__, __LINE__, ""); \
+  } while (0)

@@ -1,0 +1,30 @@
+// Minimal CSV writer used by the bench harnesses to persist experiment
+// results next to the printed tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nyqmon {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Writes one row; the number of cells must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with %.9g.
+  void row_numeric(const std::vector<double>& cells);
+
+  static std::string format_double(double v);
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace nyqmon

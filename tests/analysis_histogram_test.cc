@@ -1,0 +1,80 @@
+// Histogram: binning semantics, log-scale mode, rendering.
+#include <gtest/gtest.h>
+
+#include "analysis/histogram.h"
+
+namespace {
+
+using nyqmon::ana::Histogram;
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  const std::vector<double> x{0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5};
+  const Histogram h(x, 4);  // [0,1) [1,2) [2,3) [3,4]
+  ASSERT_EQ(h.bins(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(Histogram, MaxValueGoesInLastBin) {
+  const std::vector<double> x{0.0, 10.0};
+  const Histogram h(x, 5);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, EdgesCoverRange) {
+  const std::vector<double> x{2.0, 6.0};
+  const Histogram h(x, 2);
+  const auto [lo0, hi0] = h.edges(0);
+  const auto [lo1, hi1] = h.edges(1);
+  EXPECT_DOUBLE_EQ(lo0, 2.0);
+  EXPECT_DOUBLE_EQ(hi0, 4.0);
+  EXPECT_DOUBLE_EQ(lo1, 4.0);
+  EXPECT_DOUBLE_EQ(hi1, 6.0);
+}
+
+TEST(Histogram, LogScaleBinsDecades) {
+  const std::vector<double> x{1.0, 10.0, 100.0, 1000.0};
+  const Histogram h(x, 3, /*log_scale=*/true);
+  EXPECT_EQ(h.count(0), 1u);  // [1, 10)
+  EXPECT_EQ(h.count(1), 1u);  // [10, 100)
+  EXPECT_EQ(h.count(2), 2u);  // [100, 1000]
+  const auto [lo, hi] = h.edges(0);
+  EXPECT_NEAR(lo, 1.0, 1e-9);
+  EXPECT_NEAR(hi, 10.0, 1e-9);
+}
+
+TEST(Histogram, LogScaleRejectsNonPositive) {
+  const std::vector<double> x{1.0, -2.0};
+  EXPECT_THROW(Histogram(x, 2, true), std::invalid_argument);
+}
+
+TEST(Histogram, ModeBin) {
+  const std::vector<double> x{1.0, 1.1, 1.2, 5.0};
+  const Histogram h(x, 4);
+  EXPECT_EQ(h.mode_bin(), 0u);
+}
+
+TEST(Histogram, SingleValueInput) {
+  const std::vector<double> x{3.0, 3.0, 3.0};
+  const Histogram h(x, 4);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 3u);  // degenerate range widened internally
+}
+
+TEST(Histogram, RenderContainsBars) {
+  const std::vector<double> x{1.0, 2.0, 2.1, 2.2};
+  const Histogram h(x, 2);
+  const auto text = h.render(20);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('['), std::string::npos);
+}
+
+TEST(Histogram, EmptyInputThrows) {
+  const std::vector<double> x;
+  EXPECT_THROW(Histogram(x, 4), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// PSD estimation: normalization (Parseval), tone localization, windows,
+// Welch averaging, and the cumulative-energy machinery behind the paper's
+// 99% rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/psd.h"
+#include "dsp/window.h"
+#include "signal/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using nyqmon::dsp::make_window;
+using nyqmon::dsp::periodogram;
+using nyqmon::dsp::PeriodogramConfig;
+using nyqmon::dsp::Psd;
+using nyqmon::dsp::welch;
+using nyqmon::dsp::WelchConfig;
+using nyqmon::dsp::window_energy;
+using nyqmon::dsp::WindowType;
+using nyqmon::sig::make_sine;
+
+PeriodogramConfig rect_config() {
+  PeriodogramConfig pc;
+  pc.window = WindowType::kRectangular;
+  pc.remove_mean = false;
+  return pc;
+}
+
+TEST(Window, AllTypesHaveCorrectLengthAndBounds) {
+  for (auto type : {WindowType::kRectangular, WindowType::kHann,
+                    WindowType::kHamming, WindowType::kBlackman,
+                    WindowType::kFlatTop}) {
+    const auto w = make_window(type, 65);
+    ASSERT_EQ(w.size(), 65u);
+    for (double v : w) {
+      EXPECT_LE(v, 1.0 + 1e-12) << nyqmon::dsp::window_name(type);
+      // Flat-top dips slightly negative by design; others stay >= 0.
+      if (type != WindowType::kFlatTop) {
+        EXPECT_GE(v, -1e-12);
+      }
+    }
+  }
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  for (double v : make_window(WindowType::kRectangular, 10))
+    EXPECT_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(window_energy(WindowType::kRectangular, 10), 10.0);
+}
+
+TEST(Window, HannPeriodicFormStartsAtZero) {
+  const auto w = make_window(WindowType::kHann, 16);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[8], 1.0, 1e-12);  // midpoint of the periodic Hann
+}
+
+TEST(Window, SingleSampleWindowIsOne) {
+  for (auto type : {WindowType::kHann, WindowType::kBlackman}) {
+    const auto w = make_window(type, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], 1.0);
+  }
+}
+
+TEST(Periodogram, UnitSineTotalEnergyIsHalf) {
+  // Bin-centred tone, rectangular window: total one-sided PSD == mean
+  // square == 0.5 for a unit sine.
+  const auto x = make_sine(/*fs=*/128.0, /*n=*/256, /*freq=*/16.0);
+  const Psd psd = periodogram(x, 128.0, rect_config());
+  EXPECT_NEAR(psd.total_energy(), 0.5, 1e-9);
+}
+
+TEST(Periodogram, ToneAppearsInCorrectBin) {
+  const double fs = 1000.0;
+  const std::size_t n = 500;
+  const auto x = make_sine(fs, n, 100.0);
+  const Psd psd = periodogram(x, fs, rect_config());
+  // Peak bin should be at 100 Hz: bin index 100/(fs/n) = 50.
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < psd.bins(); ++k)
+    if (psd.power[k] > psd.power[peak]) peak = k;
+  EXPECT_NEAR(psd.frequency_hz[peak], 100.0, psd.resolution_hz() / 2.0);
+}
+
+TEST(Periodogram, FrequencyAxis) {
+  const auto x = make_sine(10.0, 100, 1.0);
+  const Psd psd = periodogram(x, 10.0, rect_config());
+  ASSERT_EQ(psd.bins(), 51u);  // n/2 + 1
+  EXPECT_DOUBLE_EQ(psd.frequency_hz.front(), 0.0);
+  EXPECT_NEAR(psd.frequency_hz.back(), 5.0, 1e-12);
+  EXPECT_NEAR(psd.resolution_hz(), 0.1, 1e-12);
+}
+
+TEST(Periodogram, MeanRemovalKillsDcBin) {
+  std::vector<double> x(128, 5.0);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] += 0.1 * std::sin(2.0 * std::numbers::pi * 8.0 *
+                           static_cast<double>(i) / 128.0);
+  PeriodogramConfig with_mean = rect_config();
+  PeriodogramConfig without_mean = rect_config();
+  without_mean.remove_mean = true;
+  const Psd keep = periodogram(x, 128.0, with_mean);
+  const Psd removed = periodogram(x, 128.0, without_mean);
+  EXPECT_GT(keep.power[0], 1.0);          // DC dominates
+  EXPECT_NEAR(removed.power[0], 0.0, 1e-12);
+}
+
+TEST(Periodogram, WindowedToneStillLocalized) {
+  PeriodogramConfig pc;
+  pc.window = WindowType::kHann;
+  pc.remove_mean = true;
+  // Non-bin-centred tone: the Hann window keeps leakage local.
+  const auto x = make_sine(1000.0, 512, 99.7);
+  const Psd psd = periodogram(x, 1000.0, pc);
+  double in_band = 0.0;
+  for (std::size_t k = 0; k < psd.bins(); ++k)
+    if (std::abs(psd.frequency_hz[k] - 99.7) < 10.0) in_band += psd.power[k];
+  EXPECT_GT(in_band / psd.total_energy(), 0.99);
+}
+
+TEST(Periodogram, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)periodogram(one, 1.0), std::invalid_argument);
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW((void)periodogram(two, 0.0), std::invalid_argument);
+}
+
+TEST(CumulativeEnergy, FindsCutoffBin) {
+  Psd psd;
+  psd.sample_rate_hz = 10.0;
+  psd.frequency_hz = {0.0, 1.0, 2.0, 3.0, 4.0};
+  psd.power = {0.0, 80.0, 15.0, 4.0, 1.0};
+  EXPECT_EQ(psd.cumulative_energy_bin(0.80), 1u);
+  EXPECT_EQ(psd.cumulative_energy_bin(0.95), 2u);
+  EXPECT_EQ(psd.cumulative_energy_bin(0.99), 3u);
+  EXPECT_EQ(psd.cumulative_energy_bin(1.00), 4u);
+  EXPECT_DOUBLE_EQ(psd.cumulative_energy_frequency(0.95), 2.0);
+}
+
+TEST(CumulativeEnergy, MonotoneInCutoff) {
+  Rng rng(9);
+  std::vector<double> x(256);
+  for (auto& v : x) v = rng.normal(0, 1);
+  const Psd psd = periodogram(x, 1.0);
+  std::size_t prev = 0;
+  for (double cut : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::size_t bin = psd.cumulative_energy_bin(cut);
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+}
+
+TEST(CumulativeEnergy, InvalidFractionThrows) {
+  Psd psd;
+  psd.frequency_hz = {0.0, 1.0};
+  psd.power = {1.0, 1.0};
+  EXPECT_THROW((void)psd.cumulative_energy_bin(0.0), std::invalid_argument);
+  EXPECT_THROW((void)psd.cumulative_energy_bin(1.5), std::invalid_argument);
+}
+
+TEST(Welch, ReducesVarianceOnWhiteNoise) {
+  Rng rng(10);
+  std::vector<double> x(4096);
+  for (auto& v : x) v = rng.normal(0, 1);
+
+  const Psd single = periodogram(x, 1.0, rect_config());
+  WelchConfig wc;
+  wc.segment_length = 256;
+  wc.window = WindowType::kRectangular;
+  wc.remove_mean = false;
+  const Psd averaged = welch(x, 1.0, wc);
+
+  auto rel_var = [](const Psd& p) {
+    double m = 0.0, v = 0.0;
+    for (double q : p.power) m += q;
+    m /= static_cast<double>(p.bins());
+    for (double q : p.power) v += (q - m) * (q - m);
+    v /= static_cast<double>(p.bins());
+    return v / (m * m);
+  };
+  EXPECT_LT(rel_var(averaged), rel_var(single) / 4.0);
+}
+
+TEST(Welch, PreservesTotalEnergyApproximately) {
+  const auto x = make_sine(100.0, 2048, 10.0);
+  WelchConfig wc;
+  wc.segment_length = 512;
+  wc.window = WindowType::kRectangular;
+  wc.remove_mean = false;
+  const Psd psd = welch(x, 100.0, wc);
+  EXPECT_NEAR(psd.total_energy(), 0.5, 0.05);
+}
+
+TEST(Welch, SegmentLongerThanSignalFallsBackToOneBlock) {
+  const auto x = make_sine(100.0, 128, 10.0);
+  WelchConfig wc;
+  wc.segment_length = 4096;
+  const Psd psd = welch(x, 100.0, wc);
+  EXPECT_EQ(psd.bins(), 65u);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Quantizer semantics and the quantization-noise model of Section 4.3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/quantize.h"
+#include "signal/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using nyqmon::dsp::measured_sqnr_db;
+using nyqmon::dsp::Quantizer;
+using nyqmon::sig::make_sine;
+
+TEST(Quantizer, RoundsToNearestLattice) {
+  const Quantizer q(1.0);
+  EXPECT_DOUBLE_EQ(q.apply(3.2), 3.0);
+  EXPECT_DOUBLE_EQ(q.apply(3.7), 4.0);
+  EXPECT_DOUBLE_EQ(q.apply(-1.2), -1.0);
+  EXPECT_DOUBLE_EQ(q.apply(0.0), 0.0);
+}
+
+TEST(Quantizer, FractionalStep) {
+  const Quantizer q(0.25);
+  EXPECT_DOUBLE_EQ(q.apply(0.30), 0.25);
+  EXPECT_DOUBLE_EQ(q.apply(0.38), 0.50);
+}
+
+TEST(Quantizer, OffsetShiftsLattice) {
+  const Quantizer q(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(q.apply(0.9), 0.5);
+  EXPECT_DOUBLE_EQ(q.apply(1.1), 1.5);
+}
+
+TEST(Quantizer, Idempotent) {
+  Rng rng(1);
+  const Quantizer q(0.5);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    EXPECT_DOUBLE_EQ(q.apply(q.apply(v)), q.apply(v));
+  }
+}
+
+TEST(Quantizer, ErrorBoundedByHalfStep) {
+  Rng rng(2);
+  const Quantizer q(2.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-50.0, 50.0);
+    EXPECT_LE(std::abs(q.apply(v) - v), 1.0 + 1e-12);
+  }
+}
+
+TEST(Quantizer, VectorForm) {
+  const Quantizer q(1.0);
+  const std::vector<double> x{0.4, 1.6, 2.5};
+  const auto y = q.apply(x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(Quantizer, NonPositiveStepThrows) {
+  EXPECT_THROW(Quantizer(0.0), std::invalid_argument);
+  EXPECT_THROW(Quantizer(-1.0), std::invalid_argument);
+}
+
+TEST(QuantizationNoise, MatchesStepSquaredOverTwelve) {
+  // Empirical quantization-noise power on a busy signal approaches
+  // step^2/12 (the classic uniform-noise model the paper leans on).
+  Rng rng(3);
+  const Quantizer q(0.5);
+  std::vector<double> x(200000);
+  for (auto& v : x) v = rng.uniform(-100.0, 100.0);
+  const auto y = q.apply(x);
+  double noise = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    noise += (x[i] - y[i]) * (x[i] - y[i]);
+  noise /= static_cast<double>(x.size());
+  EXPECT_NEAR(noise, q.noise_power(), 0.05 * q.noise_power());
+}
+
+TEST(Sqnr, InfiniteWhenIdentical) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_TRUE(std::isinf(measured_sqnr_db(x, x)));
+}
+
+TEST(Sqnr, RoughSixDbPerBitRule) {
+  // Quantizing a full-scale sine with step 2A/2^b gives ~6.02b + 1.76 dB.
+  const auto x = make_sine(1000.0, 100000, 17.0, /*amplitude=*/1.0);
+  for (int bits : {4, 6, 8}) {
+    const Quantizer q(2.0 / std::pow(2.0, bits));
+    const double sqnr = measured_sqnr_db(x, q.apply(x));
+    const double expected = 6.02 * bits + 1.76;
+    EXPECT_NEAR(sqnr, expected, 2.0) << "bits=" << bits;
+  }
+}
+
+TEST(Sqnr, SizeMismatchThrows) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW((void)measured_sqnr_db(a, b), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// RetentionStore (the paper's a-posteriori policy: collect fast, store at
+// the Nyquist rate) and RatePriorStore (warm-starting from fleet history).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "monitor/rate_prior.h"
+#include "monitor/store.h"
+#include "reconstruct/error.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using namespace nyqmon;
+using mon::RatePriorStore;
+using mon::RetentionStore;
+using mon::StoreConfig;
+
+TEST(Store, CreateAppendQuery) {
+  RetentionStore store;
+  store.create_stream("tor1/temp", 1.0 / 30.0);
+  for (int i = 0; i < 100; ++i) store.append("tor1/temp", 42.0);
+  const auto series = store.query("tor1/temp", 0.0, 100.0 * 30.0);
+  EXPECT_EQ(series.size(), 100u);
+  for (double v : series.values()) EXPECT_NEAR(v, 42.0, 1e-9);
+}
+
+TEST(Store, DuplicateStreamThrows) {
+  RetentionStore store;
+  store.create_stream("s", 1.0);
+  EXPECT_THROW(store.create_stream("s", 1.0), std::invalid_argument);
+}
+
+TEST(Store, UnknownStreamThrows) {
+  RetentionStore store;
+  EXPECT_THROW(store.append("nope", 1.0), std::invalid_argument);
+  EXPECT_THROW((void)store.query("nope", 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)store.stats("nope"), std::invalid_argument);
+}
+
+TEST(Store, SealedChunksShrinkOversampledStreams) {
+  // A slow tone collected at 1 Hz (heavily oversampled): sealed chunks must
+  // be stored with far fewer samples than were ingested.
+  const sig::SumOfSines tone({{0.002, 5.0, 0.0}}, /*dc=*/50.0);
+  StoreConfig cfg;
+  cfg.chunk_samples = 1024;
+  RetentionStore store(cfg);
+  store.create_stream("link", 1.0);
+  for (int i = 0; i < 4096; ++i) store.append("link", tone.value(i));
+
+  const auto stats = store.stats("link");
+  EXPECT_EQ(stats.ingested_samples, 4096u);
+  EXPECT_EQ(stats.chunks, 4u);
+  EXPECT_EQ(stats.chunks_reduced, 4u);
+  EXPECT_GT(stats.reduction(), 10.0);
+}
+
+TEST(Store, QueryReconstructsSealedData) {
+  const sig::SumOfSines tone({{0.002, 5.0, 0.0}}, 50.0);
+  StoreConfig cfg;
+  cfg.chunk_samples = 1024;
+  RetentionStore store(cfg);
+  store.create_stream("link", 1.0);
+  for (int i = 0; i < 2048; ++i) store.append("link", tone.value(i));
+
+  // Query the first sealed chunk's interior and compare with ground truth.
+  const auto series = store.query("link", 100.0, 900.0);
+  std::vector<double> truth;
+  for (std::size_t i = 0; i < series.size(); ++i)
+    truth.push_back(tone.value(series.time_at(i)));
+  EXPECT_LT(rec::nrmse(truth, series.values()), 0.05);
+}
+
+TEST(Store, HotTailServedRaw) {
+  RetentionStore store;  // default chunk 512
+  store.create_stream("s", 1.0);
+  for (int i = 0; i < 100; ++i) store.append("s", double(i));  // unsealed
+  const auto series = store.query("s", 0.0, 100.0);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    EXPECT_DOUBLE_EQ(series[i], double(i));
+}
+
+TEST(Store, BroadbandChunksKeptAtFullRate) {
+  // White-ish readings (a stressed counter): the estimator reports aliased
+  // or near-rate, so the store must keep the raw resolution.
+  Rng rng(55);
+  StoreConfig cfg;
+  cfg.chunk_samples = 512;
+  RetentionStore store(cfg);
+  store.create_stream("drops", 1.0);
+  for (int i = 0; i < 1024; ++i) store.append("drops", rng.normal(0.0, 1.0));
+  const auto stats = store.stats("drops");
+  EXPECT_EQ(stats.chunks, 2u);
+  EXPECT_LT(stats.reduction(), 1.5);
+}
+
+TEST(Store, StorageCostReflectsReduction) {
+  const sig::SumOfSines tone({{0.002, 5.0, 0.0}}, 50.0);
+  StoreConfig cfg;
+  cfg.chunk_samples = 512;
+
+  RetentionStore reduced(cfg);
+  reduced.create_stream("s", 1.0);
+  for (int i = 0; i < 2048; ++i) reduced.append("s", tone.value(i));
+
+  // The same data in a store with (effectively) no chunk sealing yet.
+  StoreConfig raw_cfg;
+  raw_cfg.chunk_samples = 1 << 20;  // effectively never seals
+  RetentionStore raw(raw_cfg);
+  raw.create_stream("s", 1.0);
+  for (int i = 0; i < 2048; ++i) raw.append("s", tone.value(i));
+
+  EXPECT_LT(reduced.storage_cost().storage_bytes,
+            raw.storage_cost().storage_bytes / 2.0);
+}
+
+TEST(RatePriors, LearnFromAuditAndWarmStart) {
+  tel::FleetConfig fleet_cfg;
+  fleet_cfg.target_pairs = 150;
+  fleet_cfg.seed = 11;
+  fleet_cfg.topology.pods = 2;
+  const tel::Fleet fleet(fleet_cfg);
+  const auto audit = mon::run_audit(fleet, mon::AuditConfig{});
+
+  RatePriorStore priors;
+  priors.learn_from(audit);
+  EXPECT_GT(priors.metrics_known(), 8u);
+
+  const auto temp = priors.prior(tel::MetricKind::kTemperature);
+  ASSERT_TRUE(temp.has_value());
+  EXPECT_GT(temp->observations, 0u);
+  EXPECT_LE(temp->median_rate_hz, temp->p90_rate_hz);
+  EXPECT_LE(temp->p90_rate_hz, temp->max_rate_hz);
+
+  nyq::AdaptiveConfig base;
+  base.initial_rate_hz = 1.0 / 300.0;
+  base.min_rate_hz = 1e-6;
+  base.max_rate_hz = 1.0;
+  const auto warmed = priors.warm_start(tel::MetricKind::kTemperature, base);
+  EXPECT_NEAR(warmed.initial_rate_hz,
+              std::clamp(base.headroom * temp->p90_rate_hz, base.min_rate_hz,
+                         base.max_rate_hz),
+              1e-12);
+}
+
+TEST(RatePriors, NoPriorLeavesConfigUntouched) {
+  RatePriorStore priors;
+  EXPECT_FALSE(priors.prior(tel::MetricKind::kLinkUtil).has_value());
+  nyq::AdaptiveConfig base;
+  base.initial_rate_hz = 0.123;
+  const auto cfg = priors.warm_start(tel::MetricKind::kLinkUtil, base);
+  EXPECT_DOUBLE_EQ(cfg.initial_rate_hz, 0.123);
+}
+
+TEST(RatePriors, DirectObservations) {
+  RatePriorStore priors;
+  priors.observe(tel::MetricKind::kFcsErrors, 0.01);
+  priors.observe(tel::MetricKind::kFcsErrors, 0.03);
+  priors.observe(tel::MetricKind::kFcsErrors, 0.02);
+  const auto p = priors.prior(tel::MetricKind::kFcsErrors);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->observations, 3u);
+  EXPECT_DOUBLE_EQ(p->median_rate_hz, 0.02);
+  EXPECT_DOUBLE_EQ(p->max_rate_hz, 0.03);
+  EXPECT_THROW(priors.observe(tel::MetricKind::kFcsErrors, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// AdaptiveSampler (paper Section 4.2): probing up under aliasing, settling
+// near the Nyquist rate, backing off on calm signals, and rate memory for
+// recurring events.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nyquist/adaptive_sampler.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using nyqmon::nyq::AdaptiveConfig;
+using nyqmon::nyq::AdaptiveRun;
+using nyqmon::nyq::AdaptiveSampler;
+using nyqmon::nyq::SamplerMode;
+using nyqmon::sig::PiecewiseSignal;
+using nyqmon::sig::SumOfSines;
+using nyqmon::sig::Tone;
+
+AdaptiveConfig test_config() {
+  AdaptiveConfig cfg;
+  cfg.initial_rate_hz = 0.01;
+  cfg.min_rate_hz = 1e-4;
+  cfg.max_rate_hz = 10.0;
+  cfg.window_duration_s = 20000.0;
+  return cfg;
+}
+
+std::function<double(double)> measure_of(const nyqmon::sig::ContinuousSignal& s) {
+  return [&s](double t) { return s.value(t); };
+}
+
+TEST(Adaptive, ConvergesToToneNyquistFromBelow) {
+  // Tone at 0.04 Hz (Nyquist 0.08) but starting rate ~0.011: the sampler
+  // must probe upward, then track near headroom * 0.08. (The starting rate
+  // is deliberately incommensurate with the tone — at exactly 0.01 Hz the
+  // tone would alias onto DC and be invisible to any spectral method.)
+  const SumOfSines tone({{0.04, 1.0, 0.0}});
+  AdaptiveConfig cfg = test_config();
+  cfg.initial_rate_hz = 0.011;
+  const AdaptiveSampler sampler(cfg);
+  const auto run = sampler.run(measure_of(tone), 0.0, 400000.0);
+
+  ASSERT_GT(run.steps.size(), 5u);
+  // Early windows probe (rates rise), final windows track.
+  EXPECT_EQ(run.steps.front().mode, SamplerMode::kProbe);
+  EXPECT_EQ(run.steps.back().mode, SamplerMode::kTrack);
+  EXPECT_GT(run.final_rate_hz, 0.08);
+  EXPECT_LT(run.final_rate_hz, 0.32);
+}
+
+TEST(Adaptive, BacksOffOnOversampledSignal) {
+  // Slow tone (Nyquist 0.002) with a fast starting rate: the sampler
+  // decreases toward headroom * 0.002.
+  const SumOfSines tone({{0.001, 1.0, 0.0}});
+  AdaptiveConfig cfg = test_config();
+  cfg.initial_rate_hz = 0.5;
+  cfg.window_duration_s = 40000.0;
+  const AdaptiveSampler sampler(cfg);
+  const auto run = sampler.run(measure_of(tone), 0.0, 1200000.0);
+
+  EXPECT_LT(run.final_rate_hz, 0.02);
+  EXPECT_GE(run.final_rate_hz, 0.002);
+}
+
+TEST(Adaptive, CostBelowStaticBaselineForCalmSignal) {
+  const SumOfSines tone({{0.0005, 1.0, 0.0}});
+  AdaptiveConfig cfg = test_config();
+  cfg.initial_rate_hz = 0.1;  // the "production default"
+  cfg.window_duration_s = 50000.0;
+  const auto run = AdaptiveSampler(cfg).run(measure_of(tone), 0.0, 2000000.0);
+  const std::size_t baseline = run.baseline_samples(0.1);
+  EXPECT_LT(run.total_samples, baseline / 5);
+}
+
+TEST(Adaptive, ReactsToBandwidthStep) {
+  // Calm first half, 20x busier second half: the sampler's rate in the
+  // last window must exceed its rate just before the switch.
+  auto calm = std::make_shared<SumOfSines>(std::vector<Tone>{{0.002, 1.0, 0.0}});
+  auto busy = std::make_shared<SumOfSines>(std::vector<Tone>{{0.04, 1.0, 0.0}});
+  const double t_switch = 1000000.0;
+  const PiecewiseSignal pw({calm, busy}, {t_switch});
+
+  AdaptiveConfig cfg = test_config();
+  cfg.initial_rate_hz = 0.02;
+  cfg.window_duration_s = 50000.0;
+  const auto run = AdaptiveSampler(cfg).run(measure_of(pw), 0.0, 2000000.0);
+
+  double rate_before = 0.0, rate_after = 0.0;
+  for (const auto& step : run.steps) {
+    if (step.window_start_s < t_switch - cfg.window_duration_s)
+      rate_before = step.rate_hz;
+    rate_after = step.rate_hz;
+  }
+  EXPECT_GT(rate_after, 2.0 * rate_before);
+  EXPECT_GT(run.final_rate_hz, 0.08);
+}
+
+TEST(Adaptive, RateMemorySpeedsSecondRamp) {
+  // Busy burst, calm valley, busy again. With memory the second ramp jumps
+  // straight back; without, it re-probes step by step. Compare the number
+  // of windows spent below the target rate during the second busy phase.
+  auto busy = std::make_shared<SumOfSines>(std::vector<Tone>{{0.04, 1.0, 0.0}});
+  auto calm = std::make_shared<SumOfSines>(std::vector<Tone>{{0.001, 1.0, 0.0}});
+  const PiecewiseSignal pw({busy, calm, busy}, {800000.0, 1600000.0});
+
+  auto count_slow_windows = [&](bool memory) {
+    AdaptiveConfig cfg = test_config();
+    cfg.initial_rate_hz = 0.005;
+    cfg.window_duration_s = 50000.0;
+    cfg.use_rate_memory = memory;
+    const auto run = AdaptiveSampler(cfg).run(measure_of(pw), 0.0, 2400000.0);
+    std::size_t slow = 0;
+    for (const auto& step : run.steps) {
+      if (step.window_start_s >= 1600000.0 && step.rate_hz < 0.08) ++slow;
+    }
+    return slow;
+  };
+
+  EXPECT_LE(count_slow_windows(true), count_slow_windows(false));
+}
+
+TEST(Adaptive, RespectsRateBounds) {
+  const SumOfSines fast({{5.0, 1.0, 0.0}});  // far above max_rate ceiling
+  AdaptiveConfig cfg = test_config();
+  cfg.max_rate_hz = 0.05;
+  cfg.window_duration_s = 20000.0;
+  const auto run = AdaptiveSampler(cfg).run(measure_of(fast), 0.0, 400000.0);
+  for (const auto& step : run.steps) {
+    EXPECT_LE(step.rate_hz, cfg.max_rate_hz * (1.0 + 1e-9));
+    EXPECT_GE(step.rate_hz, cfg.min_rate_hz * (1.0 - 1e-9));
+  }
+}
+
+TEST(Adaptive, CollectedSamplesCoverTheRun) {
+  const SumOfSines tone({{0.01, 1.0, 0.0}});
+  const auto run =
+      AdaptiveSampler(test_config()).run(measure_of(tone), 0.0, 200000.0);
+  ASSERT_FALSE(run.collected.empty());
+  EXPECT_GE(run.collected.start_time(), 0.0);
+  EXPECT_LE(run.collected.end_time(), 200000.0);
+  EXPECT_GE(run.total_samples, run.collected.size());  // detector overhead
+  EXPECT_DOUBLE_EQ(run.duration_s, 200000.0);
+}
+
+TEST(Adaptive, StepLogIsConsistent) {
+  const SumOfSines tone({{0.01, 1.0, 0.0}});
+  const auto run =
+      AdaptiveSampler(test_config()).run(measure_of(tone), 0.0, 300000.0);
+  double t_prev = -1.0;
+  for (const auto& step : run.steps) {
+    EXPECT_GT(step.window_start_s, t_prev);
+    t_prev = step.window_start_s;
+    EXPECT_GT(step.rate_hz, 0.0);
+    EXPECT_GT(step.next_rate_hz, 0.0);
+    EXPECT_GT(step.samples_acquired, 0u);
+  }
+  EXPECT_DOUBLE_EQ(run.steps.back().next_rate_hz, run.final_rate_hz);
+}
+
+TEST(Adaptive, ConfigValidation) {
+  AdaptiveConfig bad = test_config();
+  bad.probe_factor = 1.0;
+  EXPECT_THROW(AdaptiveSampler{bad}, std::invalid_argument);
+  bad = test_config();
+  bad.headroom = 0.5;
+  EXPECT_THROW(AdaptiveSampler{bad}, std::invalid_argument);
+  bad = test_config();
+  bad.min_rate_hz = 1.0;
+  bad.max_rate_hz = 0.1;
+  EXPECT_THROW(AdaptiveSampler{bad}, std::invalid_argument);
+}
+
+TEST(Adaptive, NullMeasureThrows) {
+  EXPECT_THROW((void)AdaptiveSampler(test_config())
+                   .run(std::function<double(double)>(), 0.0, 100.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Dual-rate aliasing detection (Penny et al., paper Section 4.1): true
+// positives on undersampled signals, true negatives on oversampled ones,
+// noise robustness, and the non-integer-ratio contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nyquist/aliasing_detector.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using nyqmon::nyq::DetectionResult;
+using nyqmon::nyq::DetectorConfig;
+using nyqmon::nyq::DualRateAliasingDetector;
+using nyqmon::sig::SumOfSines;
+using nyqmon::sig::Tone;
+
+// Probe a source at `slow_rate`; the measurement callback is noiseless.
+DetectionResult probe_signal(const nyqmon::sig::ContinuousSignal& s,
+                             double slow_rate, double duration = 4096.0,
+                             DetectorConfig cfg = {}) {
+  const DualRateAliasingDetector det(cfg);
+  return det.probe([&s](double t) { return s.value(t); }, 0.0, duration,
+                   slow_rate);
+}
+
+TEST(Detector, NoAliasingWhenWellSampled) {
+  const SumOfSines tone({{0.01, 1.0, 0.0}});
+  const auto r = probe_signal(tone, /*slow_rate=*/0.1, /*duration=*/40000.0);
+  EXPECT_FALSE(r.aliasing_detected);
+  EXPECT_LT(r.discrepancy, 0.1);
+}
+
+TEST(Detector, DetectsToneAboveSlowNyquist) {
+  // 0.45 Hz tone; slow stream at 0.5 Hz (Nyquist 0.25) aliases it to
+  // 0.05 Hz, the fast stream at 0.925 Hz (Nyquist 0.4625) holds it at
+  // 0.45 -> spectra disagree on the common band.
+  const SumOfSines tone({{0.45, 1.0, 0.0}});
+  const auto r = probe_signal(tone, /*slow_rate=*/0.5, /*duration=*/4096.0);
+  EXPECT_TRUE(r.aliasing_detected);
+  EXPECT_GT(r.discrepancy, 0.5);
+}
+
+TEST(Detector, DetectsBroadbandUndersampling) {
+  Rng rng(21);
+  const auto proc = nyqmon::sig::make_bandlimited_process(
+      0.2, 1.0, 64, rng, 0.0, nyqmon::sig::SpectralShape::kFlat);
+  const auto r = probe_signal(*proc, /*slow_rate=*/0.1, /*duration=*/20000.0);
+  EXPECT_TRUE(r.aliasing_detected);
+}
+
+TEST(Detector, CleanOnBandlimitedNoiseWellAboveNyquist) {
+  Rng rng(22);
+  const auto proc = nyqmon::sig::make_bandlimited_process(0.005, 1.0, 48, rng);
+  const auto r = probe_signal(*proc, /*slow_rate=*/0.1, /*duration=*/40000.0);
+  EXPECT_FALSE(r.aliasing_detected);
+}
+
+TEST(Detector, RobustToSmallAmplitudeNoise) {
+  // The paper: "noise especially of a small amplitude can be filtered using
+  // standard techniques". A strong in-band tone plus faint measurement
+  // noise must not trip the detector.
+  Rng rng(23);
+  const SumOfSines tone({{0.01, 1.0, 0.0}});
+  auto noisy = std::make_shared<Rng>(rng.fork());
+  const DualRateAliasingDetector det;
+  const auto r = det.probe(
+      [&tone, noisy](double t) {
+        return tone.value(t) + noisy->normal(0.0, 0.02);
+      },
+      0.0, 40000.0, 0.1);
+  EXPECT_FALSE(r.aliasing_detected) << "discrepancy=" << r.discrepancy;
+}
+
+TEST(Detector, FlatSignalDoesNotTrip) {
+  const SumOfSines flat({}, /*dc=*/7.0);
+  const auto r = probe_signal(flat, 0.05);
+  EXPECT_FALSE(r.aliasing_detected);
+  EXPECT_DOUBLE_EQ(r.discrepancy, 0.0);
+}
+
+TEST(Detector, DirectDetectRequiresFasterFirstStream) {
+  const SumOfSines tone({{0.01, 1.0, 0.0}});
+  const auto fast = tone.sample(0.0, 1.0, 256);
+  const auto slow = tone.sample(0.0, 3.7, 256);
+  const DualRateAliasingDetector det;
+  EXPECT_NO_THROW((void)det.detect(fast, slow));
+  EXPECT_THROW((void)det.detect(slow, fast), std::invalid_argument);
+}
+
+TEST(Detector, TinyStreamsRejected) {
+  const SumOfSines tone({{0.01, 1.0, 0.0}});
+  const auto fast = tone.sample(0.0, 1.0, 4);
+  const auto slow = tone.sample(0.0, 2.0, 4);
+  EXPECT_THROW((void)DualRateAliasingDetector().detect(fast, slow),
+               std::invalid_argument);
+}
+
+TEST(Detector, IntegerRatioConfigRejected) {
+  DetectorConfig cfg;
+  cfg.rate_ratio = 2.0;  // Penny et al. require non-integer ratios
+  EXPECT_THROW(DualRateAliasingDetector{cfg}, std::invalid_argument);
+  cfg.rate_ratio = 0.5;
+  EXPECT_THROW(DualRateAliasingDetector{cfg}, std::invalid_argument);
+}
+
+TEST(Detector, ReportsComparedBand) {
+  const SumOfSines tone({{0.01, 1.0, 0.0}});
+  DetectorConfig cfg;
+  cfg.band_guard_fraction = 0.1;
+  const auto r = probe_signal(tone, 0.1, 20000.0, cfg);
+  EXPECT_NEAR(r.common_band_hz, 0.045, 1e-9);  // 0.05 * (1 - 0.1)
+  EXPECT_GT(r.compared_bins, 10u);
+}
+
+// Sweep: tone frequency relative to the slow Nyquist frequency. Below ->
+// clean; above (up to the fast Nyquist) -> detected.
+class DetectorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectorSweep, VerdictMatchesGroundTruth) {
+  const double ratio = GetParam();  // tone freq / slow Nyquist freq
+  const double slow_rate = 0.2;
+  const double slow_nyq = slow_rate / 2.0;
+  const double tone_hz = ratio * slow_nyq;
+  const SumOfSines tone({{tone_hz, 1.0, 0.7}});
+  const auto r = probe_signal(tone, slow_rate, 60000.0);
+  // Guard band: ratios within +-15% of 1.0 are legitimately ambiguous.
+  if (ratio < 0.85) {
+    EXPECT_FALSE(r.aliasing_detected) << "ratio=" << ratio;
+  } else if (ratio > 1.15) {
+    EXPECT_TRUE(r.aliasing_detected) << "ratio=" << ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ToneVsSlowNyquist, DetectorSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.8, 1.2, 1.4,
+                                           1.6));
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Ergodicity analysis (paper Section 6 "Beyond Nyquist"): time-average vs
+// ensemble statistics and the canary observation horizon.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nyquist/ergodicity.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using nyqmon::nyq::ErgodicityAnalyzer;
+using nyqmon::nyq::ErgodicityConfig;
+using nyqmon::nyq::ErgodicityReport;
+using nyqmon::sig::RegularSeries;
+
+// A fleet of devices drawing from the *same* stationary process (ergodic by
+// construction): same band, same RMS, independent phases.
+std::vector<RegularSeries> ergodic_fleet(std::size_t devices, std::size_t n,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RegularSeries> fleet;
+  for (std::size_t d = 0; d < devices; ++d) {
+    Rng child = rng.fork();
+    const auto proc = nyqmon::sig::make_bandlimited_process(
+        0.01, 3.0, 24, child, /*dc=*/50.0);
+    fleet.push_back(proc->sample(0.0, 10.0, n));
+  }
+  return fleet;
+}
+
+// A fleet with persistent per-device offsets (NOT ergodic: time averaging
+// one device never reveals the cross-device spread).
+std::vector<RegularSeries> heterogeneous_fleet(std::size_t devices,
+                                               std::size_t n,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RegularSeries> fleet;
+  for (std::size_t d = 0; d < devices; ++d) {
+    Rng child = rng.fork();
+    const double dc = child.uniform(20.0, 80.0);  // device identity
+    const auto proc =
+        nyqmon::sig::make_bandlimited_process(0.01, 1.0, 24, child, dc);
+    fleet.push_back(proc->sample(0.0, 10.0, n));
+  }
+  return fleet;
+}
+
+TEST(Ergodicity, ErgodicFleetConverges) {
+  const auto fleet = ergodic_fleet(24, 4096, 71);
+  const auto report = ErgodicityAnalyzer().analyze(fleet);
+  EXPECT_GT(report.converged_fraction, 0.9);
+  ASSERT_TRUE(report.convergence_horizon_s.has_value());
+  // Converges well before the full window (4096 * 10 s).
+  EXPECT_LT(*report.convergence_horizon_s, 4096.0 * 10.0 / 2.0);
+  EXPECT_NEAR(report.ensemble.mean, 50.0, 1.0);
+}
+
+TEST(Ergodicity, HeterogeneousFleetDoesNotConverge) {
+  const auto fleet = heterogeneous_fleet(24, 4096, 72);
+  const auto report = ErgodicityAnalyzer().analyze(fleet);
+  // Device means are pinned to their private DC levels: most devices never
+  // agree with the fleet-wide mean.
+  EXPECT_LT(report.converged_fraction, 0.5);
+}
+
+TEST(Ergodicity, HorizonShrinksWithTighterBand) {
+  // Faster dynamics => the time average stabilizes sooner.
+  auto make_fleet = [](double bandwidth, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<RegularSeries> fleet;
+    for (int d = 0; d < 16; ++d) {
+      Rng child = rng.fork();
+      const auto proc = nyqmon::sig::make_bandlimited_process(
+          bandwidth, 3.0, 24, child, 50.0);
+      fleet.push_back(proc->sample(0.0, 10.0, 4096));
+    }
+    return fleet;
+  };
+  const auto fast = ErgodicityAnalyzer().analyze(make_fleet(0.02, 73));
+  const auto slow = ErgodicityAnalyzer().analyze(make_fleet(0.002, 73));
+  ASSERT_TRUE(fast.convergence_horizon_s.has_value());
+  if (slow.convergence_horizon_s) {
+    EXPECT_LE(*fast.convergence_horizon_s, *slow.convergence_horizon_s);
+  }
+}
+
+TEST(Ergodicity, ReportFieldsPopulated) {
+  const auto fleet = ergodic_fleet(8, 512, 74);
+  const auto report = ErgodicityAnalyzer().analyze(fleet);
+  EXPECT_EQ(report.device_time_means.size(), 8u);
+  EXPECT_GT(report.ensemble.count, 0u);
+  EXPECT_GE(report.ensemble.max, report.ensemble.min);
+}
+
+TEST(Ergodicity, InputValidation) {
+  const auto one = ergodic_fleet(1, 64, 75);
+  EXPECT_THROW((void)ErgodicityAnalyzer().analyze(one),
+               std::invalid_argument);
+
+  auto mismatched = ergodic_fleet(2, 64, 76);
+  mismatched.push_back(RegularSeries(0.0, 10.0, std::vector<double>(32, 1.0)));
+  EXPECT_THROW((void)ErgodicityAnalyzer().analyze(mismatched),
+               std::invalid_argument);
+
+  ErgodicityConfig bad;
+  bad.mean_tolerance_sigmas = 0.0;
+  EXPECT_THROW(ErgodicityAnalyzer{bad}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Multivariate estimation (paper Section 6): per-component Nyquist rates,
+// the common-rate plan, and the central claim that sampling above Nyquist
+// preserves cross-signal correlations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nyquist/multivariate.h"
+#include "reconstruct/lowpass_reconstructor.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using namespace nyqmon::nyq;
+using nyqmon::sig::RegularSeries;
+using nyqmon::sig::SumOfSines;
+using nyqmon::sig::Tone;
+
+std::vector<RegularSeries> two_tone_bundle() {
+  const SumOfSines slow({{0.002, 1.0, 0.0}});
+  const SumOfSines fast({{0.02, 1.0, 1.0}});
+  return {slow.sample(0.0, 5.0, 8192), fast.sample(0.0, 5.0, 8192)};
+}
+
+TEST(Multivariate, PerComponentRates) {
+  const auto bundle = two_tone_bundle();
+  const auto est = MultivariateNyquistEstimator().estimate(bundle);
+  ASSERT_EQ(est.components.size(), 2u);
+  ASSERT_TRUE(est.all_ok());
+  EXPECT_NEAR(est.components[0].nyquist_rate_hz, 0.004, 0.001);
+  EXPECT_NEAR(est.components[1].nyquist_rate_hz, 0.04, 0.005);
+}
+
+TEST(Multivariate, CommonRateIsMaxComponent) {
+  const auto bundle = two_tone_bundle();
+  const auto est = MultivariateNyquistEstimator().estimate(bundle);
+  EXPECT_NEAR(est.common_nyquist_rate_hz, 0.04, 0.005);
+  // Per-component collection is cheaper than the common-rate plan.
+  EXPECT_LT(est.per_component_samples_per_s, est.common_rate_samples_per_s);
+}
+
+TEST(Multivariate, AliasedComponentBlocksCertification) {
+  Rng rng(3);
+  const auto broadband = nyqmon::sig::make_bandlimited_process(
+      5.0, 1.0, 64, rng, 0.0, nyqmon::sig::SpectralShape::kFlat);
+  const SumOfSines slow({{0.002, 1.0, 0.0}});
+  const std::vector<RegularSeries> bundle{
+      slow.sample(0.0, 5.0, 2048), broadband->sample(0.0, 5.0, 2048)};
+  const auto est = MultivariateNyquistEstimator().estimate(bundle);
+  EXPECT_FALSE(est.all_ok());
+  EXPECT_DOUBLE_EQ(est.common_nyquist_rate_hz, -1.0);
+}
+
+TEST(Multivariate, MismatchedBundlesThrow) {
+  const SumOfSines s({{0.01, 1.0, 0.0}});
+  const std::vector<RegularSeries> lengths{s.sample(0.0, 1.0, 128),
+                                           s.sample(0.0, 1.0, 64)};
+  EXPECT_THROW((void)MultivariateNyquistEstimator().estimate(lengths),
+               std::invalid_argument);
+  const std::vector<RegularSeries> rates{s.sample(0.0, 1.0, 128),
+                                         s.sample(0.0, 2.0, 128)};
+  EXPECT_THROW((void)MultivariateNyquistEstimator().estimate(rates),
+               std::invalid_argument);
+  EXPECT_THROW((void)MultivariateNyquistEstimator().estimate({}),
+               std::invalid_argument);
+}
+
+TEST(Pearson, KnownValues) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(a, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(a, down), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(a, flat), 0.0);
+}
+
+TEST(CorrelationMatrix, SymmetricWithUnitDiagonal) {
+  Rng rng(4);
+  std::vector<RegularSeries> bundle;
+  for (int i = 0; i < 3; ++i) {
+    const auto proc = nyqmon::sig::make_bandlimited_process(0.01, 1.0, 8, rng);
+    bundle.push_back(proc->sample(0.0, 5.0, 512));
+  }
+  const auto m = correlation_matrix(bundle);
+  ASSERT_EQ(m.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 1.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+      EXPECT_LE(std::abs(m[i][j]), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Multivariate, CorrelationsPreservedAboveNyquist) {
+  // The paper's claim: per-component sampling above each component's
+  // Nyquist rate preserves cross-correlations after reconstruction.
+  // Build two strongly correlated signals (shared tone + private tones).
+  const Tone shared{0.002, 1.0, 0.4};
+  const SumOfSines a({shared, {0.0008, 0.5, 1.2}});
+  const SumOfSines b({shared, {0.0035, 0.5, 2.1}});
+  const std::vector<RegularSeries> dense{a.sample(0.0, 5.0, 8192),
+                                         b.sample(0.0, 5.0, 8192)};
+  const auto before = correlation_matrix(dense);
+
+  // Downsample each component to ~3x its own Nyquist rate, reconstruct.
+  std::vector<RegularSeries> recon;
+  const double nyq_a = 2.0 * a.bandwidth_hz();
+  const double nyq_b = 2.0 * b.bandwidth_hz();
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double fs = dense[i].sample_rate_hz();
+    const double target = 3.0 * (i == 0 ? nyq_a : nyq_b);
+    const auto factor = static_cast<std::size_t>(fs / target);
+    recon.push_back(nyqmon::rec::round_trip(dense[i], factor));
+  }
+  const auto after = correlation_matrix(recon);
+  EXPECT_LT(correlation_distortion(before, after), 0.05);
+}
+
+TEST(Multivariate, CorrelationsDestroyedBelowNyquist) {
+  // Converse: undersampling one component distorts the joint statistics.
+  const Tone shared{0.02, 1.0, 0.4};
+  const SumOfSines a({shared});
+  const SumOfSines b({shared, {0.001, 0.3, 0.0}});
+  const std::vector<RegularSeries> dense{a.sample(0.0, 5.0, 8192),
+                                         b.sample(0.0, 5.0, 8192)};
+  const auto before = correlation_matrix(dense);
+
+  std::vector<RegularSeries> recon;
+  recon.push_back(nyqmon::rec::round_trip(dense[0], 16));  // fs'=0.0125 < 0.04
+  recon.push_back(dense[1]);
+  const auto after = correlation_matrix(recon);
+  EXPECT_GT(correlation_distortion(before, after), 0.3);
+}
+
+TEST(CorrelationDistortion, SizeMismatchThrows) {
+  EXPECT_THROW((void)correlation_distortion({{1.0}}, {{1.0, 0.0}, {0.0, 1.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Property-style sweeps over the core Nyquist machinery: estimator
+// invariants across preprocessing configurations, adaptive-sampler run
+// invariants across parameter grids, and end-to-end cost/quality
+// monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "monitor/pipeline.h"
+#include "nyquist/adaptive_sampler.h"
+#include "nyquist/estimator.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using namespace nyqmon::nyq;
+using nyqmon::sig::SumOfSines;
+using nyqmon::sig::Tone;
+
+// ----------------------------------------------- estimator config lattice
+class EstimatorConfigSweep
+    : public ::testing::TestWithParam<
+          std::tuple<nyqmon::dsp::WindowType, DetrendMode>> {};
+
+TEST_P(EstimatorConfigSweep, ToneEstimateStableAcrossPreprocessing) {
+  // A strong mid-band tone must be estimated consistently regardless of
+  // window type and detrend mode (the configuration mostly matters for
+  // edge cases; the bread-and-butter signal cannot depend on it).
+  const auto [window, detrend] = GetParam();
+  const SumOfSines tone({{0.02, 2.0, 0.4}}, /*dc=*/10.0);
+  const auto trace = tone.sample(0.0, 2.0, 8192);
+  EstimatorConfig cfg;
+  cfg.window = window;
+  cfg.detrend = detrend;
+  const auto est = NyquistEstimator(cfg).estimate(trace);
+  ASSERT_EQ(est.verdict, NyquistEstimate::Verdict::kOk)
+      << nyqmon::dsp::window_name(window) << "/" << static_cast<int>(detrend);
+  // DC-included mode may sit at the low floor only if the tone is weak —
+  // at amplitude 2 vs DC 10 the tone carries >1% of energy, so all modes
+  // must land within a factor 2.2 of the true 0.04 Hz.
+  EXPECT_GT(est.nyquist_rate_hz, 0.04 / 2.2);
+  EXPECT_LT(est.nyquist_rate_hz, 0.04 * 2.2);
+}
+
+TEST_P(EstimatorConfigSweep, VerdictNeverOkOnTinyTraces) {
+  const auto [window, detrend] = GetParam();
+  EstimatorConfig cfg;
+  cfg.window = window;
+  cfg.detrend = detrend;
+  const nyqmon::sig::RegularSeries tiny(0.0, 1.0, {1.0, 2.0, 1.0, 2.0});
+  const auto est = NyquistEstimator(cfg).estimate(tiny);
+  EXPECT_EQ(est.verdict, NyquistEstimate::Verdict::kTooShort);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EstimatorConfigSweep,
+    ::testing::Combine(::testing::Values(nyqmon::dsp::WindowType::kRectangular,
+                                         nyqmon::dsp::WindowType::kHann,
+                                         nyqmon::dsp::WindowType::kBlackman),
+                       ::testing::Values(DetrendMode::kMean,
+                                         DetrendMode::kLinear)));
+
+// -------------------------------------------------- cutoff monotonicity
+class CutoffSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutoffSweep, EstimateMonotoneInCutoffOnRandomProcesses) {
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const double bw = rng.log_uniform(1e-3, 1e-1);
+  const auto proc = nyqmon::sig::make_bandlimited_process(bw, 1.0, 32, rng);
+  const auto trace = proc->sample(0.0, 1.0 / (8.0 * bw), 4096);
+  double prev = 0.0;
+  for (double cutoff : {0.5, 0.9, 0.99, 0.999}) {
+    EstimatorConfig cfg;
+    cfg.energy_cutoff = cutoff;
+    const auto est = NyquistEstimator(cfg).estimate(trace);
+    ASSERT_TRUE(est.ok());
+    EXPECT_GE(est.nyquist_rate_hz, prev - 1e-12) << "seed " << GetParam();
+    prev = est.nyquist_rate_hz;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutoffSweep, ::testing::Range(0, 8));
+
+// ------------------------------------------------ adaptive run invariants
+class AdaptiveSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AdaptiveSweep, RunInvariantsHoldForAnyConfig) {
+  const auto [initial_rate, window_s] = GetParam();
+  const SumOfSines tone({{0.01, 1.0, 0.0}}, 5.0);
+  AdaptiveConfig cfg;
+  cfg.initial_rate_hz = initial_rate;
+  cfg.min_rate_hz = 1e-4;
+  cfg.max_rate_hz = 1.0;
+  cfg.window_duration_s = window_s;
+  const double duration = 12.0 * window_s;
+  const auto run = AdaptiveSampler(cfg).run(
+      [&tone](double t) { return tone.value(t); }, 0.0, duration);
+
+  // Invariant set: window log contiguous and within bounds; collected
+  // samples inside the run interval and time-ordered; cost >= collected.
+  ASSERT_EQ(run.steps.size(), 12u);
+  double expected_t = 0.0;
+  std::size_t primary_total = 0;
+  for (const auto& step : run.steps) {
+    EXPECT_NEAR(step.window_start_s, expected_t, 1e-6);
+    expected_t += window_s;
+    EXPECT_GE(step.rate_hz, cfg.min_rate_hz * (1 - 1e-9));
+    EXPECT_LE(step.rate_hz, cfg.max_rate_hz * (1 + 1e-9));
+    EXPECT_GE(step.next_rate_hz, cfg.min_rate_hz * (1 - 1e-9));
+    EXPECT_LE(step.next_rate_hz, cfg.max_rate_hz * (1 + 1e-9));
+    EXPECT_GE(step.samples_acquired, 8u);
+    primary_total += step.samples_acquired;
+  }
+  EXPECT_EQ(run.total_samples, primary_total);
+  EXPECT_GE(run.total_samples, run.collected.size());
+  double prev_t = -1.0;
+  for (const auto& s : run.collected.samples()) {
+    EXPECT_GE(s.t, 0.0);
+    EXPECT_LT(s.t, duration);
+    EXPECT_GE(s.t, prev_t);
+    prev_t = s.t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdaptiveSweep,
+    ::testing::Combine(::testing::Values(0.001, 0.02, 0.3),
+                       ::testing::Values(10000.0, 40000.0)));
+
+// --------------------------------------- pipeline headroom monotonicity
+class HeadroomSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeadroomSweep, MoreHeadroomNeverCheaper) {
+  const double headroom = GetParam();
+  const SumOfSines tone({{0.002, 4.0, 0.0}}, 40.0);
+  nyqmon::mon::PipelineConfig cfg;
+  cfg.sampler.initial_rate_hz = 0.05;
+  cfg.sampler.min_rate_hz = 1e-4;
+  cfg.sampler.max_rate_hz = 1.0;
+  cfg.sampler.window_duration_s = 30000.0;
+  cfg.sampler.headroom = headroom;
+  const auto result = nyqmon::mon::AdaptiveMonitoringPipeline(cfg).run(
+      tone, 0.0, 600000.0, 0.05);
+  // Store per-instantiation results through a static map keyed by headroom
+  // would be fragile; instead assert the absolute envelope: cost grows
+  // with headroom, so savings at headroom h must stay within
+  // [savings(3.0-ish lower bound), savings(1.0-ish upper bound)].
+  EXPECT_GT(result.cost_savings, 1.0);
+  EXPECT_LT(result.nrmse, 0.08);
+  // The final tracked rate scales ~ linearly with headroom once the
+  // headroom is comfortable. At ~1.1x the operating rate sits so close to
+  // the Nyquist edge that periodic re-checks legitimately bounce it upward
+  // (thin headroom is unstable — the reason the paper recommends "ample
+  // headroom"), so the proportionality claim starts at 1.5x.
+  if (headroom >= 1.5) {
+    EXPECT_NEAR(result.run.final_rate_hz / headroom, 0.004, 0.002)
+        << "headroom=" << headroom;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Headrooms, HeadroomSweep,
+                         ::testing::Values(1.1, 1.5, 2.0, 3.0));
+
+}  // namespace

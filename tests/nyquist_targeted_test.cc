@@ -1,0 +1,98 @@
+// Targeted (Goertzel) aliasing detection — the cheap detector variant the
+// paper's Section 4.1 closing remark suggests.
+#include <gtest/gtest.h>
+
+#include "nyquist/targeted_detector.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using nyqmon::nyq::TargetedAliasingDetector;
+using nyqmon::nyq::TargetedDetection;
+using nyqmon::nyq::TargetedDetectorConfig;
+using nyqmon::sig::SumOfSines;
+using nyqmon::sig::Tone;
+
+TEST(Targeted, DefaultCandidatesCoverDatacenterPeriods) {
+  const auto c = TargetedAliasingDetector::default_candidates();
+  ASSERT_GE(c.size(), 8u);
+  // Diurnal fundamental and the 1-minute cron period must be present.
+  EXPECT_NE(std::find_if(c.begin(), c.end(),
+                         [](double f) { return std::abs(f - 1.0 / 86400.0) < 1e-12; }),
+            c.end());
+  EXPECT_NE(std::find_if(c.begin(), c.end(),
+                         [](double f) { return std::abs(f - 1.0 / 60.0) < 1e-12; }),
+            c.end());
+}
+
+TEST(Targeted, DetectsKnownToneAboveCandidateRate) {
+  // A 1-minute periodic component (a cron job) polled every 50 s: the
+  // 1/60 Hz tone sits above the slow Nyquist (0.01 Hz) but inside the fast
+  // checker's band (0.0185 Hz), so the targeted probe must flag it.
+  const SumOfSines cron({{1.0 / 60.0, 1.0, 0.3}});
+  const TargetedAliasingDetector detector;
+  const auto r = detector.probe(
+      [&cron](double t) { return cron.value(t); }, 0.0, 40000.0,
+      /*slow_rate=*/0.02, TargetedAliasingDetector::default_candidates());
+  EXPECT_TRUE(r.aliasing_detected);
+  ASSERT_FALSE(r.offending_frequencies_hz.empty());
+  EXPECT_NEAR(r.offending_frequencies_hz.front(), 1.0 / 60.0, 1e-9);
+}
+
+TEST(Targeted, CleanWhenContentBelowSlowNyquist) {
+  // Diurnal signal polled every 100 s: nothing above 1/200 Hz.
+  Rng rng(81);
+  const auto diurnal = nyqmon::sig::make_diurnal(5.0, 3, rng, 40.0);
+  const TargetedAliasingDetector detector;
+  const auto r = detector.probe(
+      [&diurnal](double t) { return diurnal->value(t); }, 0.0, 10.0 * 86400.0,
+      0.01, TargetedAliasingDetector::default_candidates());
+  EXPECT_FALSE(r.aliasing_detected);
+}
+
+TEST(Targeted, IgnoresCandidatesOutsideProbeableBand) {
+  // Candidates below slow Nyquist or above fast Nyquist are not probed.
+  const SumOfSines tone({{0.001, 1.0, 0.0}});
+  const TargetedAliasingDetector detector;
+  const std::vector<double> candidates{0.0001, 0.001,  // below slow nyq 0.005
+                                       10.0};          // above fast nyq
+  const auto r = detector.probe(
+      [&tone](double t) { return tone.value(t); }, 0.0, 50000.0, 0.01,
+      candidates);
+  EXPECT_EQ(r.candidates_probed, 0u);
+  EXPECT_FALSE(r.aliasing_detected);
+}
+
+TEST(Targeted, MissesFrequenciesNotInCandidateList) {
+  // The cost of being targeted: an off-list tone goes unnoticed. This is
+  // the designed trade-off versus the full-spectrum detector.
+  const SumOfSines odd({{0.0137, 1.0, 0.0}});  // not a datacenter period
+  const TargetedAliasingDetector detector;
+  const auto r = detector.probe(
+      [&odd](double t) { return odd.value(t); }, 0.0, 40000.0, 0.01,
+      TargetedAliasingDetector::default_candidates());
+  EXPECT_FALSE(r.aliasing_detected);
+}
+
+TEST(Targeted, ConfigValidation) {
+  TargetedDetectorConfig bad;
+  bad.rate_ratio = 2.0;
+  EXPECT_THROW(TargetedAliasingDetector{bad}, std::invalid_argument);
+  bad.rate_ratio = 1.85;
+  bad.power_fraction_threshold = 0.0;
+  EXPECT_THROW(TargetedAliasingDetector{bad}, std::invalid_argument);
+}
+
+TEST(Targeted, EmptyCandidateListThrows) {
+  const SumOfSines tone({{0.01, 1.0, 0.0}});
+  const TargetedAliasingDetector detector;
+  EXPECT_THROW((void)detector.probe(
+                   [&tone](double t) { return tone.value(t); }, 0.0, 1000.0,
+                   0.01, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// WindowedNyquistTracker — the moving-window analysis behind Figure 7.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nyquist/windowed_tracker.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using nyqmon::nyq::NyquistEstimate;
+using nyqmon::nyq::TrackedEstimate;
+using nyqmon::nyq::TrackerConfig;
+using nyqmon::nyq::WindowedNyquistTracker;
+using nyqmon::sig::PiecewiseSignal;
+using nyqmon::sig::RegularSeries;
+using nyqmon::sig::SumOfSines;
+using nyqmon::sig::Tone;
+
+TEST(Tracker, EmitsOneEstimatePerStep) {
+  const SumOfSines tone({{0.02, 1.0, 0.0}});
+  const auto trace = tone.sample(0.0, 1.0, 7200);  // 2 h at 1 Hz
+  TrackerConfig cfg;
+  cfg.window_duration_s = 600.0;
+  cfg.step_s = 300.0;
+  const auto tracked = WindowedNyquistTracker(cfg).track(trace);
+  // (7200 - 600)/300 + 1 windows.
+  EXPECT_EQ(tracked.size(), 23u);
+  EXPECT_DOUBLE_EQ(tracked[0].window_start_s, 0.0);
+  EXPECT_DOUBLE_EQ(tracked[1].window_start_s, 300.0);
+}
+
+TEST(Tracker, ShortTraceYieldsSingleWholeTraceEstimate) {
+  const SumOfSines tone({{0.05, 1.0, 0.0}});
+  const auto trace = tone.sample(0.0, 1.0, 100);
+  TrackerConfig cfg;
+  cfg.window_duration_s = 1e6;
+  const auto tracked = WindowedNyquistTracker(cfg).track(trace);
+  ASSERT_EQ(tracked.size(), 1u);
+  EXPECT_EQ(tracked[0].estimate.verdict, NyquistEstimate::Verdict::kOk);
+}
+
+TEST(Tracker, StationaryToneGivesStableEstimates) {
+  const SumOfSines tone({{0.01, 2.0, 0.3}});
+  const auto trace = tone.sample(0.0, 5.0, 17280);  // one day at 0.2 Hz
+  TrackerConfig cfg;
+  cfg.window_duration_s = 6.0 * 3600.0;  // the paper's 6 h window
+  cfg.step_s = 300.0;                    // and 5 min step
+  const auto tracked = WindowedNyquistTracker(cfg).track(trace);
+  ASSERT_GT(tracked.size(), 10u);
+  for (const auto& te : tracked) {
+    ASSERT_EQ(te.estimate.verdict, NyquistEstimate::Verdict::kOk);
+    EXPECT_NEAR(te.estimate.nyquist_rate_hz, 0.02, 0.004);
+  }
+}
+
+TEST(Tracker, DetectsBandwidthShift) {
+  // Calm (0.005 Hz tone) for 12 h, busy (0.05 Hz) for 12 h: the tracked
+  // rate must step up by ~10x between the halves.
+  auto calm = std::make_shared<SumOfSines>(std::vector<Tone>{{0.005, 1.0, 0.0}});
+  auto busy = std::make_shared<SumOfSines>(std::vector<Tone>{{0.05, 1.0, 0.0}});
+  const PiecewiseSignal pw({calm, busy}, {43200.0});
+  const auto trace = pw.sample(0.0, 5.0, 17280);
+
+  TrackerConfig cfg;
+  cfg.window_duration_s = 4.0 * 3600.0;
+  cfg.step_s = 3600.0;
+  const auto tracked = WindowedNyquistTracker(cfg).track(trace);
+  ASSERT_GT(tracked.size(), 15u);
+
+  const auto& early = tracked.front().estimate;
+  const auto& late = tracked.back().estimate;
+  ASSERT_EQ(early.verdict, NyquistEstimate::Verdict::kOk);
+  ASSERT_EQ(late.verdict, NyquistEstimate::Verdict::kOk);
+  EXPECT_NEAR(early.nyquist_rate_hz, 0.01, 0.003);
+  EXPECT_NEAR(late.nyquist_rate_hz, 0.1, 0.02);
+}
+
+TEST(Tracker, MaxRateSelectsPeak) {
+  std::vector<TrackedEstimate> tracked(3);
+  tracked[0].estimate.verdict = NyquistEstimate::Verdict::kOk;
+  tracked[0].estimate.nyquist_rate_hz = 0.1;
+  tracked[1].estimate.verdict = NyquistEstimate::Verdict::kAliased;
+  tracked[1].estimate.nyquist_rate_hz = -1.0;
+  tracked[2].estimate.verdict = NyquistEstimate::Verdict::kOk;
+  tracked[2].estimate.nyquist_rate_hz = 0.4;
+  const auto best = WindowedNyquistTracker::max_rate(tracked);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(*best, 0.4);
+}
+
+TEST(Tracker, MaxRateEmptyWhenNothingOk) {
+  std::vector<TrackedEstimate> tracked(2);
+  tracked[0].estimate.verdict = NyquistEstimate::Verdict::kAliased;
+  tracked[1].estimate.verdict = NyquistEstimate::Verdict::kFlat;
+  EXPECT_FALSE(WindowedNyquistTracker::max_rate(tracked).has_value());
+}
+
+TEST(Tracker, ConfigValidation) {
+  TrackerConfig bad;
+  bad.window_duration_s = 0.0;
+  EXPECT_THROW(WindowedNyquistTracker{bad}, std::invalid_argument);
+  bad.window_duration_s = 10.0;
+  bad.step_s = -1.0;
+  EXPECT_THROW(WindowedNyquistTracker{bad}, std::invalid_argument);
+}
+
+TEST(Tracker, EmptyTraceThrows) {
+  const RegularSeries empty(0.0, 1.0, {});
+  EXPECT_THROW((void)WindowedNyquistTracker().track(empty),
+               std::invalid_argument);
+}
+
+}  // namespace

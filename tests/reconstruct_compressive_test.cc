@@ -1,0 +1,133 @@
+// Compressive (sparse-spectrum) recovery via OMP — the paper's Section 5
+// "complementary technique" made concrete.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reconstruct/compressive.h"
+#include "reconstruct/error.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using nyqmon::rec::compressive_recover;
+using nyqmon::rec::CompressiveConfig;
+using nyqmon::rec::CompressiveModel;
+using nyqmon::sig::SumOfSines;
+using nyqmon::sig::TimeSeries;
+using nyqmon::sig::Tone;
+
+// Random (Poisson) samples of a signal over [0, duration].
+TimeSeries random_samples(const nyqmon::sig::ContinuousSignal& s,
+                          double duration, double mean_rate, Rng& rng) {
+  TimeSeries out;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(mean_rate);
+    if (t >= duration) break;
+    out.push(t, s.value(t));
+  }
+  return out;
+}
+
+TEST(Compressive, RecoversTwoTonesFromRandomSamples) {
+  // Two tones on the candidate grid, sampled at random times at a mean
+  // rate *below* the signal's Nyquist rate: OMP still nails both.
+  // Grid: 256 bins over (0, 0.128] -> bin width 5e-4; tones on-grid.
+  Rng rng(11);
+  const SumOfSines signal({{0.05, 2.0, 0.0}, {0.11, 1.0, 0.0}}, /*dc=*/10.0);
+  // Nyquist rate would be 0.22 Hz; sample at mean 0.15 Hz.
+  const auto samples = random_samples(signal, 20000.0, 0.15, rng);
+  ASSERT_GT(samples.size(), 100u);
+
+  CompressiveConfig cfg;
+  cfg.sparsity = 2;
+  cfg.grid_bins = 256;
+  cfg.max_frequency_hz = 0.128;
+  const auto model = compressive_recover(samples, cfg);
+
+  ASSERT_EQ(model.atoms.size(), 2u);
+  std::vector<double> freqs{model.atoms[0].frequency_hz,
+                            model.atoms[1].frequency_hz};
+  std::sort(freqs.begin(), freqs.end());
+  EXPECT_NEAR(freqs[0], 0.05, 5e-4);
+  EXPECT_NEAR(freqs[1], 0.11, 5e-4);
+  EXPECT_NEAR(model.dc, 10.0, 0.1);
+  EXPECT_LT(model.residual_energy_fraction, 1e-3);
+}
+
+TEST(Compressive, ModelEvaluatesCloseToTruth) {
+  Rng rng(12);
+  const SumOfSines signal({{0.02, 1.5, 0.8}}, 5.0);
+  const auto samples = random_samples(signal, 30000.0, 0.05, rng);
+
+  CompressiveConfig cfg;
+  cfg.sparsity = 1;
+  cfg.grid_bins = 500;
+  cfg.max_frequency_hz = 0.05;
+  const auto model = compressive_recover(samples, cfg);
+
+  // Evaluate densely and compare with ground truth.
+  double worst = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = i * 30.0;
+    worst = std::max(worst, std::abs(model.value(t) - signal.value(t)));
+  }
+  EXPECT_LT(worst, 0.05);
+}
+
+TEST(Compressive, StopsEarlyWhenResidualVanishes) {
+  Rng rng(13);
+  const SumOfSines signal({{0.04, 1.0, 0.0}});  // one tone
+  const auto samples = random_samples(signal, 20000.0, 0.1, rng);
+  CompressiveConfig cfg;
+  cfg.sparsity = 5;  // allowed more atoms than needed
+  cfg.grid_bins = 250;
+  cfg.max_frequency_hz = 0.05;
+  const auto model = compressive_recover(samples, cfg);
+  // Early stop after the first atom captures (nearly) everything.
+  EXPECT_LE(model.atoms.size(), 2u);
+  EXPECT_LT(model.residual_energy_fraction, 1e-3);
+}
+
+TEST(Compressive, ConstantSignalIsDcOnly) {
+  TimeSeries samples;
+  Rng rng(14);
+  for (int i = 0; i < 50; ++i) samples.push(rng.uniform(0.0, 100.0), 7.0);
+  CompressiveConfig cfg;
+  cfg.max_frequency_hz = 0.1;
+  const auto model = compressive_recover(samples, cfg);
+  EXPECT_NEAR(model.dc, 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(model.residual_energy_fraction, 0.0);
+  EXPECT_TRUE(model.atoms.empty());
+}
+
+TEST(Compressive, SampleGridHelper) {
+  CompressiveModel model;
+  model.dc = 2.0;
+  model.atoms.push_back({0.25, 1.0, 0.0});
+  const auto series = model.sample(0.0, 1.0, 4);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_NEAR(series[0], 3.0, 1e-12);   // cos(0) = 1
+  EXPECT_NEAR(series[2], 1.0, 1e-9);    // cos(pi) = -1
+}
+
+TEST(Compressive, InputValidation) {
+  TimeSeries tiny;
+  for (int i = 0; i < 4; ++i) tiny.push(i, 1.0);
+  EXPECT_THROW((void)compressive_recover(tiny, {}), std::invalid_argument);
+
+  TimeSeries ok;
+  for (int i = 0; i < 64; ++i) ok.push(i, 1.0);
+  CompressiveConfig bad;
+  bad.sparsity = 40;  // 2*40+1 > 64 samples
+  EXPECT_THROW((void)compressive_recover(ok, bad), std::invalid_argument);
+  bad.sparsity = 2;
+  bad.max_frequency_hz = 0.0;
+  EXPECT_THROW((void)compressive_recover(ok, bad), std::invalid_argument);
+}
+
+}  // namespace

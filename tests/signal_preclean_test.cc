@@ -1,0 +1,135 @@
+// Pre-cleaning: nearest-neighbour regularization of jittered/gappy traces,
+// NaN handling, duplicate collapsing — the paper's Section 3.2 pipeline
+// front-end, including failure injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "signal/preclean.h"
+
+namespace {
+
+using nyqmon::sig::InterpKind;
+using nyqmon::sig::PrecleanConfig;
+using nyqmon::sig::PrecleanReport;
+using nyqmon::sig::regularize;
+using nyqmon::sig::Sample;
+using nyqmon::sig::TimeSeries;
+
+TEST(Preclean, PerfectGridPassesThrough) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.push(i * 5.0, i * 1.0);
+  PrecleanConfig cfg;
+  cfg.dt = 5.0;
+  const auto rs = regularize(ts, cfg);
+  ASSERT_EQ(rs.size(), 10u);
+  EXPECT_DOUBLE_EQ(rs.dt(), 5.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(rs[static_cast<std::size_t>(i)], i * 1.0);
+}
+
+TEST(Preclean, InfersDtFromMedianInterval) {
+  TimeSeries ts;
+  for (int i = 0; i < 20; ++i) ts.push(i * 2.0 + (i % 2 ? 0.05 : -0.05), 1.0);
+  PrecleanReport report;
+  const auto rs = regularize(ts, {}, &report);
+  EXPECT_NEAR(report.chosen_dt, 2.0, 0.2);
+  EXPECT_NEAR(rs.dt(), report.chosen_dt, 1e-12);
+}
+
+TEST(Preclean, NearestPicksClosestSample) {
+  TimeSeries ts;
+  ts.push(0.0, 10.0);
+  ts.push(0.9, 20.0);  // closest to grid t=1
+  ts.push(2.1, 30.0);  // closest to grid t=2
+  ts.push(3.0, 40.0);
+  PrecleanConfig cfg;
+  cfg.dt = 1.0;
+  const auto rs = regularize(ts, cfg);
+  ASSERT_GE(rs.size(), 4u);
+  EXPECT_DOUBLE_EQ(rs[0], 10.0);
+  EXPECT_DOUBLE_EQ(rs[1], 20.0);
+  EXPECT_DOUBLE_EQ(rs[2], 30.0);
+  EXPECT_DOUBLE_EQ(rs[3], 40.0);
+}
+
+TEST(Preclean, LinearInterpolatesBetweenSamples) {
+  TimeSeries ts;
+  ts.push(0.0, 0.0);
+  ts.push(4.0, 40.0);
+  PrecleanConfig cfg;
+  cfg.dt = 1.0;
+  cfg.interp = InterpKind::kLinear;
+  const auto rs = regularize(ts, cfg);
+  ASSERT_EQ(rs.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(rs[i], 10.0 * static_cast<double>(i), 1e-12);
+}
+
+TEST(Preclean, DropsNaNAndInf) {
+  TimeSeries ts;
+  ts.push(0.0, 1.0);
+  ts.push(1.0, std::numeric_limits<double>::quiet_NaN());
+  ts.push(2.0, std::numeric_limits<double>::infinity());
+  ts.push(3.0, 4.0);
+  PrecleanConfig cfg;
+  cfg.dt = 1.0;
+  PrecleanReport report;
+  const auto rs = regularize(ts, cfg, &report);
+  EXPECT_EQ(report.dropped_nonfinite, 2u);
+  for (std::size_t i = 0; i < rs.size(); ++i)
+    EXPECT_TRUE(std::isfinite(rs[i]));
+}
+
+TEST(Preclean, CollapsesDuplicateTimestamps) {
+  TimeSeries ts;
+  ts.push(0.0, 10.0);
+  ts.push(0.0, 20.0);  // duplicate: averaged to 15
+  ts.push(1.0, 30.0);
+  PrecleanConfig cfg;
+  cfg.dt = 1.0;
+  PrecleanReport report;
+  const auto rs = regularize(ts, cfg, &report);
+  EXPECT_EQ(report.collapsed_duplicates, 1u);
+  EXPECT_DOUBLE_EQ(rs[0], 15.0);
+}
+
+TEST(Preclean, FillsGapsAndReportsThem) {
+  TimeSeries ts;
+  ts.push(0.0, 1.0);
+  ts.push(1.0, 1.0);
+  ts.push(100.0, 2.0);  // 99-step gap
+  ts.push(101.0, 2.0);
+  PrecleanConfig cfg;
+  cfg.dt = 1.0;
+  PrecleanReport report;
+  const auto rs = regularize(ts, cfg, &report);
+  EXPECT_EQ(rs.size(), 102u);
+  EXPECT_GT(report.filled_in_long_gaps, 50u);
+  // Nearest-neighbour: first half of the gap holds 1.0, second half 2.0.
+  EXPECT_DOUBLE_EQ(rs[10], 1.0);
+  EXPECT_DOUBLE_EQ(rs[95], 2.0);
+}
+
+TEST(Preclean, TooFewSamplesThrows) {
+  TimeSeries one;
+  one.push(0.0, 1.0);
+  EXPECT_THROW((void)regularize(one), std::invalid_argument);
+
+  TimeSeries all_nan;
+  all_nan.push(0.0, std::numeric_limits<double>::quiet_NaN());
+  all_nan.push(1.0, std::numeric_limits<double>::quiet_NaN());
+  all_nan.push(2.0, 1.0);
+  EXPECT_THROW((void)regularize(all_nan), std::invalid_argument);
+}
+
+TEST(Preclean, ReportCountsInputs) {
+  TimeSeries ts;
+  for (int i = 0; i < 7; ++i) ts.push(i, 1.0);
+  PrecleanReport report;
+  (void)regularize(ts, {}, &report);
+  EXPECT_EQ(report.input_samples, 7u);
+  EXPECT_EQ(report.grid_points, 7u);
+}
+
+}  // namespace

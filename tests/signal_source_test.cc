@@ -1,0 +1,203 @@
+// Continuous signal sources: band limits, sampling, and the randomized
+// generators that power the telemetry metric models. The central property:
+// a generated process really is band-limited at its advertised bandwidth
+// (verified spectrally).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dsp/psd.h"
+#include "signal/generators.h"
+#include "signal/source.h"
+#include "util/rng.h"
+
+namespace {
+
+using nyqmon::Rng;
+using namespace nyqmon::sig;
+
+// Fraction of spectral energy above `cutoff_hz` for a sampled signal.
+double energy_above(const RegularSeries& s, double cutoff_hz) {
+  nyqmon::dsp::PeriodogramConfig pc;
+  pc.remove_mean = true;
+  const auto psd = nyqmon::dsp::periodogram(s.span(), s.sample_rate_hz(), pc);
+  double above = 0.0;
+  const double total = psd.total_energy();
+  for (std::size_t k = 0; k < psd.bins(); ++k)
+    if (psd.frequency_hz[k] > cutoff_hz) above += psd.power[k];
+  return total > 0.0 ? above / total : 0.0;
+}
+
+TEST(SumOfSines, ValueMatchesAnalyticForm) {
+  const SumOfSines s({{2.0, 3.0, 0.0}}, /*dc=*/1.0);
+  EXPECT_NEAR(s.value(0.0), 1.0, 1e-12);           // sin(0) = 0 plus DC
+  EXPECT_NEAR(s.value(0.125), 1.0 + 3.0, 1e-12);   // quarter period of 2 Hz
+  EXPECT_DOUBLE_EQ(s.bandwidth_hz(), 2.0);
+}
+
+TEST(SumOfSines, BandwidthIsMaxTone) {
+  const SumOfSines s({{1.0, 1.0, 0.0}, {5.0, 0.1, 0.0}, {3.0, 2.0, 0.0}});
+  EXPECT_DOUBLE_EQ(s.bandwidth_hz(), 5.0);
+}
+
+TEST(SumOfSines, SampleGridMatchesValue) {
+  const SumOfSines s({{0.5, 1.0, 0.3}});
+  const auto rs = s.sample(10.0, 0.25, 32);
+  ASSERT_EQ(rs.size(), 32u);
+  for (std::size_t i = 0; i < rs.size(); ++i)
+    EXPECT_DOUBLE_EQ(rs[i], s.value(rs.time_at(i)));
+}
+
+TEST(GaussianBumpTrain, PeaksAtBumpCentres) {
+  const GaussianBumpTrain train({{100.0, 5.0}, {200.0, 2.0}}, /*sigma=*/3.0,
+                                /*baseline=*/1.0);
+  EXPECT_NEAR(train.value(100.0), 6.0, 1e-9);
+  EXPECT_NEAR(train.value(200.0), 3.0, 1e-9);
+  EXPECT_NEAR(train.value(150.0), 1.0, 1e-6);  // far from both bumps
+}
+
+TEST(GaussianBumpTrain, BandwidthScalesInverselyWithSigma) {
+  const GaussianBumpTrain narrow({{0.0, 1.0}}, 1.0);
+  const GaussianBumpTrain wide({{0.0, 1.0}}, 10.0);
+  EXPECT_NEAR(narrow.bandwidth_hz() / wide.bandwidth_hz(), 10.0, 1e-9);
+}
+
+TEST(GaussianBumpTrain, SpectrallyBandlimited) {
+  const GaussianBumpTrain train({{50.0, 1.0}, {120.0, 2.0}, {130.0, 1.5}},
+                                /*sigma=*/5.0);
+  const double bw = train.bandwidth_hz();
+  const auto rs = train.sample(0.0, 1.0 / (8.0 * bw), 4096);
+  EXPECT_LT(energy_above(rs, bw), 1e-4);
+}
+
+TEST(SmoothStepTrain, LevelsBeforeAndAfter) {
+  const SmoothStepTrain steps({{100.0, 4.0}}, /*width=*/2.0, /*baseline=*/1.0);
+  EXPECT_NEAR(steps.value(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(steps.value(200.0), 5.0, 1e-9);
+  EXPECT_NEAR(steps.value(100.0), 3.0, 1e-9);  // midpoint of the transition
+}
+
+TEST(SmoothStepTrain, SpectrallyBandlimited) {
+  const SmoothStepTrain steps({{30.0, 1.0}, {70.0, -1.0}}, /*width=*/5.0);
+  const double bw = steps.bandwidth_hz();
+  const auto rs = steps.sample(0.0, 1.0 / (16.0 * bw), 8192);
+  EXPECT_LT(energy_above(rs, bw), 1e-3);
+}
+
+TEST(Composite, SumsPartsAndTakesMaxBandwidth) {
+  auto a = std::make_shared<SumOfSines>(std::vector<Tone>{{1.0, 1.0, 0.0}});
+  auto b = std::make_shared<SumOfSines>(std::vector<Tone>{{4.0, 1.0, 0.0}});
+  CompositeSignal c;
+  c.add(a, 2.0);
+  c.add(b, 0.5);
+  EXPECT_DOUBLE_EQ(c.bandwidth_hz(), 4.0);
+  EXPECT_NEAR(c.value(0.3), 2.0 * a->value(0.3) + 0.5 * b->value(0.3), 1e-12);
+}
+
+TEST(Composite, ZeroWeightPartIgnoredForBandwidth) {
+  auto hi = std::make_shared<SumOfSines>(std::vector<Tone>{{100.0, 1.0, 0.0}});
+  auto lo = std::make_shared<SumOfSines>(std::vector<Tone>{{1.0, 1.0, 0.0}});
+  CompositeSignal c;
+  c.add(lo, 1.0);
+  c.add(hi, 0.0);
+  EXPECT_DOUBLE_EQ(c.bandwidth_hz(), 1.0);
+}
+
+TEST(Composite, NullPartThrows) {
+  CompositeSignal c;
+  EXPECT_THROW(c.add(nullptr), std::invalid_argument);
+}
+
+TEST(Piecewise, SwitchesSegmentsAtBoundaries) {
+  auto calm = std::make_shared<SumOfSines>(std::vector<Tone>{{0.1, 1.0, 0.0}});
+  auto busy = std::make_shared<SumOfSines>(std::vector<Tone>{{5.0, 1.0, 0.0}});
+  const PiecewiseSignal pw({calm, busy, calm}, {100.0, 200.0});
+  EXPECT_DOUBLE_EQ(pw.bandwidth_at(50.0), 0.1);
+  EXPECT_DOUBLE_EQ(pw.bandwidth_at(150.0), 5.0);
+  EXPECT_DOUBLE_EQ(pw.bandwidth_at(250.0), 0.1);
+  EXPECT_DOUBLE_EQ(pw.bandwidth_hz(), 5.0);
+  EXPECT_DOUBLE_EQ(pw.value(150.0), busy->value(150.0));
+}
+
+TEST(Piecewise, MismatchedSwitchTimesThrow) {
+  auto s = std::make_shared<SumOfSines>(std::vector<Tone>{{1.0, 1.0, 0.0}});
+  EXPECT_THROW(PiecewiseSignal({s, s}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseSignal({s, s, s}, {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Generators, BandlimitedProcessHasAdvertisedBandwidth) {
+  Rng rng(5);
+  const auto proc = make_bandlimited_process(/*bw=*/0.01, /*rms=*/2.0, 32, rng);
+  EXPECT_DOUBLE_EQ(proc->bandwidth_hz(), 0.01);
+  // Spectral check on a long sample.
+  const auto rs = proc->sample(0.0, 1.0 / 0.08, 8192);
+  EXPECT_LT(energy_above(rs, 0.0101), 1e-6);
+}
+
+TEST(Generators, BandlimitedProcessRmsApproximatelyCorrect) {
+  Rng rng(6);
+  const auto proc = make_bandlimited_process(0.05, 3.0, 48, rng, /*dc=*/10.0);
+  const auto rs = proc->sample(0.0, 2.0, 1 << 15);
+  double m = 0.0;
+  for (double v : rs.values()) m += v;
+  m /= static_cast<double>(rs.size());
+  double var = 0.0;
+  for (double v : rs.values()) var += (v - m) * (v - m);
+  var /= static_cast<double>(rs.size());
+  EXPECT_NEAR(m, 10.0, 1.0);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 1.0);
+}
+
+TEST(Generators, BurstProcessCoversDurationAndStaysBandlimited) {
+  Rng rng(7);
+  const auto proc = make_burst_process(/*duration=*/3600.0, /*rate=*/0.01,
+                                       /*sigma=*/10.0, /*amp=*/5.0, rng);
+  const double bw = proc->bandwidth_hz();
+  EXPECT_NEAR(bw, 0.8365 / 10.0, 0.01);  // sigma=10 s -> ~0.084 Hz
+  const auto rs = proc->sample(0.0, 1.0, 3600);
+  EXPECT_LT(energy_above(rs, bw), 0.02);
+}
+
+TEST(Generators, FlapProcessAlternatesBounded) {
+  Rng rng(8);
+  const auto proc = make_flap_process(86400.0, 10.0 / 86400.0, 100.0, 4.0,
+                                      rng, 1.0);
+  // Levels stay within baseline .. baseline + amplitude (alternating steps).
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = proc->value(i * 43.2);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(lo, 0.9);
+  EXPECT_LT(hi, 5.1);
+}
+
+TEST(Generators, DiurnalFundamentalIsOneDay) {
+  Rng rng(9);
+  const auto d = make_diurnal(6.0, 3, rng, 20.0);
+  EXPECT_NEAR(d->bandwidth_hz(), 3.0 / 86400.0, 1e-12);
+  // Value oscillates around the DC offset with ~the requested swing.
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 288; ++i) {
+    const double v = d->value(i * 300.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 2.0);
+  EXPECT_LT(hi - lo, 9.0);
+  EXPECT_GT(lo, 20.0 - 5.0);
+  EXPECT_LT(hi, 20.0 + 5.0);
+}
+
+TEST(Generators, SeededDeterminism) {
+  Rng a(123), b(123);
+  const auto pa = make_bandlimited_process(0.01, 1.0, 16, a);
+  const auto pb = make_bandlimited_process(0.01, 1.0, 16, b);
+  for (double t : {0.0, 10.0, 123.4}) {
+    EXPECT_DOUBLE_EQ(pa->value(t), pb->value(t));
+  }
+}
+
+}  // namespace
