@@ -1,0 +1,92 @@
+// Engine throughput: pairs/sec of the sharded FleetMonitorEngine as the
+// worker count grows, over a paper-scale (>= 500 pairs) fleet.
+//
+// Also cross-checks the engine's determinism contract: the per-pair
+// aggregates must be bit-identical whatever the worker count, so the
+// scaling numbers describe the *same* computation.
+#include <cstdio>
+#include <cstring>
+
+#include "common.h"
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "util/ascii.h"
+#include "util/csv.h"
+#include "util/hash.h"
+
+namespace {
+
+using namespace nyqmon;
+
+// Bitwise digest of the deterministic outcome fields (NaN-safe, unlike ==).
+std::uint64_t digest(const eng::FleetRunResult& result) {
+  Fnv1a h;
+  auto mix_double = [&h](double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    h.mix(bits);
+  };
+  for (const auto& p : result.pairs) {
+    h.mix(p.pair_index);
+    mix_double(p.cost_savings);
+    mix_double(p.nrmse);
+    h.mix(p.adaptive_samples);
+    h.mix(p.audit.aliased_windows);
+    mix_double(p.audit.final_rate_hz);
+  }
+  h.mix(result.store.stored_samples);
+  h.mix(result.store.chunks_reduced);
+  return h.value();
+}
+
+}  // namespace
+
+int main() {
+  tel::FleetConfig fleet_cfg;
+  fleet_cfg.target_pairs = 500;
+  fleet_cfg.seed = bench::kFleetSeed;
+  const tel::Fleet fleet(fleet_cfg);
+  std::printf("fleet: %zu metric-device pairs\n\n", fleet.size());
+
+  AsciiTable table({"workers", "shards", "wall_s", "pairs_per_sec",
+                    "speedup", "digest"});
+  CsvWriter csv(bench::csv_path("engine_throughput"),
+                {"workers", "shards", "wall_s", "pairs_per_sec", "speedup"});
+
+  double base_wall = 0.0;
+  std::uint64_t base_digest = 0;
+  bool deterministic = true;
+  for (const std::size_t workers : {1, 2, 4, 8}) {
+    eng::EngineConfig cfg;
+    cfg.workers = workers;
+    eng::FleetMonitorEngine engine(fleet, cfg);
+    const eng::FleetRunResult result = engine.run();
+
+    const std::uint64_t d = digest(result);
+    if (workers == 1) {
+      base_wall = result.wall_seconds;
+      base_digest = d;
+    } else if (d != base_digest) {
+      deterministic = false;
+    }
+    const double pps =
+        static_cast<double>(fleet.size()) / result.wall_seconds;
+    char dig[24];
+    std::snprintf(dig, sizeof(dig), "%016llx",
+                  static_cast<unsigned long long>(d));
+    table.row({std::to_string(workers), std::to_string(result.shards_used),
+               AsciiTable::format_double(result.wall_seconds),
+               AsciiTable::format_double(pps),
+               AsciiTable::format_double(base_wall / result.wall_seconds),
+               dig});
+    csv.row_numeric({static_cast<double>(workers),
+                     static_cast<double>(result.shards_used),
+                     result.wall_seconds, pps,
+                     base_wall / result.wall_seconds});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("aggregates bit-identical across worker counts: %s\n",
+              deterministic ? "yes" : "NO (BUG)");
+  return deterministic ? 0 : 1;
+}

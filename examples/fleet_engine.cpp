@@ -1,0 +1,48 @@
+// Fleet engine: drive a whole synthetic datacenter concurrently.
+//
+// Builds a 600-pair fleet, runs the sharded FleetMonitorEngine across 4
+// worker threads (adaptive sampling + reconstruction + aliasing audit per
+// pair, fan-in to the striped retention store), prints the fleet report,
+// and queries one retained stream back out of the store.
+//
+// Read the report's steady-state split, not just the headline savings:
+// smooth oversampled metrics settle below their production rate, while the
+// fleet's wideband event counters are flagged undersampled and driven
+// faster — spending more there is the paper's fidelity trade, not waste.
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "telemetry/fleet.h"
+
+int main() {
+  using namespace nyqmon;
+
+  tel::FleetConfig fleet_cfg;
+  fleet_cfg.target_pairs = 600;
+  fleet_cfg.seed = 1234;
+  const tel::Fleet fleet(fleet_cfg);
+  std::printf("fleet: %zu devices, %zu metric-device pairs\n",
+              fleet.topology().size(), fleet.size());
+
+  eng::EngineConfig cfg;
+  cfg.workers = 4;
+  eng::FleetMonitorEngine engine(fleet, cfg);
+  const eng::FleetRunResult result = engine.run();
+
+  const eng::EngineReport report = eng::build_report(result);
+  std::printf("\n%s", eng::render(report).c_str());
+  std::printf("wall: %.2fs (%.0f pairs/sec)\n", result.wall_seconds,
+              static_cast<double>(fleet.size()) / result.wall_seconds);
+
+  // Retained data stays queryable: pull the first pair's stream back out.
+  const auto& pair = fleet.pairs().front();
+  const std::string id = tel::stream_id(pair);
+  const auto series =
+      engine.store().query(id, 0.0, 32.0 * pair.metric.poll_interval_s);
+  std::printf("\nquery %s -> %zu samples on the production grid "
+              "(first %.3g, last %.3g)\n",
+              id.c_str(), series.size(), series.values().front(),
+              series.values().back());
+  return 0;
+}

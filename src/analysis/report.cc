@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/cdf.h"
 #include "util/ascii.h"
 
 namespace nyqmon::ana {
@@ -29,6 +30,24 @@ std::string render_cdf_rows(
     table.row({AsciiTable::format_double(x), AsciiTable::format_double(f)});
   os << table.render();
   return os.str();
+}
+
+std::string render_quantile_table(const std::vector<QuantileRow>& rows) {
+  AsciiTable table({"label", "n", "p5", "p25", "p50", "p75", "p95"});
+  for (const auto& r : rows) {
+    if (r.samples.empty()) {
+      table.row({r.label, "0", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const Cdf cdf(r.samples);
+    table.row({r.label, std::to_string(cdf.count()),
+               AsciiTable::format_double(cdf.quantile(0.05)),
+               AsciiTable::format_double(cdf.quantile(0.25)),
+               AsciiTable::format_double(cdf.quantile(0.50)),
+               AsciiTable::format_double(cdf.quantile(0.75)),
+               AsciiTable::format_double(cdf.quantile(0.95))});
+  }
+  return table.render();
 }
 
 }  // namespace nyqmon::ana

@@ -25,4 +25,15 @@ std::string render_cdf_rows(
     const std::string& label,
     const std::vector<std::pair<double, double>>& rows);
 
+/// One labelled sample view for a quantile table (the samples must outlive
+/// the row; rendering copies nothing).
+struct QuantileRow {
+  std::string label;
+  std::span<const double> samples;
+};
+
+/// Render labelled distributions as p5/p25/p50/p75/p95 quantile rows — the
+/// compact form of the per-metric CDF panels the fleet engine report uses.
+std::string render_quantile_table(const std::vector<QuantileRow>& rows);
+
 }  // namespace nyqmon::ana

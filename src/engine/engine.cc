@@ -1,0 +1,130 @@
+#include "engine/engine.h"
+
+#include <chrono>
+
+#include "engine/shard.h"
+#include "telemetry/metric_model.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace nyqmon::eng {
+
+double FleetRunResult::fleet_cost_savings() const {
+  std::size_t adaptive = 0;
+  std::size_t baseline = 0;
+  for (const auto& p : pairs) {
+    adaptive += p.adaptive_samples;
+    baseline += p.baseline_samples;
+  }
+  return mon::ratio_or_one(baseline, adaptive);
+}
+
+FleetMonitorEngine::FleetMonitorEngine(const tel::Fleet& fleet,
+                                       EngineConfig config)
+    : fleet_(fleet),
+      config_(config),
+      store_(config.store, config.store_stripes) {
+  NYQMON_CHECK(config_.samples_per_window >= 2);
+  NYQMON_CHECK(config_.windows_per_pair >= 1);
+  NYQMON_CHECK(config_.max_speedup >= 1.0);
+  NYQMON_CHECK(config_.max_slowdown >= 1.0);
+
+  // Scheduling pass: derive every pair's collection plan and register its
+  // retention stream up front (sequential, so stream creation needs no
+  // coordination during the fan-out).
+  schedules_.reserve(fleet_.size());
+  for (const auto& pair : fleet_.pairs()) {
+    const tel::PairSchedule s = tel::schedule_pair(
+        pair, config_.samples_per_window, config_.windows_per_pair);
+    store_.create_stream(tel::stream_id(pair), s.production_rate_hz);
+    schedules_.push_back(s);
+  }
+}
+
+PairOutcome FleetMonitorEngine::drive_pair(std::size_t index,
+                                           std::uint64_t noise_seed) {
+  const tel::FleetPair& pair = fleet_.pairs()[index];
+  const tel::PairSchedule& sched = schedules_[index];
+  const auto& spec = tel::metric_spec(pair.metric.kind);
+
+  mon::PipelineConfig pc;
+  pc.sampler = config_.sampler;
+  pc.sampler.initial_rate_hz = sched.production_rate_hz;
+  pc.sampler.min_rate_hz = sched.production_rate_hz / config_.max_slowdown;
+  pc.sampler.max_rate_hz = sched.production_rate_hz * config_.max_speedup;
+  pc.sampler.window_duration_s = sched.window_duration_s;
+  pc.cost = config_.cost;
+  pc.noise_stddev = config_.relative_noise * spec.fluctuation_rms;
+  pc.quantization_step = pair.metric.quantization_step;
+
+  const mon::AdaptiveMonitoringPipeline pipeline(pc);
+  const mon::PipelineResult result = pipeline.run(
+      *pair.metric.signal, 0.0, sched.duration_s, sched.production_rate_hz,
+      noise_seed);
+
+  PairOutcome out;
+  out.pair_index = index;
+  out.stream_id = tel::stream_id(pair);
+  out.kind = pair.metric.kind;
+  out.production_rate_hz = sched.production_rate_hz;
+  out.cost_savings = result.cost_savings;
+  out.nrmse = result.nrmse;
+  out.max_abs_error = result.max_abs_error;
+  out.adaptive_samples = result.run.total_samples;
+  out.baseline_samples = result.run.baseline_samples(sched.production_rate_hz);
+  out.audit = nyq::audit_run(result.run);
+
+  // Fan-in: retain the reconstruction (on the production grid) under this
+  // pair's stream ID. One bulk append = one stripe-lock acquisition.
+  store_.append_series(out.stream_id, result.reconstruction.span());
+  return out;
+}
+
+FleetRunResult FleetMonitorEngine::run() {
+  NYQMON_CHECK_MSG(!ran_, "FleetMonitorEngine::run() is single-shot");
+  ran_ = true;
+
+  const auto t_start = std::chrono::steady_clock::now();
+
+  // Fork every pair's noise seed sequentially so outcomes cannot depend on
+  // thread scheduling.
+  Rng rng(config_.seed);
+  std::vector<std::uint64_t> noise_seeds;
+  noise_seeds.reserve(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i)
+    noise_seeds.push_back(rng.engine()());
+
+  const std::size_t workers = resolve_workers(config_.workers, fleet_.size());
+  const std::size_t want_shards =
+      config_.shards == 0 ? 4 * workers : config_.shards;
+  const std::vector<Shard> shards =
+      partition_shards(fleet_.size(), want_shards);
+
+  FleetRunResult result;
+  result.pairs.resize(fleet_.size());
+  result.shards_used = shards.size();
+
+  // Round-robin shard queue: workers claim whole shards until none remain.
+  result.workers_used =
+      parallel_claim(shards.size(), workers, [&](std::size_t s) {
+        for (const std::size_t i : shards[s].pair_indices)
+          result.pairs[i] = drive_pair(i, noise_seeds[i]);
+      });
+
+  // Aggregate in pair order (order-stable regardless of worker count).
+  for (const auto& p : result.pairs) {
+    result.adaptive_cost +=
+        mon::cost_of_samples(p.adaptive_samples, config_.cost);
+    result.baseline_cost +=
+        mon::cost_of_samples(p.baseline_samples, config_.cost);
+  }
+  result.store = store_.rollup();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return result;
+}
+
+}  // namespace nyqmon::eng

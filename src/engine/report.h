@@ -1,0 +1,66 @@
+// Fleet-level aggregation of an engine run.
+//
+// Rolls per-pair outcomes up into per-metric-kind distributions of cost
+// savings and reconstruction NRMSE (the fleet-scale analogue of the paper's
+// Figure 4 reduction CDFs), plus the engine-wide cost/retention summary.
+// Rendering reuses the analysis layer (Cdf quantiles, ASCII tables) and the
+// whole report exports to CSV for downstream plotting.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace nyqmon::eng {
+
+/// Aggregates for one metric kind.
+struct MetricFleetReport {
+  tel::MetricKind kind = tel::MetricKind::kTemperature;
+  std::size_t pairs = 0;
+  std::vector<double> cost_savings;  ///< one entry per pair
+  /// Finite NRMSE values only. A bursty counter whose ground truth stays
+  /// flat over the run has no meaningful range normalization; those pairs
+  /// are counted in nrmse_degenerate instead.
+  std::vector<double> nrmse;
+  std::size_t nrmse_degenerate = 0;
+  std::size_t windows = 0;
+  std::size_t aliased_windows = 0;
+  std::size_t probe_windows = 0;
+
+  double aliased_fraction() const {
+    return windows == 0 ? 0.0
+                        : static_cast<double>(aliased_windows) /
+                              static_cast<double>(windows);
+  }
+};
+
+struct EngineReport {
+  std::map<tel::MetricKind, MetricFleetReport> by_metric;
+  /// Per-pair production_rate / final_rate: where the sampler settled after
+  /// the probe/track transient. > 1 means the pair settled below its
+  /// production rate (the paper's oversampling headroom); < 1 means the
+  /// dual-rate detector kept firing and the sampler drove the rate up —
+  /// the pair was undersampled at its production rate, so the extra cost
+  /// buys back fidelity rather than being waste.
+  std::vector<double> steady_rate_reduction;
+  std::size_t pairs = 0;
+  mon::Cost adaptive_cost;
+  mon::Cost baseline_cost;
+  double fleet_cost_savings = 0.0;
+  mon::StoreRollup store;
+  std::size_t workers_used = 0;
+  std::size_t shards_used = 0;
+  double wall_seconds = 0.0;
+};
+
+EngineReport build_report(const FleetRunResult& result);
+
+/// Render the per-metric quantile tables plus the fleet summary block.
+std::string render(const EngineReport& report);
+
+/// One CSV row per metric kind (savings/NRMSE quantiles, aliasing).
+void write_csv(const EngineReport& report, const std::string& path);
+
+}  // namespace nyqmon::eng

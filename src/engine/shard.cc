@@ -1,0 +1,21 @@
+#include "engine/shard.h"
+
+#include <algorithm>
+
+namespace nyqmon::eng {
+
+std::vector<Shard> partition_shards(std::size_t n_pairs,
+                                    std::size_t n_shards) {
+  n_shards = std::clamp<std::size_t>(n_shards, 1,
+                                     std::max<std::size_t>(n_pairs, 1));
+  std::vector<Shard> shards(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    shards[s].id = s;
+    shards[s].pair_indices.reserve(n_pairs / n_shards + 1);
+  }
+  for (std::size_t i = 0; i < n_pairs; ++i)
+    shards[i % n_shards].pair_indices.push_back(i);
+  return shards;
+}
+
+}  // namespace nyqmon::eng

@@ -1,0 +1,27 @@
+// Shard partitioning for the fleet engine.
+//
+// The engine splits a fleet's metric-device pairs into shards — the unit of
+// work a worker thread claims. Pairs are dealt round-robin so every shard
+// mixes fast- and slow-polling metrics (fleet construction shuffles pairs,
+// so consecutive indices are already de-correlated); workers then pull whole
+// shards from a shared queue, which balances load without per-pair
+// contention.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nyqmon::eng {
+
+/// One shard: the pair indices (into Fleet::pairs()) it owns.
+struct Shard {
+  std::size_t id = 0;
+  std::vector<std::size_t> pair_indices;
+};
+
+/// Deal `n_pairs` indices round-robin into `n_shards` shards. Every index in
+/// [0, n_pairs) appears in exactly one shard; shard sizes differ by at most
+/// one. `n_shards` is clamped to [1, max(n_pairs, 1)].
+std::vector<Shard> partition_shards(std::size_t n_pairs, std::size_t n_shards);
+
+}  // namespace nyqmon::eng

@@ -1,11 +1,10 @@
 #include "monitor/audit.h"
 
-#include <atomic>
 #include <cmath>
-#include <thread>
 
 #include "signal/preclean.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace nyqmon::mon {
 
@@ -115,31 +114,12 @@ AuditResult run_audit(const tel::Fleet& fleet, const AuditConfig& config) {
   streams.reserve(fleet.size());
   for (std::size_t i = 0; i < fleet.size(); ++i) streams.push_back(rng.fork());
 
-  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t threads =
-      std::max<std::size_t>(1, std::min(config.threads == 0 ? hw
-                                                            : config.threads,
-                                        fleet.size()));
-
   AuditResult result;
   result.pairs.resize(fleet.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= fleet.size()) break;
-      result.pairs[i] =
-          audit_one(fleet.pairs()[i], streams[i], config, estimator);
-    }
-  };
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
+  parallel_claim(fleet.size(), config.threads, [&](std::size_t i) {
+    result.pairs[i] =
+        audit_one(fleet.pairs()[i], streams[i], config, estimator);
+  });
 
   // Aggregate (order-stable: iterate results in pair order).
   for (const auto& pr : result.pairs) {

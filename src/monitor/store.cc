@@ -26,13 +26,20 @@ void RetentionStore::create_stream(const std::string& name,
 }
 
 void RetentionStore::append(const std::string& name, double value) {
+  append_series(name, std::span<const double>(&value, 1));
+}
+
+void RetentionStore::append_series(const std::string& name,
+                                   std::span<const double> values) {
   const auto it = streams_.find(name);
   NYQMON_CHECK_MSG(it != streams_.end(), "unknown stream: " + name);
   Stream& s = it->second;
-  s.hot.push_back(value);
-  ++s.ingested;
-  ++s.stats.ingested_samples;
-  if (s.hot.size() >= config_.chunk_samples) seal_chunk(s);
+  for (const double value : values) {
+    s.hot.push_back(value);
+    ++s.ingested;
+    ++s.stats.ingested_samples;
+    if (s.hot.size() >= config_.chunk_samples) seal_chunk(s);
+  }
 }
 
 void RetentionStore::seal_chunk(Stream& s) {
@@ -62,6 +69,7 @@ void RetentionStore::seal_chunk(Stream& s) {
     }
   }
 
+  s.stats.sealed_ingested_samples += s.hot.size();
   s.stats.stored_samples += chunk.values.size();
   ++s.stats.chunks;
   s.hot_t0 += raw_dt * static_cast<double>(s.hot.size());
@@ -140,6 +148,36 @@ sig::RegularSeries RetentionStore::query(const std::string& name,
 
 StreamStats RetentionStore::stats(const std::string& name) const {
   return stream(name).stats;
+}
+
+StoreRollup& StoreRollup::operator+=(const StoreRollup& other) {
+  streams += other.streams;
+  ingested_samples += other.ingested_samples;
+  sealed_ingested_samples += other.sealed_ingested_samples;
+  stored_samples += other.stored_samples;
+  chunks += other.chunks;
+  chunks_reduced += other.chunks_reduced;
+  return *this;
+}
+
+std::vector<std::string> RetentionStore::stream_names() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, s] : streams_) names.push_back(name);
+  return names;
+}
+
+StoreRollup RetentionStore::rollup() const {
+  StoreRollup total;
+  total.streams = streams_.size();
+  for (const auto& [name, s] : streams_) {
+    total.ingested_samples += s.stats.ingested_samples;
+    total.sealed_ingested_samples += s.stats.sealed_ingested_samples;
+    total.stored_samples += s.stats.stored_samples;
+    total.chunks += s.stats.chunks;
+    total.chunks_reduced += s.stats.chunks_reduced;
+  }
+  return total;
 }
 
 Cost RetentionStore::storage_cost() const {

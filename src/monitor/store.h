@@ -16,6 +16,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,18 +35,49 @@ struct StoreConfig {
   CostModel cost;
 };
 
+/// num/den with 1.0 as the neutral value when either count is zero — the
+/// convention every reduction-style ratio below shares.
+inline double ratio_or_one(std::size_t num, std::size_t den) {
+  return num == 0 || den == 0
+             ? 1.0
+             : static_cast<double>(num) / static_cast<double>(den);
+}
+
 struct StreamStats {
   std::size_t ingested_samples = 0;
+  /// Ingested samples that have been through chunk sealing (the rest sit
+  /// raw in the hot tail); the fair denominator-side of stored_samples.
+  std::size_t sealed_ingested_samples = 0;
   std::size_t stored_samples = 0;  ///< after re-sampling (sealed chunks)
   std::size_t chunks = 0;
   std::size_t chunks_reduced = 0;  ///< chunks stored below the raw rate
 
   double reduction() const {
-    return stored_samples == 0
-               ? 1.0
-               : static_cast<double>(ingested_samples) /
-                     static_cast<double>(stored_samples);
+    return ratio_or_one(ingested_samples, stored_samples);
   }
+};
+
+/// Store-wide roll-up across all streams (the fleet-level storage bill the
+/// engine report prints).
+struct StoreRollup {
+  std::size_t streams = 0;
+  std::size_t ingested_samples = 0;
+  std::size_t sealed_ingested_samples = 0;
+  std::size_t stored_samples = 0;
+  std::size_t chunks = 0;
+  std::size_t chunks_reduced = 0;
+
+  double reduction() const {
+    return ratio_or_one(ingested_samples, stored_samples);
+  }
+
+  /// Reduction over sealed data only: sealed-ingested vs stored. Unlike
+  /// reduction(), the unsealed hot tail does not inflate the numerator.
+  double sealed_reduction() const {
+    return ratio_or_one(sealed_ingested_samples, stored_samples);
+  }
+
+  StoreRollup& operator+=(const StoreRollup& other);
 };
 
 class RetentionStore {
@@ -60,12 +92,21 @@ class RetentionStore {
   /// Append the next reading of a stream (readings arrive in grid order).
   void append(const std::string& name, double value);
 
+  /// Bulk append: one stream lookup for the whole series.
+  void append_series(const std::string& name, std::span<const double> values);
+
   /// Reconstruct [t_begin, t_end) on the stream's collection grid from
   /// whatever the store kept (sealed chunks re-sampled, the hot tail raw).
   sig::RegularSeries query(const std::string& name, double t_begin,
                            double t_end) const;
 
   StreamStats stats(const std::string& name) const;
+
+  /// Names of all streams, in lexicographic order.
+  std::vector<std::string> stream_names() const;
+
+  /// Aggregate ingest/retention counters across all streams.
+  StoreRollup rollup() const;
 
   /// Storage bill for everything currently persisted (sealed + hot).
   Cost storage_cost() const;

@@ -1,0 +1,101 @@
+#include "monitor/striped_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace nyqmon::mon {
+
+StripedRetentionStore::StripedRetentionStore(StoreConfig config,
+                                             std::size_t stripes) {
+  NYQMON_CHECK(stripes >= 1);
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i)
+    stripes_.push_back(std::make_unique<Stripe>(config));
+}
+
+StripedRetentionStore::Stripe& StripedRetentionStore::stripe_of(
+    const std::string& name) {
+  return *stripes_[fnv1a(name) % stripes_.size()];
+}
+
+const StripedRetentionStore::Stripe& StripedRetentionStore::stripe_of(
+    const std::string& name) const {
+  return *stripes_[fnv1a(name) % stripes_.size()];
+}
+
+void StripedRetentionStore::create_stream(const std::string& name,
+                                          double collection_rate_hz,
+                                          double t0) {
+  Stripe& s = stripe_of(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.store.create_stream(name, collection_rate_hz, t0);
+}
+
+void StripedRetentionStore::append(const std::string& name, double value) {
+  Stripe& s = stripe_of(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.store.append(name, value);
+}
+
+void StripedRetentionStore::append_series(const std::string& name,
+                                          std::span<const double> values) {
+  Stripe& s = stripe_of(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.store.append_series(name, values);
+}
+
+sig::RegularSeries StripedRetentionStore::query(const std::string& name,
+                                                double t_begin,
+                                                double t_end) const {
+  const Stripe& s = stripe_of(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.store.query(name, t_begin, t_end);
+}
+
+StreamStats StripedRetentionStore::stats(const std::string& name) const {
+  const Stripe& s = stripe_of(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.store.stats(name);
+}
+
+std::vector<std::string> StripedRetentionStore::stream_names() const {
+  std::vector<std::string> names;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    const auto part = stripe->store.stream_names();
+    names.insert(names.end(), part.begin(), part.end());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StoreRollup StripedRetentionStore::rollup() const {
+  StoreRollup total;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->store.rollup();
+  }
+  return total;
+}
+
+Cost StripedRetentionStore::storage_cost() const {
+  Cost total;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->store.storage_cost();
+  }
+  return total;
+}
+
+std::size_t StripedRetentionStore::streams() const {
+  std::size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    n += stripe->store.streams();
+  }
+  return n;
+}
+
+}  // namespace nyqmon::mon

@@ -1,0 +1,65 @@
+// Thread-safe, mutex-striped facade over RetentionStore.
+//
+// The fleet engine drives hundreds of metric-device pairs concurrently and
+// every pair ingests its reconstruction into shared retention. A single
+// store behind one mutex would serialize the fan-in, so streams are
+// partitioned across S independent RetentionStore stripes by a stable hash
+// of the stream name; each stripe has its own lock and unrelated streams
+// ingest in parallel. The final store state is independent of thread
+// interleaving because every stream is written by exactly one producer and
+// stripe assignment depends only on the name.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "monitor/store.h"
+
+namespace nyqmon::mon {
+
+class StripedRetentionStore {
+ public:
+  explicit StripedRetentionStore(StoreConfig config = {},
+                                 std::size_t stripes = 16);
+
+  /// Thread-safe equivalents of the RetentionStore stream API.
+  void create_stream(const std::string& name, double collection_rate_hz,
+                     double t0 = 0.0);
+  void append(const std::string& name, double value);
+  /// Bulk ingest: one lock acquisition for the whole series.
+  void append_series(const std::string& name, std::span<const double> values);
+
+  sig::RegularSeries query(const std::string& name, double t_begin,
+                           double t_end) const;
+  StreamStats stats(const std::string& name) const;
+
+  /// All stream names across stripes, lexicographically sorted.
+  std::vector<std::string> stream_names() const;
+
+  /// Aggregate ingest/retention counters across every stripe.
+  StoreRollup rollup() const;
+
+  /// Storage bill across every stripe.
+  Cost storage_cost() const;
+
+  std::size_t streams() const;
+  std::size_t stripes() const { return stripes_.size(); }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    RetentionStore store;
+
+    explicit Stripe(const StoreConfig& config) : store(config) {}
+  };
+
+  Stripe& stripe_of(const std::string& name);
+  const Stripe& stripe_of(const std::string& name) const;
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace nyqmon::mon

@@ -133,4 +133,16 @@ AdaptiveRun AdaptiveSampler::run(const std::function<double(double)>& measure,
   return run;
 }
 
+RunAudit audit_run(const AdaptiveRun& run) {
+  RunAudit audit;
+  audit.windows = run.steps.size();
+  audit.final_rate_hz = run.final_rate_hz;
+  for (const auto& step : run.steps) {
+    if (step.aliasing_detected) ++audit.aliased_windows;
+    if (step.mode == SamplerMode::kProbe) ++audit.probe_windows;
+    audit.max_rate_hz = std::max(audit.max_rate_hz, step.rate_hz);
+  }
+  return audit;
+}
+
 }  // namespace nyqmon::nyq

@@ -80,6 +80,26 @@ struct AdaptiveRun {
   double duration_s = 0.0;
 };
 
+/// Post-hoc aliasing audit of one adaptive run: how often the dual-rate
+/// detector fired, how long the sampler spent probing, and (per pair) the
+/// rate ceiling it needed. The fleet engine rolls the window counts up per
+/// metric to report which parts of the fleet are hard to track.
+struct RunAudit {
+  std::size_t windows = 0;
+  std::size_t aliased_windows = 0;  ///< dual-rate verdict fired
+  std::size_t probe_windows = 0;    ///< sampler was in PROBE mode
+  double max_rate_hz = 0.0;         ///< highest primary rate used
+  double final_rate_hz = 0.0;
+
+  double aliased_fraction() const {
+    return windows == 0 ? 0.0
+                        : static_cast<double>(aliased_windows) /
+                              static_cast<double>(windows);
+  }
+};
+
+RunAudit audit_run(const AdaptiveRun& run);
+
 class AdaptiveSampler {
  public:
   explicit AdaptiveSampler(AdaptiveConfig config = {});

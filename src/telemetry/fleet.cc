@@ -6,6 +6,24 @@
 
 namespace nyqmon::tel {
 
+std::string stream_id(const FleetPair& pair) {
+  return pair.device.name() + "/" + metric_name(pair.metric.kind);
+}
+
+PairSchedule schedule_pair(const FleetPair& pair,
+                           std::size_t samples_per_window,
+                           std::size_t windows) {
+  NYQMON_CHECK(samples_per_window >= 2);
+  NYQMON_CHECK(windows >= 1);
+  NYQMON_CHECK(pair.metric.poll_interval_s > 0.0);
+  PairSchedule s;
+  s.production_rate_hz = 1.0 / pair.metric.poll_interval_s;
+  s.window_duration_s =
+      static_cast<double>(samples_per_window) * pair.metric.poll_interval_s;
+  s.duration_s = static_cast<double>(windows) * s.window_duration_s;
+  return s;
+}
+
 std::vector<MetricKind> Fleet::metrics_for(DeviceKind kind) {
   switch (kind) {
     case DeviceKind::kServer:

@@ -22,6 +22,24 @@ struct FleetPair {
   MetricInstance metric;
 };
 
+/// Stable stream identifier "device/metric" — the key retention stores and
+/// the fleet engine use for this pair's data.
+std::string stream_id(const FleetPair& pair);
+
+/// The collection plan a scheduler derives for one pair: how fast the
+/// production deployment polls it and how a windowed sampler should carve up
+/// its trace. Windows are sized in *samples at the production rate* so every
+/// pair costs roughly the same to drive regardless of its poll interval.
+struct PairSchedule {
+  double production_rate_hz = 0.0;
+  double window_duration_s = 0.0;
+  double duration_s = 0.0;  ///< windows * window_duration
+};
+
+PairSchedule schedule_pair(const FleetPair& pair,
+                           std::size_t samples_per_window,
+                           std::size_t windows);
+
 struct FleetConfig {
   /// Target number of metric-device pairs; the paper studied 1613.
   std::size_t target_pairs = 1613;

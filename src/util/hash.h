@@ -1,0 +1,37 @@
+// FNV-1a hashing, shared by everything that needs a stable (cross-platform,
+// cross-run) hash: store striping, determinism digests. Not for security.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nyqmon {
+
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a over 64-bit words (digest building).
+class Fnv1a {
+ public:
+  Fnv1a& mix(std::uint64_t v) {
+    h_ ^= v;
+    h_ *= kFnv1aPrime;
+    return *this;
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnv1aOffset;
+};
+
+/// Byte-wise FNV-1a of a string.
+inline std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = kFnv1aOffset;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace nyqmon

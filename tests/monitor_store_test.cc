@@ -34,6 +34,32 @@ TEST(Store, DuplicateStreamThrows) {
   EXPECT_THROW(store.create_stream("s", 1.0), std::invalid_argument);
 }
 
+TEST(Store, EmptyStreamReductionIsOne) {
+  // reduction() must guard both counters: streams reached through the
+  // store always have ingested >= stored, but StreamStats is a public
+  // value type, and a hand-built {ingested: 0, stored: n} used to report a
+  // nonsense 0.0 "reduction" instead of the neutral 1.0.
+  mon::StreamStats empty;
+  EXPECT_DOUBLE_EQ(empty.reduction(), 1.0);
+
+  mon::StreamStats ghost;
+  ghost.stored_samples = 5;  // nothing ingested: reduction is undefined
+  EXPECT_DOUBLE_EQ(ghost.reduction(), 1.0);
+
+  RetentionStore store;
+  store.create_stream("idle", 1.0);
+  EXPECT_DOUBLE_EQ(store.stats("idle").reduction(), 1.0);
+
+  // Ingested-but-nothing-sealed must not report ingested/0 either.
+  store.append("idle", 1.0);
+  EXPECT_EQ(store.stats("idle").ingested_samples, 1u);
+  EXPECT_EQ(store.stats("idle").stored_samples, 0u);
+  EXPECT_DOUBLE_EQ(store.stats("idle").reduction(), 1.0);
+
+  mon::StoreRollup rollup;
+  EXPECT_DOUBLE_EQ(rollup.reduction(), 1.0);
+}
+
 TEST(Store, UnknownStreamThrows) {
   RetentionStore store;
   EXPECT_THROW(store.append("nope", 1.0), std::invalid_argument);
