@@ -2,7 +2,9 @@
 // audit (1613 metric-device pairs, 14 metrics) and CSV output management.
 #pragma once
 
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "monitor/audit.h"
@@ -33,6 +35,26 @@ inline mon::AuditResult run_paper_audit() {
 inline std::string csv_path(const std::string& name) {
   std::filesystem::create_directories("bench_results");
   return "bench_results/" + name + ".csv";
+}
+
+/// Append one printf-formatted value to a comma-joined JSON array body
+/// (the "1,2,4,8" inside "[...]").
+template <typename T>
+inline void json_append(std::string& list, const char* fmt, T value) {
+  char cell[48];
+  std::snprintf(cell, sizeof(cell), fmt, value);
+  if (!list.empty()) list += ',';
+  list += cell;
+}
+
+/// Persist one machine-readable JSON line to bench_results/BENCH_<name>.json
+/// and echo it to stdout — the hook the perf trajectory tooling scrapes for
+/// regression tracking. Callers pass a complete JSON object literal.
+inline void write_json_line(const std::string& name, const std::string& json) {
+  std::filesystem::create_directories("bench_results");
+  std::ofstream out("bench_results/BENCH_" + name + ".json");
+  out << json << "\n";
+  std::printf("%s\n", json.c_str());
 }
 
 }  // namespace nyqmon::bench

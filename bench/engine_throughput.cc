@@ -56,6 +56,7 @@ int main() {
   double base_wall = 0.0;
   std::uint64_t base_digest = 0;
   bool deterministic = true;
+  std::string json_workers, json_pps;
   for (const std::size_t workers : {1, 2, 4, 8}) {
     eng::EngineConfig cfg;
     cfg.workers = workers;
@@ -83,10 +84,18 @@ int main() {
                      static_cast<double>(result.shards_used),
                      result.wall_seconds, pps,
                      base_wall / result.wall_seconds});
+    bench::json_append(json_workers, "%zu", workers);
+    bench::json_append(json_pps, "%.1f", pps);
   }
 
   std::printf("%s\n", table.render().c_str());
   std::printf("aggregates bit-identical across worker counts: %s\n",
               deterministic ? "yes" : "NO (BUG)");
+  bench::write_json_line(
+      "engine_throughput",
+      "{\"bench\":\"engine_throughput\",\"pairs\":" +
+          std::to_string(fleet.size()) + ",\"workers\":[" + json_workers +
+          "],\"pairs_per_sec\":[" + json_pps + "],\"deterministic\":" +
+          (deterministic ? "true" : "false") + "}");
   return deterministic ? 0 : 1;
 }

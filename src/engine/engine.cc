@@ -81,6 +81,12 @@ PairOutcome FleetMonitorEngine::drive_pair(std::size_t index,
   return out;
 }
 
+qry::QueryEngine FleetMonitorEngine::serve(qry::QueryEngineConfig config)
+    const {
+  NYQMON_CHECK_MSG(ran_, "serve() needs a completed run()");
+  return qry::QueryEngine(store_, config);
+}
+
 FleetRunResult FleetMonitorEngine::run() {
   NYQMON_CHECK_MSG(!ran_, "FleetMonitorEngine::run() is single-shot");
   ran_ = true;

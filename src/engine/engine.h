@@ -31,6 +31,7 @@
 #include "monitor/pipeline.h"
 #include "monitor/striped_store.h"
 #include "nyquist/adaptive_sampler.h"
+#include "query/engine.h"
 #include "telemetry/fleet.h"
 
 namespace nyqmon::eng {
@@ -105,6 +106,17 @@ class FleetMonitorEngine {
 
   /// Retained data, queryable by tel::stream_id(pair) after run().
   const mon::StripedRetentionStore& store() const { return store_; }
+
+  /// Mutable store access for a post-run serving session that keeps
+  /// ingesting (e.g. a live writer feeding streams while clients query).
+  /// Not for use during run() — the engine's own workers own the fan-in.
+  mon::StripedRetentionStore& mutable_store() { return store_; }
+
+  /// A serving session over the retained data: a selector-based
+  /// QueryEngine (see query/engine.h) bound to this engine's store.
+  /// Requires run() to have completed; the engine must outlive the
+  /// returned QueryEngine.
+  qry::QueryEngine serve(qry::QueryEngineConfig config = {}) const;
 
  private:
   PairOutcome drive_pair(std::size_t index, std::uint64_t noise_seed);

@@ -34,6 +34,7 @@ void RetentionStore::append_series(const std::string& name,
   const auto it = streams_.find(name);
   NYQMON_CHECK_MSG(it != streams_.end(), "unknown stream: " + name);
   Stream& s = it->second;
+  if (!values.empty()) ++s.generation;
   for (const double value : values) {
     s.hot.push_back(value);
     ++s.ingested;
@@ -86,16 +87,20 @@ const RetentionStore::Stream& RetentionStore::stream(
 
 sig::RegularSeries RetentionStore::query(const std::string& name,
                                          double t_begin, double t_end) const {
-  NYQMON_CHECK(t_end > t_begin);
   const Stream& s = stream(name);
   const double dt = 1.0 / s.collection_rate_hz;
+
+  // Half-open [t_begin, t_end): inverted/empty ranges clamp to a defined
+  // empty series on the collection grid instead of reaching reconstruction.
+  const auto n = t_end > t_begin
+                     ? static_cast<std::size_t>(
+                           std::floor((t_end - t_begin) / dt + 0.5))
+                     : 0;
+  if (n == 0) return sig::RegularSeries(t_begin, dt, {});
 
   // Assemble the query grid and fill it chunk by chunk; each sealed chunk
   // is reconstructed onto the collection grid by band-limited resampling,
   // the hot tail is already on it.
-  const auto n = static_cast<std::size_t>(
-      std::floor((t_end - t_begin) / dt + 0.5));
-  NYQMON_CHECK(n >= 1);
   std::vector<double> grid(n, 0.0);
   std::vector<bool> filled(n, false);
 
@@ -143,11 +148,65 @@ sig::RegularSeries RetentionStore::query(const std::string& name,
       grid[i] = last;
     }
   }
+
+  // Range entirely disjoint from stored data: hold the nearest stored
+  // value (the first for grids before the data, the last for grids past
+  // its end — judged by the last actual grid point, not t_end, which can
+  // overshoot the final point by up to a step). A stream with no data at
+  // all stays zero.
+  if (!seen && (!s.hot.empty() || !s.chunks.empty())) {
+    const double data_t0 = s.chunks.empty() ? s.hot_t0 : s.chunks.front().t0;
+    const double first =
+        s.chunks.empty() ? s.hot.front() : s.chunks.front().values.front();
+    const double final_value =
+        s.hot.empty() ? s.chunks.back().values.back() : s.hot.back();
+    const double t_last = t_begin + dt * static_cast<double>(n - 1);
+    std::fill(grid.begin(), grid.end(),
+              t_last < data_t0 ? first : final_value);
+  }
   return sig::RegularSeries(t_begin, dt, std::move(grid));
 }
 
 StreamStats RetentionStore::stats(const std::string& name) const {
   return stream(name).stats;
+}
+
+namespace {
+
+StreamMeta make_meta(double rate_hz, double t0, std::size_t ingested,
+                     std::uint64_t generation) {
+  StreamMeta m;
+  m.collection_rate_hz = rate_hz;
+  m.t0 = t0;
+  m.t_end = t0 + static_cast<double>(ingested) / rate_hz;
+  m.generation = generation;
+  m.ingested_samples = ingested;
+  return m;
+}
+
+}  // namespace
+
+StreamMeta RetentionStore::meta(const std::string& name) const {
+  const Stream& s = stream(name);
+  return make_meta(s.collection_rate_hz, s.t0, s.ingested, s.generation);
+}
+
+std::optional<StreamMeta> RetentionStore::find_meta(
+    const std::string& name) const {
+  const auto it = streams_.find(name);
+  if (it == streams_.end()) return std::nullopt;
+  const Stream& s = it->second;
+  return make_meta(s.collection_rate_hz, s.t0, s.ingested, s.generation);
+}
+
+std::vector<std::pair<std::string, StreamMeta>> RetentionStore::list_meta()
+    const {
+  std::vector<std::pair<std::string, StreamMeta>> out;
+  out.reserve(streams_.size());
+  for (const auto& [name, s] : streams_)
+    out.emplace_back(
+        name, make_meta(s.collection_rate_hz, s.t0, s.ingested, s.generation));
+  return out;
 }
 
 StoreRollup& StoreRollup::operator+=(const StoreRollup& other) {

@@ -15,9 +15,12 @@
 // onto the collection grid by band-limited interpolation.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "monitor/cost_model.h"
@@ -55,6 +58,20 @@ struct StreamStats {
   double reduction() const {
     return ratio_or_one(ingested_samples, stored_samples);
   }
+};
+
+/// Cheap per-stream metadata: everything a serving layer needs to decide
+/// whether a stream is worth reconstructing — its grid, the half-open
+/// [t0, t_end) span of ingested data, and a write-generation counter that
+/// bumps on every successful (non-empty) append. Result caches key their
+/// entries on the generation so any ingest invalidates dependent queries.
+struct StreamMeta {
+  double collection_rate_hz = 0.0;
+  double t0 = 0.0;
+  /// End of ingested data (half-open): t0 + ingested_samples / rate.
+  double t_end = 0.0;
+  std::uint64_t generation = 0;
+  std::size_t ingested_samples = 0;
 };
 
 /// Store-wide roll-up across all streams (the fleet-level storage bill the
@@ -95,12 +112,30 @@ class RetentionStore {
   /// Bulk append: one stream lookup for the whole series.
   void append_series(const std::string& name, std::span<const double> values);
 
-  /// Reconstruct [t_begin, t_end) on the stream's collection grid from
-  /// whatever the store kept (sealed chunks re-sampled, the hot tail raw).
+  /// Reconstruct the half-open range [t_begin, t_end) on the stream's
+  /// collection grid from whatever the store kept (sealed chunks re-sampled,
+  /// the hot tail raw). The result holds round((t_end - t_begin) * rate)
+  /// points at t_begin + i/rate, all < t_end up to grid rounding. Inverted
+  /// or empty ranges (t_begin >= t_end, or a span shorter than half a grid
+  /// step) are clamped to a defined result: an empty series anchored at
+  /// t_begin on the collection grid. Ranges beyond the ingested data hold
+  /// the nearest stored value. Unknown names throw std::invalid_argument.
   sig::RegularSeries query(const std::string& name, double t_begin,
                            double t_end) const;
 
   StreamStats stats(const std::string& name) const;
+
+  /// Grid/span/generation metadata for one stream (see StreamMeta).
+  StreamMeta meta(const std::string& name) const;
+
+  /// meta() that reports an unknown name as nullopt instead of throwing —
+  /// the serving layer's exact-selector fast path.
+  std::optional<StreamMeta> find_meta(const std::string& name) const;
+
+  /// Metadata for every stream, in lexicographic name order. Cheap (no
+  /// reconstruction): the serving layer calls this per query to match
+  /// selectors and prune streams outside the requested time range.
+  std::vector<std::pair<std::string, StreamMeta>> list_meta() const;
 
   /// Names of all streams, in lexicographic order.
   std::vector<std::string> stream_names() const;
@@ -127,6 +162,7 @@ class RetentionStore {
     double hot_t0 = 0.0;
     std::vector<Chunk> chunks;
     StreamStats stats;
+    std::uint64_t generation = 0;  ///< bumped per non-empty append batch
   };
 
   void seal_chunk(Stream& stream);

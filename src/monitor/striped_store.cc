@@ -1,6 +1,7 @@
 #include "monitor/striped_store.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/check.h"
 #include "util/hash.h"
@@ -58,6 +59,51 @@ StreamStats StripedRetentionStore::stats(const std::string& name) const {
   const Stripe& s = stripe_of(name);
   std::lock_guard<std::mutex> lock(s.mu);
   return s.store.stats(name);
+}
+
+StreamMeta StripedRetentionStore::meta(const std::string& name) const {
+  const Stripe& s = stripe_of(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.store.meta(name);
+}
+
+std::optional<StreamMeta> StripedRetentionStore::find_meta(
+    const std::string& name) const {
+  const Stripe& s = stripe_of(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.store.find_meta(name);
+}
+
+std::vector<std::pair<std::string, StreamMeta>>
+StripedRetentionStore::list_meta() const {
+  // Each stripe's map yields its entries already name-sorted, so the
+  // concatenation is a list of sorted runs: cascade inplace_merge over the
+  // run boundaries (O(S log stripes)) instead of re-sorting from scratch —
+  // this sits on the serving hot path, once per query.
+  std::vector<std::pair<std::string, StreamMeta>> all;
+  std::vector<std::size_t> bounds{0};
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    auto part = stripe->store.list_meta();
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+    bounds.push_back(all.size());
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next{0};
+    for (std::size_t i = 2; i < bounds.size(); i += 2) {
+      std::inplace_merge(all.begin() + bounds[i - 2],
+                         all.begin() + bounds[i - 1], all.begin() + bounds[i],
+                         by_name);
+      next.push_back(bounds[i]);
+    }
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+  return all;
 }
 
 std::vector<std::string> StripedRetentionStore::stream_names() const {

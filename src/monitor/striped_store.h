@@ -12,8 +12,10 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "monitor/store.h"
@@ -35,6 +37,18 @@ class StripedRetentionStore {
   sig::RegularSeries query(const std::string& name, double t_begin,
                            double t_end) const;
   StreamStats stats(const std::string& name) const;
+
+  /// Grid/span/generation metadata for one stream (see StreamMeta).
+  StreamMeta meta(const std::string& name) const;
+
+  /// meta() that reports an unknown name as nullopt instead of throwing.
+  std::optional<StreamMeta> find_meta(const std::string& name) const;
+
+  /// Metadata for every stream across stripes, lexicographically sorted by
+  /// name. The serving layer's selector match + prune pass; cheap relative
+  /// to reconstruction, but it does take every stripe lock in turn, so the
+  /// snapshot is per-stripe (not globally) atomic under concurrent ingest.
+  std::vector<std::pair<std::string, StreamMeta>> list_meta() const;
 
   /// All stream names across stripes, lexicographically sorted.
   std::vector<std::string> stream_names() const;

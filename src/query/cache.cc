@@ -1,0 +1,82 @@
+#include "query/cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace nyqmon::qry {
+
+ShardedResultCache::ShardedResultCache(std::size_t capacity,
+                                       std::size_t shards) {
+  NYQMON_CHECK(capacity >= 1);
+  NYQMON_CHECK(shards >= 1);
+  shards = std::min(shards, capacity);
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ShardedResultCache::Shard& ShardedResultCache::shard_of(
+    const std::string& key) {
+  return *shards_[fnv1a(key) % shards_.size()];
+}
+
+std::shared_ptr<const QueryResult> ShardedResultCache::lookup(
+    const std::string& key, std::uint64_t fingerprint) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.stats.misses;
+    return nullptr;
+  }
+  if (it->second->fingerprint != fingerprint) {
+    // The matched streams took writes since this result was computed.
+    s.lru.erase(it->second);
+    s.index.erase(it);
+    ++s.stats.invalidations;
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  ++s.stats.hits;
+  return it->second->value;
+}
+
+void ShardedResultCache::insert(const std::string& key,
+                                std::uint64_t fingerprint,
+                                std::shared_ptr<const QueryResult> value) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    it->second->fingerprint = fingerprint;
+    it->second->value = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.push_front(Entry{key, fingerprint, std::move(value)});
+  s.index.emplace(key, s.lru.begin());
+  while (s.lru.size() > per_shard_capacity_) {
+    s.index.erase(s.lru.back().key);
+    s.lru.pop_back();
+    ++s.stats.evictions;
+  }
+}
+
+CacheStats ShardedResultCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.invalidations += shard->stats.invalidations;
+    total.evictions += shard->stats.evictions;
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace nyqmon::qry

@@ -1,0 +1,211 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "analysis/cdf.h"
+#include "dsp/resample.h"
+#include "query/selector.h"
+#include "signal/stats.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+
+namespace nyqmon::qry {
+
+namespace {
+
+/// In-place per-stream transform on the aligned output grid.
+void apply_transform(Transform transform, double step_s,
+                     std::vector<double>& v) {
+  switch (transform) {
+    case Transform::kRaw:
+      return;
+    case Transform::kRate:
+      // Backward difference per second; the first point has no left
+      // neighbour and is defined as 0.
+      for (std::size_t i = v.size(); i-- > 1;)
+        v[i] = (v[i] - v[i - 1]) / step_s;
+      if (!v.empty()) v[0] = 0.0;
+      return;
+    case Transform::kZScore: {
+      if (v.empty()) return;
+      const double m = sig::mean(v);
+      const double s = sig::stddev(v);
+      if (s > 0.0) {
+        for (double& x : v) x = (x - m) / s;
+      } else {
+        std::fill(v.begin(), v.end(), 0.0);  // flat window: zero by definition
+      }
+      return;
+    }
+  }
+}
+
+double aggregate_column(Aggregation agg, const std::vector<double>& column) {
+  switch (agg) {
+    case Aggregation::kNone:
+      break;  // unreachable: kNone never reduces
+    case Aggregation::kSum:
+    case Aggregation::kAvg: {
+      double sum = 0.0;
+      for (const double x : column) sum += x;
+      return agg == Aggregation::kSum
+                 ? sum
+                 : sum / static_cast<double>(column.size());
+    }
+    case Aggregation::kMin:
+      return *std::min_element(column.begin(), column.end());
+    case Aggregation::kMax:
+      return *std::max_element(column.begin(), column.end());
+    case Aggregation::kP50:
+      return ana::Cdf(column).quantile(0.50);
+    case Aggregation::kP95:
+      return ana::Cdf(column).quantile(0.95);
+    case Aggregation::kP99:
+      return ana::Cdf(column).quantile(0.99);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const mon::StripedRetentionStore& store,
+                         QueryEngineConfig config)
+    : store_(store),
+      config_(config),
+      cache_(config.cache_capacity, config.cache_shards) {}
+
+QueryResponse QueryEngine::run(const QuerySpec& spec) {
+  spec.validate();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  // Metadata pass: selector match + invalidation fingerprint, no
+  // reconstruction. A wildcard-free selector names at most one stream, so
+  // it skips the fleet-wide scan and hits its stripe directly; globs walk
+  // list_meta(), which is lexicographically sorted, so the matched order
+  // (and with it every downstream reduction) is stable either way.
+  std::vector<std::pair<std::string, mon::StreamMeta>> matched_meta;
+  std::size_t considered = 0;
+  if (is_exact(spec.selector)) {
+    considered = 1;
+    if (const auto m = store_.find_meta(spec.selector))
+      matched_meta.emplace_back(spec.selector, *m);
+  } else {
+    auto meta = store_.list_meta();
+    considered = meta.size();
+    for (auto& [name, m] : meta)
+      if (match_glob(spec.selector, name))
+        matched_meta.emplace_back(std::move(name), m);
+  }
+  Fnv1a fp;
+  for (const auto& [name, m] : matched_meta)
+    fp.mix(fnv1a(name)).mix(m.generation);
+
+  const std::string key = spec.canonical_key();
+  if (config_.cache_enabled) {
+    if (auto hit = cache_.lookup(key, fp.value())) return {std::move(hit), true};
+  }
+
+  streams_considered_.fetch_add(considered, std::memory_order_relaxed);
+  auto result = execute(spec, matched_meta);
+  if (config_.cache_enabled) cache_.insert(key, fp.value(), result);
+  return {std::move(result), false};
+}
+
+std::shared_ptr<const QueryResult> QueryEngine::execute(
+    const QuerySpec& spec,
+    const std::vector<std::pair<std::string, mon::StreamMeta>>& matched_meta) {
+  auto result = std::make_shared<QueryResult>();
+  result->spec = spec;
+
+  // Range prune on metadata alone: a stream whose ingested span [t0, t_end)
+  // misses the query range contributes nothing worth reconstructing.
+  std::vector<mon::StreamMeta> kept_meta;
+  for (const auto& [name, m] : matched_meta) {
+    result->matched.push_back(name);
+    if (m.ingested_samples > 0 && m.t0 < spec.t_end && m.t_end > spec.t_begin) {
+      result->reconstructed.push_back(name);
+      kept_meta.push_back(m);
+    }
+  }
+  streams_matched_.fetch_add(result->matched.size(),
+                             std::memory_order_relaxed);
+  streams_pruned_.fetch_add(
+      result->matched.size() - result->reconstructed.size(),
+      std::memory_order_relaxed);
+  streams_reconstructed_.fetch_add(result->reconstructed.size(),
+                                   std::memory_order_relaxed);
+  if (result->reconstructed.empty()) return result;
+
+  // Output grid timestamps, relative to t_begin (which is also where the
+  // store's reconstruction grid is anchored).
+  const std::size_t n_out = spec.grid_points();
+  std::vector<double> rel_times(n_out);
+  for (std::size_t i = 0; i < n_out; ++i)
+    rel_times[i] = static_cast<double>(i) * spec.step_s;
+
+  // Fan-out: each stream reconstructs into its pre-allocated slot; slot
+  // order is the lexicographic stream order, so results are independent of
+  // the worker count.
+  std::vector<std::vector<double>> slots(result->reconstructed.size());
+  parallel_claim(
+      slots.size(), config_.workers, [&](std::size_t i) {
+        auto base =
+            store_.query(result->reconstructed[i], spec.t_begin, spec.t_end);
+        if (base.empty()) {
+          // The window is shorter than half this stream's collection
+          // interval, so the store's grid rounds to zero points. Widen to
+          // one collection interval: the single reconstructed point then
+          // holds across the output grid (interp clamps to its support)
+          // instead of fabricating zeros into aggregations.
+          base = store_.query(
+              result->reconstructed[i], spec.t_begin,
+              spec.t_begin + 1.0 / kept_meta[i].collection_rate_hz);
+        }
+        slots[i] = base.empty()
+                       ? std::vector<double>(n_out, 0.0)
+                       : dsp::interp_linear(base.values(),
+                                            base.sample_rate_hz(), rel_times);
+        apply_transform(spec.transform, spec.step_s, slots[i]);
+      });
+
+  if (spec.aggregate == Aggregation::kNone) {
+    result->series.reserve(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      result->series.push_back(
+          {result->reconstructed[i],
+           sig::RegularSeries(spec.t_begin, spec.step_s,
+                              std::move(slots[i]))});
+    return result;
+  }
+
+  // Cross-stream reduction per output timestamp, iterating streams in
+  // lexicographic order (deterministic FP accumulation).
+  std::vector<double> reduced(n_out, 0.0);
+  std::vector<double> column(slots.size());
+  for (std::size_t t = 0; t < n_out; ++t) {
+    for (std::size_t i = 0; i < slots.size(); ++i) column[i] = slots[i][t];
+    reduced[t] = aggregate_column(spec.aggregate, column);
+  }
+  result->series.push_back(
+      {std::string(to_string(spec.aggregate)) + "(" + spec.selector + ")",
+       sig::RegularSeries(spec.t_begin, spec.step_s, std::move(reduced))});
+  return result;
+}
+
+QueryEngineStats QueryEngine::stats() const {
+  QueryEngineStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.streams_considered = streams_considered_.load(std::memory_order_relaxed);
+  s.streams_matched = streams_matched_.load(std::memory_order_relaxed);
+  s.streams_pruned = streams_pruned_.load(std::memory_order_relaxed);
+  s.streams_reconstructed =
+      streams_reconstructed_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace nyqmon::qry

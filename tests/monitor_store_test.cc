@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "monitor/rate_prior.h"
 #include "monitor/store.h"
+#include "monitor/striped_store.h"
 #include "reconstruct/error.h"
 #include "signal/generators.h"
 #include "signal/source.h"
@@ -141,6 +144,141 @@ TEST(Store, StorageCostReflectsReduction) {
 
   EXPECT_LT(reduced.storage_cost().storage_bytes,
             raw.storage_cost().storage_bytes / 2.0);
+}
+
+TEST(Store, EmptyAndInvertedRangesClampToEmptySeries) {
+  // Half-open [t_begin, t_end): inverted or empty ranges are defined to
+  // return an empty series on the collection grid, not to throw or to fall
+  // through reconstruction.
+  RetentionStore store;
+  store.create_stream("s", 2.0);
+  for (int i = 0; i < 50; ++i) store.append("s", double(i));
+
+  const std::vector<std::pair<double, double>> ranges = {
+      {5.0, 5.0}, {9.0, 3.0}, {0.0, -1.0}};
+  for (const auto& [b, e] : ranges) {
+    const auto series = store.query("s", b, e);
+    EXPECT_EQ(series.size(), 0u) << b << ".." << e;
+    EXPECT_DOUBLE_EQ(series.t0(), b);
+    EXPECT_DOUBLE_EQ(series.dt(), 0.5);  // collection grid survives
+  }
+  // A span shorter than half a grid step rounds to zero points.
+  EXPECT_EQ(store.query("s", 1.0, 1.2).size(), 0u);
+}
+
+TEST(Store, QueryEntirelyInsideHotTail) {
+  // Two sealed chunks plus an unsealed tail; a query window living wholly
+  // in the tail must serve the raw (unsealed) values exactly.
+  StoreConfig cfg;
+  cfg.chunk_samples = 64;
+  RetentionStore store(cfg);
+  store.create_stream("s", 1.0);
+  for (int i = 0; i < 150; ++i) store.append("s", double(i));  // 128 sealed
+
+  const auto series = store.query("s", 130.0, 148.0);
+  ASSERT_EQ(series.size(), 18u);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    EXPECT_DOUBLE_EQ(series[i], 130.0 + double(i));
+}
+
+TEST(Store, QuerySpansSealedHotBoundary) {
+  // A constant stream sealed at chunk 64: values must come back constant
+  // across the sealed-chunk / hot-tail seam, with no discontinuity.
+  StoreConfig cfg;
+  cfg.chunk_samples = 64;
+  RetentionStore store(cfg);
+  store.create_stream("s", 1.0);
+  for (int i = 0; i < 100; ++i) store.append("s", 5.0);
+
+  const auto series = store.query("s", 50.0, 90.0);  // 64 is the seam
+  ASSERT_EQ(series.size(), 40u);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    EXPECT_NEAR(series[i], 5.0, 1e-6) << i;
+}
+
+TEST(Store, QueryPastEndOfDataHoldsLastValue) {
+  RetentionStore store;
+  store.create_stream("s", 1.0);
+  for (int i = 0; i < 10; ++i) store.append("s", double(i));
+
+  const auto series = store.query("s", 5.0, 20.0);  // data ends at t=10
+  ASSERT_EQ(series.size(), 15u);
+  EXPECT_DOUBLE_EQ(series[0], 5.0);
+  for (std::size_t i = 5; i < series.size(); ++i)
+    EXPECT_DOUBLE_EQ(series[i], 9.0) << i;  // hold the nearest stored value
+
+  // Entirely past the end: still defined, still held.
+  const auto beyond = store.query("s", 100.0, 105.0);
+  ASSERT_EQ(beyond.size(), 5u);
+  for (const double v : beyond.values()) EXPECT_DOUBLE_EQ(v, 9.0);
+}
+
+TEST(Store, QueryBeforeDataHoldsFirstValue) {
+  RetentionStore store;
+  store.create_stream("s", 1.0, /*t0=*/100.0);
+  for (int i = 0; i < 10; ++i) store.append("s", double(i));  // [100, 110)
+
+  // Entirely before the data: hold the first stored value.
+  const auto before = store.query("s", 80.0, 85.0);
+  ASSERT_EQ(before.size(), 5u);
+  for (const double v : before.values()) EXPECT_DOUBLE_EQ(v, 0.0);
+
+  // t_end barely overlaps the data start but every actual grid point lies
+  // before it: still the first value (the hold is judged by the last grid
+  // point, not t_end).
+  const auto brushing = store.query("s", 95.0, 100.4);
+  ASSERT_EQ(brushing.size(), 5u);  // t = 95..99
+  for (const double v : brushing.values()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Store, MetaTracksSpanAndGeneration) {
+  RetentionStore store;
+  store.create_stream("s", 2.0, /*t0=*/100.0);
+  auto m = store.meta("s");
+  EXPECT_DOUBLE_EQ(m.collection_rate_hz, 2.0);
+  EXPECT_DOUBLE_EQ(m.t0, 100.0);
+  EXPECT_DOUBLE_EQ(m.t_end, 100.0);  // half-open, nothing ingested
+  EXPECT_EQ(m.generation, 0u);
+  EXPECT_EQ(m.ingested_samples, 0u);
+
+  store.append("s", 1.0);
+  m = store.meta("s");
+  EXPECT_EQ(m.generation, 1u);
+  EXPECT_EQ(m.ingested_samples, 1u);
+  EXPECT_DOUBLE_EQ(m.t_end, 100.5);
+
+  // One bulk append = one generation bump; an empty batch bumps nothing.
+  store.append_series("s", std::vector<double>(99, 2.0));
+  store.append_series("s", {});
+  m = store.meta("s");
+  EXPECT_EQ(m.generation, 2u);
+  EXPECT_EQ(m.ingested_samples, 100u);
+  EXPECT_DOUBLE_EQ(m.t_end, 150.0);
+
+  EXPECT_THROW((void)store.meta("nope"), std::invalid_argument);
+}
+
+TEST(StripedStore, MetaAndListMetaAcrossStripes) {
+  mon::StripedRetentionStore store({}, 8);
+  store.create_stream("b/y", 1.0);
+  store.create_stream("a/x", 2.0);
+  store.create_stream("c/z", 4.0);
+  store.append_series("a/x", std::vector<double>(10, 1.0));
+
+  const auto all = store.list_meta();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first, "a/x");  // lexicographic across stripes
+  EXPECT_EQ(all[1].first, "b/y");
+  EXPECT_EQ(all[2].first, "c/z");
+  EXPECT_EQ(all[0].second.generation, 1u);
+  EXPECT_DOUBLE_EQ(all[0].second.t_end, 5.0);
+  EXPECT_EQ(all[1].second.generation, 0u);
+
+  EXPECT_EQ(store.meta("a/x").ingested_samples, 10u);
+  EXPECT_THROW((void)store.meta("nope"), std::invalid_argument);
+
+  // The striped read path shares the clamped empty-range convention.
+  EXPECT_EQ(store.query("a/x", 7.0, 7.0).size(), 0u);
 }
 
 TEST(RatePriors, LearnFromAuditAndWarmStart) {
