@@ -1,12 +1,17 @@
 // Fleet engine: drive a whole synthetic datacenter concurrently.
 //
-// Usage: fleet_engine [pairs] [workers]   (defaults: 600 pairs, 4 workers)
+// Usage: fleet_engine [pairs] [workers] [persist_dir]
+//        (defaults: 600 pairs, 4 workers, in-memory only)
 //
 // Builds the fleet, runs the sharded FleetMonitorEngine (adaptive sampling
 // + reconstruction + aliasing audit per pair, fan-in to the striped
 // retention store), prints the fleet report, and queries one retained
 // stream back out of the store. The argv overrides make it double as a
 // quick scaling probe: try `fleet_engine 1613 1` vs `fleet_engine 1613 8`.
+//
+// With [persist_dir] the run is durable: every ingest batch is WAL-logged
+// there and the store is checkpointed into compressed segments at the end.
+// Reopen the directory cold with `fleet_query <persist_dir>`.
 //
 // Read the report's steady-state split, not just the headline savings:
 // smooth oversampled metrics settle below their production rate, while the
@@ -28,8 +33,10 @@ int main(int argc, char** argv) {
   const std::size_t workers =
       argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10))
                : 4;
+  const std::string persist_dir = argc > 3 ? argv[3] : "";
   if (pairs == 0) {
-    std::fprintf(stderr, "usage: %s [pairs] [workers]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [pairs] [workers] [persist_dir]\n",
+                 argv[0]);
     return 2;
   }
 
@@ -42,6 +49,7 @@ int main(int argc, char** argv) {
 
   eng::EngineConfig cfg;
   cfg.workers = workers;
+  cfg.storage.dir = persist_dir;  // empty = in-memory only
   eng::FleetMonitorEngine engine(fleet, cfg);
   const eng::FleetRunResult result = engine.run();
 
@@ -59,5 +67,14 @@ int main(int argc, char** argv) {
               "(first %.3g, last %.3g)\n",
               id.c_str(), series.size(), series.values().front(),
               series.values().back());
+
+  if (result.persisted) {
+    std::printf(
+        "\npersisted to %s: %zu stream(s), %zu chunk(s), %.2f MB segment "
+        "(flush %.3fs); serve it cold with `fleet_query %s`\n",
+        persist_dir.c_str(), result.flush.streams, result.flush.chunks,
+        static_cast<double>(result.flush.bytes_written) / 1.0e6,
+        result.flush.seconds, persist_dir.c_str());
+  }
   return 0;
 }

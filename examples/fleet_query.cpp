@@ -1,20 +1,28 @@
-// Fleet query: run the monitoring engine, then serve selector queries
-// over the retained (Nyquist-rate re-sampled) data — the paper's
-// a-posteriori mode, read side.
+// Fleet query: serve selector queries over retained (Nyquist-rate
+// re-sampled) data — the paper's a-posteriori mode, read side.
 //
-// A 400-pair engine run fans into the striped retention store; a
-// QueryEngine session then answers fleet-style questions against it:
-// average temperature across one rack's devices, p95 CPU across the
+// Usage: fleet_query [persist_dir]
+//
+// Without arguments: a 400-pair engine run fans into the striped retention
+// store; a QueryEngine session then answers fleet-style questions against
+// it: average temperature across one rack's devices, p95 CPU across the
 // fleet, the rate of change of one counter — each reconstructed on demand
 // onto a common grid. The same query issued twice shows the sharded
 // result cache at work, and appending fresh data shows generation-counter
 // invalidation.
+//
+// With [persist_dir] (a directory written by `fleet_engine ... <dir>`):
+// the cold-start demo. No engine runs — the durable tier is reopened,
+// segments + WAL are recovered into a fresh store, and the same QueryEngine
+// serves over it. Reconstructions are bit-identical to what the live run
+// would have answered.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "engine/engine.h"
 #include "query/engine.h"
+#include "storage/manager.h"
 #include "telemetry/fleet.h"
 
 using namespace nyqmon;
@@ -37,9 +45,80 @@ void show(const std::string& note, const qry::QueryResponse& r) {
     std::printf("  ... (%zu more)\n", r.result->series.size() - shown);
 }
 
+// Cold start: reopen a persisted directory and serve queries from it with
+// no engine run in the process. Selectors are derived from the recovered
+// stream metadata alone ("pod/device/metric" IDs).
+int serve_cold(const std::string& dir) {
+  sto::StorageConfig scfg;
+  scfg.dir = dir;
+  sto::StorageManager manager(scfg);
+
+  // Build the store with the geometry the writer recorded, so WAL replay
+  // re-seals chunks on the original boundaries.
+  mon::StoreConfig store_cfg = eng::EngineConfig{}.store;
+  if (const auto geom = manager.manifest_geometry()) geom->apply(store_cfg);
+  mon::StripedRetentionStore store(store_cfg);
+  const sto::RecoveryStats rec = manager.recover(store);
+  std::printf(
+      "recovered %s in %.3fs: %zu segment(s), %zu stream(s), %zu chunk(s), "
+      "%zu WAL record(s) replayed",
+      dir.c_str(), rec.seconds, rec.segments, rec.streams, rec.chunks,
+      rec.wal_records_replayed);
+  if (rec.wal_records_truncated > 0)
+    std::printf(" [torn WAL tail dropped]");
+  if (rec.crc_skipped_blocks > 0)
+    std::printf(" [WARNING: %zu corrupt block(s) skipped, %zu chunk(s) lost]",
+                rec.crc_skipped_blocks, rec.chunks_missing);
+  std::printf("\n\n");
+  // Gate on the store, not rec.streams: a mid-run kill leaves a WAL-only
+  // directory (no segments yet), whose streams exist purely via replay.
+  if (store.streams() == 0) {
+    std::fprintf(stderr, "nothing to serve in %s\n", dir.c_str());
+    return 1;
+  }
+
+  qry::QueryEngine qe(store);
+  const auto meta = store.list_meta();
+  const std::string& first_id = meta.front().first;
+  const std::string metric = first_id.substr(first_id.rfind('/') + 1);
+  const double t_end = meta.front().second.t_end;
+
+  // One recovered stream, reconstructed on its own (exact selector).
+  qry::QuerySpec one;
+  one.selector = first_id;
+  one.t_begin = 0.0;
+  one.t_end = t_end;
+  one.step_s = std::max(1.0, t_end / 64.0);
+  show("exact stream from the reopened store:", qe.run(one));
+
+  // Fleet-wide aggregates over every device carrying the same metric.
+  qry::QuerySpec fleet_avg = one;
+  fleet_avg.selector = "*/" + metric;
+  fleet_avg.aggregate = qry::Aggregation::kAvg;
+  show("\navg(" + fleet_avg.selector + "):", qe.run(fleet_avg));
+
+  qry::QuerySpec fleet_p95 = fleet_avg;
+  fleet_p95.aggregate = qry::Aggregation::kP95;
+  show("\np95(" + fleet_p95.selector + "):", qe.run(fleet_p95));
+
+  show("\nsame avg query again (cache):", qe.run(fleet_avg));
+
+  const auto stats = qe.stats();
+  std::printf(
+      "\ncold-serving stats: %llu queries | cache hits %llu | streams "
+      "reconstructed %llu, pruned-by-range %llu\n",
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.streams_reconstructed),
+      static_cast<unsigned long long>(stats.streams_pruned));
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) return serve_cold(argv[1]);
+
   tel::FleetConfig fleet_cfg;
   fleet_cfg.target_pairs = 400;
   fleet_cfg.seed = 1234;

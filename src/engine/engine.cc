@@ -30,6 +30,17 @@ FleetMonitorEngine::FleetMonitorEngine(const tel::Fleet& fleet,
   NYQMON_CHECK(config_.max_speedup >= 1.0);
   NYQMON_CHECK(config_.max_slowdown >= 1.0);
 
+  // Durable tier before any stream exists, so the creations below are
+  // WAL-logged too: each engine run is a fresh storage generation.
+  if (!config_.storage.dir.empty()) {
+    config_.storage.truncate_existing = true;
+    storage_ = std::make_unique<sto::StorageManager>(config_.storage);
+    // Geometry into the manifest before any ingest: a mid-run crash must
+    // recover with verified seal boundaries even though no flush ever ran.
+    storage_->record_geometry(config_.store);
+    store_.set_ingest_sink(storage_.get());
+  }
+
   // Scheduling pass: derive every pair's collection plan and register its
   // retention stream up front (sequential, so stream creation needs no
   // coordination during the fan-out).
@@ -78,6 +89,12 @@ PairOutcome FleetMonitorEngine::drive_pair(std::size_t index,
   // Fan-in: retain the reconstruction (on the production grid) under this
   // pair's stream ID. One bulk append = one stripe-lock acquisition.
   store_.append_series(out.stream_id, result.reconstruction.span());
+
+  // Byte bill after ingest: each stream has exactly one producer (this
+  // pair), so the stats are final for the run and worker-count invariant.
+  const mon::StreamStats retained = store_.stats(out.stream_id);
+  out.store_bytes_raw = retained.bytes_raw;
+  out.store_bytes_stored = retained.bytes_stored;
   return out;
 }
 
@@ -130,6 +147,15 @@ FleetRunResult FleetMonitorEngine::run() {
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+
+  // End-of-run checkpoint: seal the WAL-protected run into compressed
+  // segments (kept out of wall_seconds — compute vs durability split).
+  if (storage_ != nullptr) {
+    storage_->sync();
+    result.flush = storage_->flush(store_);
+    result.storage = storage_->stats();
+    result.persisted = true;
+  }
   return result;
 }
 

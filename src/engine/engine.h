@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "monitor/striped_store.h"
 #include "nyquist/adaptive_sampler.h"
 #include "query/engine.h"
+#include "storage/manager.h"
 #include "telemetry/fleet.h"
 
 namespace nyqmon::eng {
@@ -63,6 +65,15 @@ struct EngineConfig {
   }();
   std::size_t store_stripes = 16;
   mon::CostModel cost;
+  /// Durable tier (storage/manager.h). When `storage.dir` is non-empty the
+  /// run persists: stream creations and every ingest batch are
+  /// write-ahead-logged under that directory (a mid-run crash loses at most
+  /// the records after the last fsync), and run() checkpoints the store
+  /// into compressed segments on completion. The directory's previous
+  /// nyqmon layout, if any, is truncated — each engine run is a fresh
+  /// storage generation. Reopen it afterwards with StorageManager +
+  /// recover() (see examples/fleet_query.cpp).
+  sto::StorageConfig storage;
 };
 
 /// Outcome of driving one metric-device pair.
@@ -76,6 +87,10 @@ struct PairOutcome {
   double max_abs_error = 0.0;
   std::size_t adaptive_samples = 0;  ///< includes detector overhead
   std::size_t baseline_samples = 0;
+  /// This pair's retention byte bill after its reconstruction was ingested
+  /// (see mon::StreamStats): raw f64 bytes vs codec-encoded footprint.
+  std::uint64_t store_bytes_raw = 0;
+  std::uint64_t store_bytes_stored = 0;
   nyq::RunAudit audit;
 };
 
@@ -87,6 +102,11 @@ struct FleetRunResult {
   std::size_t workers_used = 0;
   std::size_t shards_used = 0;
   double wall_seconds = 0.0;  ///< not part of the deterministic aggregates
+  /// Durable-tier outcome; meaningful only when `persisted` (storage.dir
+  /// was set): the end-of-run checkpoint plus the manager's counters.
+  bool persisted = false;
+  sto::FlushStats flush;
+  sto::StorageStats storage;
 
   /// Fleet-wide sample-count savings: sum(baseline) / sum(adaptive).
   double fleet_cost_savings() const;
@@ -118,12 +138,16 @@ class FleetMonitorEngine {
   /// returned QueryEngine.
   qry::QueryEngine serve(qry::QueryEngineConfig config = {}) const;
 
+  /// The durable tier, or nullptr when the engine runs in-memory only.
+  const sto::StorageManager* storage() const { return storage_.get(); }
+
  private:
   PairOutcome drive_pair(std::size_t index, std::uint64_t noise_seed);
 
   const tel::Fleet& fleet_;
   EngineConfig config_;
   mon::StripedRetentionStore store_;
+  std::unique_ptr<sto::StorageManager> storage_;
   std::vector<tel::PairSchedule> schedules_;
   bool ran_ = false;
 };

@@ -21,6 +21,9 @@ EngineReport build_report(const FleetRunResult& result) {
   report.workers_used = result.workers_used;
   report.shards_used = result.shards_used;
   report.wall_seconds = result.wall_seconds;
+  report.persisted = result.persisted;
+  report.flush = result.flush;
+  report.storage = result.storage;
 
   for (const auto& p : result.pairs) {
     auto& m = report.by_metric[p.kind];
@@ -35,6 +38,8 @@ EngineReport build_report(const FleetRunResult& result) {
     m.windows += p.audit.windows;
     m.aliased_windows += p.audit.aliased_windows;
     m.probe_windows += p.audit.probe_windows;
+    m.bytes_raw += p.store_bytes_raw;
+    m.bytes_stored += p.store_bytes_stored;
     if (p.audit.final_rate_hz > 0.0)
       report.steady_rate_reduction.push_back(p.production_rate_hz /
                                              p.audit.final_rate_hz);
@@ -90,6 +95,27 @@ std::string render(const EngineReport& report) {
      << report.store.stored_samples << " stored in sealed chunks ("
      << report.store.chunks_reduced << "/" << report.store.chunks
      << " chunks reduced, " << buf << " on sealed data)\n";
+  // Sized for the worst case (three full-range doubles / u64s per line);
+  // the shared 96-byte buf above would truncate at multi-GB fleet scales.
+  char line[224];
+  std::snprintf(line, sizeof(line),
+                "retention bytes: %.2f MB raw -> %.2f MB stored "
+                "(%.2fx, Nyquist re-sampling x value codec)\n",
+                static_cast<double>(report.store.bytes_raw) / 1.0e6,
+                static_cast<double>(report.store.bytes_stored) / 1.0e6,
+                report.store.compression_ratio());
+  os << line;
+  if (report.persisted) {
+    std::snprintf(line, sizeof(line),
+                  "durable tier: %zu segment(s), %.2f MB on disk, "
+                  "%llu WAL records (%llu fsyncs), flush %.2fs\n",
+                  report.storage.segments,
+                  static_cast<double>(report.storage.segment_bytes) / 1.0e6,
+                  static_cast<unsigned long long>(report.storage.wal_records),
+                  static_cast<unsigned long long>(report.storage.wal_syncs),
+                  report.flush.seconds);
+    os << line;
+  }
   return os.str();
 }
 
@@ -97,7 +123,8 @@ void write_csv(const EngineReport& report, const std::string& path) {
   CsvWriter csv(path,
                 {"metric", "pairs", "savings_p5", "savings_p50", "savings_p95",
                  "nrmse_p50", "nrmse_p95", "nrmse_degenerate",
-                 "aliased_window_fraction", "probe_window_fraction"});
+                 "aliased_window_fraction", "probe_window_fraction",
+                 "bytes_raw", "bytes_stored", "compression_ratio"});
   for (const auto& [kind, m] : report.by_metric) {
     if (m.cost_savings.empty()) continue;
     const ana::Cdf savings(m.cost_savings);
@@ -117,7 +144,9 @@ void write_csv(const EngineReport& report, const std::string& path) {
              CsvWriter::format_double(
                  m.windows == 0 ? 0.0
                                 : static_cast<double>(m.probe_windows) /
-                                      static_cast<double>(m.windows))});
+                                      static_cast<double>(m.windows)),
+             std::to_string(m.bytes_raw), std::to_string(m.bytes_stored),
+             CsvWriter::format_double(m.compression_ratio())});
   }
 }
 

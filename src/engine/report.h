@@ -28,6 +28,14 @@ struct MetricFleetReport {
   std::size_t windows = 0;
   std::size_t aliased_windows = 0;
   std::size_t probe_windows = 0;
+  /// Retention byte bill summed over this kind's pairs: raw f64 bytes vs
+  /// the codec-encoded footprint (Nyquist re-sampling × Gorilla-XOR).
+  std::uint64_t bytes_raw = 0;
+  std::uint64_t bytes_stored = 0;
+
+  double compression_ratio() const {
+    return mon::ratio_or_one(bytes_raw, bytes_stored);
+  }
 
   double aliased_fraction() const {
     return windows == 0 ? 0.0
@@ -53,6 +61,10 @@ struct EngineReport {
   std::size_t workers_used = 0;
   std::size_t shards_used = 0;
   double wall_seconds = 0.0;
+  /// Durable-tier outcome (meaningful when persisted: see FleetRunResult).
+  bool persisted = false;
+  sto::FlushStats flush;
+  sto::StorageStats storage;
 };
 
 EngineReport build_report(const FleetRunResult& result);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/resample.h"
+#include "storage/codec.h"
 #include "util/check.h"
 
 namespace nyqmon::mon {
@@ -18,6 +19,7 @@ void RetentionStore::create_stream(const std::string& name,
   NYQMON_CHECK(collection_rate_hz > 0.0);
   NYQMON_CHECK_MSG(streams_.find(name) == streams_.end(),
                    "stream already exists: " + name);
+  if (sink_ != nullptr) sink_->on_create_stream(name, collection_rate_hz, t0);
   Stream s;
   s.collection_rate_hz = collection_rate_hz;
   s.t0 = t0;
@@ -34,11 +36,17 @@ void RetentionStore::append_series(const std::string& name,
   const auto it = streams_.find(name);
   NYQMON_CHECK_MSG(it != streams_.end(), "unknown stream: " + name);
   Stream& s = it->second;
-  if (!values.empty()) ++s.generation;
+  if (values.empty()) return;
+  // Write-ahead: the sink logs the batch before any in-memory mutation, so
+  // a crash mid-batch replays to a state at or before this append.
+  if (sink_ != nullptr) sink_->on_append(name, values);
+  ++s.generation;
   for (const double value : values) {
     s.hot.push_back(value);
     ++s.ingested;
     ++s.stats.ingested_samples;
+    s.stats.bytes_raw += sizeof(double);
+    s.stats.bytes_stored += sizeof(double);  // tail held raw until sealed
     if (s.hot.size() >= config_.chunk_samples) seal_chunk(s);
   }
 }
@@ -69,6 +77,12 @@ void RetentionStore::seal_chunk(Stream& s) {
       ++s.stats.chunks_reduced;
     }
   }
+
+  // Byte accounting: the sealed samples leave the raw tail tier and land on
+  // disk (at flush) codec-encoded plus fixed per-chunk framing.
+  s.stats.bytes_stored -= sizeof(double) * s.hot.size();
+  s.stats.bytes_stored +=
+      sto::xor_encoded_size(chunk.values) + sto::kChunkDiskOverheadBytes;
 
   s.stats.sealed_ingested_samples += s.hot.size();
   s.stats.stored_samples += chunk.values.size();
@@ -216,7 +230,48 @@ StoreRollup& StoreRollup::operator+=(const StoreRollup& other) {
   stored_samples += other.stored_samples;
   chunks += other.chunks;
   chunks_reduced += other.chunks_reduced;
+  bytes_raw += other.bytes_raw;
+  bytes_stored += other.bytes_stored;
   return *this;
+}
+
+StreamSnapshot RetentionStore::snapshot_stream(const std::string& name,
+                                               std::size_t skip_chunks) const {
+  const Stream& s = stream(name);
+  NYQMON_CHECK(skip_chunks <= s.chunks.size());
+  StreamSnapshot snap;
+  snap.name = name;
+  snap.collection_rate_hz = s.collection_rate_hz;
+  snap.t0 = s.t0;
+  snap.hot_t0 = s.hot_t0;
+  snap.generation = s.generation;
+  snap.chunks_before = skip_chunks;
+  snap.chunks.reserve(s.chunks.size() - skip_chunks);
+  for (std::size_t i = skip_chunks; i < s.chunks.size(); ++i)
+    snap.chunks.push_back({s.chunks[i].t0, s.chunks[i].dt, s.chunks[i].values});
+  snap.hot = s.hot;
+  snap.stats = s.stats;
+  return snap;
+}
+
+void RetentionStore::restore_stream(StreamSnapshot snapshot) {
+  NYQMON_CHECK(snapshot.collection_rate_hz > 0.0);
+  NYQMON_CHECK_MSG(snapshot.chunks_before == 0,
+                   "restore needs a full snapshot: " + snapshot.name);
+  NYQMON_CHECK_MSG(streams_.find(snapshot.name) == streams_.end(),
+                   "stream already exists: " + snapshot.name);
+  Stream s;
+  s.collection_rate_hz = snapshot.collection_rate_hz;
+  s.t0 = snapshot.t0;
+  s.hot_t0 = snapshot.hot_t0;
+  s.ingested = snapshot.stats.ingested_samples;
+  s.hot = std::move(snapshot.hot);
+  s.chunks.reserve(snapshot.chunks.size());
+  for (auto& c : snapshot.chunks)
+    s.chunks.push_back({c.t0, c.dt, std::move(c.values)});
+  s.stats = snapshot.stats;
+  s.generation = snapshot.generation;
+  streams_.emplace(std::move(snapshot.name), std::move(s));
 }
 
 std::vector<std::string> RetentionStore::stream_names() const {
@@ -235,6 +290,8 @@ StoreRollup RetentionStore::rollup() const {
     total.stored_samples += s.stats.stored_samples;
     total.chunks += s.stats.chunks;
     total.chunks_reduced += s.stats.chunks_reduced;
+    total.bytes_raw += s.stats.bytes_raw;
+    total.bytes_stored += s.stats.bytes_stored;
   }
   return total;
 }

@@ -54,9 +54,21 @@ struct StreamStats {
   std::size_t stored_samples = 0;  ///< after re-sampling (sealed chunks)
   std::size_t chunks = 0;
   std::size_t chunks_reduced = 0;  ///< chunks stored below the raw rate
+  /// Byte-level storage bill. bytes_raw is what storing every ingested
+  /// sample as a plain f64 would cost; bytes_stored is the actual retention
+  /// footprint: sealed chunks at their codec-encoded (Gorilla-XOR) size
+  /// including per-chunk disk framing, plus the hot tail at raw f64 width
+  /// (the tail lives uncompressed in the WAL until it seals). The ratio is
+  /// the end-to-end compression: Nyquist re-sampling × value codec.
+  std::uint64_t bytes_raw = 0;
+  std::uint64_t bytes_stored = 0;
 
   double reduction() const {
     return ratio_or_one(ingested_samples, stored_samples);
+  }
+
+  double compression_ratio() const {
+    return ratio_or_one(bytes_raw, bytes_stored);
   }
 };
 
@@ -83,9 +95,17 @@ struct StoreRollup {
   std::size_t stored_samples = 0;
   std::size_t chunks = 0;
   std::size_t chunks_reduced = 0;
+  /// Fleet-wide byte bill (see StreamStats::bytes_raw/bytes_stored).
+  std::uint64_t bytes_raw = 0;
+  std::uint64_t bytes_stored = 0;
 
   double reduction() const {
     return ratio_or_one(ingested_samples, stored_samples);
+  }
+
+  /// End-to-end byte compression: Nyquist re-sampling × value codec.
+  double compression_ratio() const {
+    return ratio_or_one(bytes_raw, bytes_stored);
   }
 
   /// Reduction over sealed data only: sealed-ingested vs stored. Unlike
@@ -95,6 +115,43 @@ struct StoreRollup {
   }
 
   StoreRollup& operator+=(const StoreRollup& other);
+};
+
+/// One sealed chunk as the durable tier sees it: a regular grid (t0, dt)
+/// and the (possibly Nyquist-re-sampled) values.
+struct ChunkSnapshot {
+  double t0 = 0.0;
+  double dt = 0.0;
+  std::vector<double> values;
+};
+
+/// Full externalized state of one stream — the unit the storage tier
+/// flushes into segments and restores on recovery. `chunks` may be only a
+/// tail slice of the stream's sealed chunks (delta flush): `chunks_before`
+/// counts the omitted prefix, already durable in earlier segments.
+struct StreamSnapshot {
+  std::string name;
+  double collection_rate_hz = 0.0;
+  double t0 = 0.0;
+  double hot_t0 = 0.0;
+  std::uint64_t generation = 0;
+  std::size_t chunks_before = 0;
+  std::vector<ChunkSnapshot> chunks;
+  std::vector<double> hot;  ///< unsealed tail, raw at the collection rate
+  StreamStats stats;
+};
+
+/// Observer of a store's write path. The durable tier implements this to
+/// write-ahead-log stream creation and every append batch before the store
+/// mutates, so a crashed run replays to exactly the live store's state.
+/// Implementations must be thread-safe when attached to a striped store.
+class IngestSink {
+ public:
+  virtual ~IngestSink() = default;
+  virtual void on_create_stream(const std::string& name,
+                                double collection_rate_hz, double t0) = 0;
+  virtual void on_append(const std::string& name,
+                         std::span<const double> values) = 0;
 };
 
 class RetentionStore {
@@ -148,6 +205,25 @@ class RetentionStore {
 
   std::size_t streams() const { return streams_.size(); }
 
+  const StoreConfig& config() const { return config_; }
+
+  /// Attach a durability sink (nullptr detaches). Every subsequent
+  /// create_stream/append goes through the sink *before* the store mutates.
+  /// restore_stream never notifies — recovery must not re-log itself.
+  void set_ingest_sink(IngestSink* sink) { sink_ = sink; }
+
+  /// Externalize one stream's state, omitting the first `skip_chunks`
+  /// sealed chunks (the storage tier's delta-flush hook: chunks already
+  /// durable in earlier segments are not copied again).
+  StreamSnapshot snapshot_stream(const std::string& name,
+                                 std::size_t skip_chunks = 0) const;
+
+  /// Recreate a stream from a full snapshot (chunks_before must be 0 and
+  /// the name unused). Queries against the restored stream are
+  /// bit-identical to the store the snapshot was taken from, and its
+  /// generation counter continues monotonically.
+  void restore_stream(StreamSnapshot snapshot);
+
  private:
   struct Chunk {
     double t0 = 0.0;
@@ -170,6 +246,7 @@ class RetentionStore {
 
   StoreConfig config_;
   std::map<std::string, Stream> streams_;
+  IngestSink* sink_ = nullptr;
 };
 
 }  // namespace nyqmon::mon

@@ -135,6 +135,30 @@ Cost StripedRetentionStore::storage_cost() const {
   return total;
 }
 
+const StoreConfig& StripedRetentionStore::config() const {
+  return stripes_.front()->store.config();
+}
+
+void StripedRetentionStore::set_ingest_sink(IngestSink* sink) {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->store.set_ingest_sink(sink);
+  }
+}
+
+StreamSnapshot StripedRetentionStore::snapshot_stream(
+    const std::string& name, std::size_t skip_chunks) const {
+  const Stripe& s = stripe_of(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.store.snapshot_stream(name, skip_chunks);
+}
+
+void StripedRetentionStore::restore_stream(StreamSnapshot snapshot) {
+  Stripe& s = stripe_of(snapshot.name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.store.restore_stream(std::move(snapshot));
+}
+
 std::size_t StripedRetentionStore::streams() const {
   std::size_t n = 0;
   for (const auto& stripe : stripes_) {

@@ -62,6 +62,20 @@ class StripedRetentionStore {
   std::size_t streams() const;
   std::size_t stripes() const { return stripes_.size(); }
 
+  /// The (shared) per-stripe store configuration.
+  const StoreConfig& config() const;
+
+  /// Attach a durability sink to every stripe (nullptr detaches). The sink
+  /// is invoked under the owning stripe's lock, from whichever thread
+  /// ingests — it must be thread-safe.
+  void set_ingest_sink(IngestSink* sink);
+
+  /// Thread-safe equivalents of the RetentionStore snapshot/restore API
+  /// (see monitor/store.h) — the storage tier's flush/recover hooks.
+  StreamSnapshot snapshot_stream(const std::string& name,
+                                 std::size_t skip_chunks = 0) const;
+  void restore_stream(StreamSnapshot snapshot);
+
  private:
   struct Stripe {
     mutable std::mutex mu;

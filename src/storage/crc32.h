@@ -1,0 +1,40 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) for on-disk block
+// integrity in the durable tier. Every segment/WAL block carries the CRC of
+// its payload so recovery can detect torn writes and bit rot and skip the
+// damaged block instead of propagating garbage into reconstruction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace nyqmon::sto {
+
+namespace detail {
+
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of a byte span (standard init/final XOR: crc32("123456789") ==
+/// 0xCBF43926).
+inline std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes)
+    c = detail::kCrc32Table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace nyqmon::sto

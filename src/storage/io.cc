@@ -1,0 +1,132 @@
+#include "storage/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+namespace nyqmon::sto {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error(what + " failed for " + path + ": " +
+                           std::string(std::strerror(errno)));
+}
+
+int open_or_throw(const std::string& path, int flags) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) throw_errno("open", path);
+  return fd;
+}
+
+}  // namespace
+
+File::File(int fd, std::string path, std::uint64_t size)
+    : fd_(fd), path_(std::move(path)), written_(size) {}
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      written_(other.written_) {}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File File::create(const std::string& path) {
+  return File(open_or_throw(path, O_WRONLY | O_CREAT | O_TRUNC), path, 0);
+}
+
+File File::append(const std::string& path) {
+  const int fd = open_or_throw(path, O_WRONLY | O_CREAT | O_APPEND);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("fstat", path);
+  }
+  return File(fd, path, static_cast<std::uint64_t>(st.st_size));
+}
+
+void File::write(std::span<const std::uint8_t> bytes) {
+  const std::uint8_t* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", path_);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  written_ += bytes.size();
+}
+
+void File::sync() {
+  if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+}
+
+void File::close() {
+  if (fd_ >= 0 && ::close(std::exchange(fd_, -1)) != 0)
+    throw_errno("close", path_);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  const int fd = open_or_throw(path, O_RDONLY);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("fstat", path);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n = ::read(fd, bytes.data() + got, bytes.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("read", path);
+    }
+    if (n == 0) break;  // shrank underneath us; keep what we have
+    got += static_cast<std::size_t>(n);
+  }
+  bytes.resize(got);
+  ::close(fd);
+  return bytes;
+}
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    File f = File::create(tmp);
+    f.write(bytes);
+    f.sync();
+    f.close();
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("rename", path);
+  const auto slash = path.find_last_of('/');
+  fsync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+    throw_errno("truncate", path);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("open dir", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync dir", dir);
+  }
+  ::close(fd);
+}
+
+}  // namespace nyqmon::sto

@@ -1,0 +1,89 @@
+// Compressed on-disk segment format for sealed retention data.
+//
+// A segment holds, per stream: a header (grid, generation, cumulative
+// stats), zero or more chunk blocks (regular grid t0/dt/count + Gorilla-XOR
+// compressed values; timestamps are implicit), and a hot-tail block (the
+// raw unsealed tail, also XOR-compressed). Every block is length-framed and
+// CRC32-protected so recovery can detect corruption per block: a bad chunk
+// block is skipped and counted, not propagated into reconstruction.
+//
+// Segments are deltas: a flush writes only chunks sealed since the previous
+// flush, plus a fresh header + tail checkpoint. Readers merge segments in
+// manifest order — chunk blocks concatenate; header and tail blocks are
+// superseded by later segments (latest wins). Compaction folds a run of
+// delta segments into one full segment using exactly this merge.
+//
+// On-disk format:
+//   file   := "NYQSEG1\n" block*
+//   block  := u8 type | u32 payload_len | u32 crc32(payload) | payload
+//   type 1 (stream header) := name:str16 | f64 rate_hz | f64 t0 | f64 hot_t0
+//                             | u64 generation | u64 ingested | u64 sealed
+//                             | u64 stored | u64 chunks | u64 chunks_reduced
+//                             | u64 bytes_raw | u64 bytes_stored
+//   type 2 (chunk)  := f64 t0 | f64 dt | u32 count | u8 codec | bits
+//   type 3 (tail)   := u32 count | u8 codec | bits
+// Chunk/tail blocks bind to the most recent stream header block.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitor/store.h"
+
+namespace nyqmon::sto {
+
+inline constexpr char kSegmentMagic[8] = {'N', 'Y', 'Q', 'S', 'E', 'G',
+                                          '1', '\n'};
+
+/// What one add_stream() contributed (feeds flush accounting).
+struct SegmentWriteStats {
+  std::size_t streams = 0;
+  std::size_t chunks = 0;
+  /// Raw samples represented by the written chunk + tail blocks.
+  std::uint64_t samples = 0;
+};
+
+/// Builds a segment image in memory; the manager writes + fsyncs it in one
+/// shot (segments are immutable once the manifest references them).
+class SegmentWriter {
+ public:
+  SegmentWriter();
+
+  /// Append one stream: header block, one block per snapshot chunk, and a
+  /// tail block. Delta snapshots (chunks_before > 0) are fine — the header
+  /// carries cumulative stats either way.
+  void add_stream(const mon::StreamSnapshot& snapshot);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  const SegmentWriteStats& stats() const { return stats_; }
+
+ private:
+  void add_block(std::uint8_t type, const std::vector<std::uint8_t>& payload);
+
+  std::vector<std::uint8_t> bytes_;
+  SegmentWriteStats stats_;
+};
+
+struct SegmentReadStats {
+  std::size_t blocks = 0;
+  std::size_t chunks = 0;
+  /// Blocks whose CRC (or framing/decode) failed and were skipped — each is
+  /// a counted warning, never fatal. A bad header block orphans the
+  /// chunk/tail blocks that follow it; those are skipped and counted too.
+  std::size_t crc_skipped_blocks = 0;
+  /// Streams whose header block parsed cleanly in THIS segment. Recovery
+  /// uses it to spot streams whose newest header was lost to corruption
+  /// (they restore to an older flush epoch and must not take WAL grafts).
+  std::vector<std::string> header_streams;
+};
+
+/// Read one segment file and merge it into `streams`: headers and tails
+/// overwrite (latest segment wins), chunk blocks append in file order.
+/// Throws std::runtime_error only when the file itself is unreadable or not
+/// a segment; corrupt blocks inside are skipped and counted.
+SegmentReadStats read_segment(const std::string& path,
+                              std::map<std::string, mon::StreamSnapshot>& streams);
+
+}  // namespace nyqmon::sto

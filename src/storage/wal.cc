@@ -1,0 +1,138 @@
+#include "storage/wal.h"
+
+#include <filesystem>
+
+#include "storage/crc32.h"
+#include "util/check.h"
+
+namespace nyqmon::sto {
+
+void WriteAheadLog::create(const std::string& path) {
+  File f = File::create(path);
+  f.write(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kWalMagic), sizeof(kWalMagic)));
+  f.sync();
+  f.close();
+}
+
+WriteAheadLog::WriteAheadLog(std::string path,
+                             std::size_t sync_interval_batches)
+    : path_(std::move(path)),
+      file_(File::append(path_)),
+      sync_interval_(sync_interval_batches == 0 ? 1 : sync_interval_batches) {
+  NYQMON_CHECK_MSG(file_.bytes_written() >= sizeof(kWalMagic),
+                   "not a WAL file: " + path_);
+}
+
+void WriteAheadLog::append_record(WalRecord::Type type,
+                                  const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(9 + payload.size());
+  put_u8(frame, static_cast<std::uint8_t>(type));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload));
+  put_bytes(frame, payload);
+  file_.write(frame);
+  ++batches_;
+  if (++unsynced_ >= sync_interval_) sync();
+}
+
+void WriteAheadLog::append_create(const std::string& stream,
+                                  double collection_rate_hz, double t0) {
+  std::vector<std::uint8_t> payload;
+  put_string(payload, stream);
+  put_f64(payload, collection_rate_hz);
+  put_f64(payload, t0);
+  append_record(WalRecord::Type::kCreate, payload);
+}
+
+void WriteAheadLog::append_batch(const std::string& stream,
+                                 std::span<const double> values) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(2 + stream.size() + 4 + 8 * values.size());
+  put_string(payload, stream);
+  put_u32(payload, static_cast<std::uint32_t>(values.size()));
+  for (const double v : values) put_f64(payload, v);
+  append_record(WalRecord::Type::kAppend, payload);
+}
+
+void WriteAheadLog::sync() {
+  if (unsynced_ == 0) return;
+  file_.sync();
+  unsynced_ = 0;
+  ++syncs_;
+}
+
+WalReplayStats WriteAheadLog::replay(
+    const std::string& path,
+    const std::function<void(const WalRecord&)>& apply) {
+  WalReplayStats stats;
+  if (!std::filesystem::exists(path)) {
+    create(path);
+    stats.bytes_replayed = sizeof(kWalMagic);
+    return stats;
+  }
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  if (bytes.size() < sizeof(kWalMagic) ||
+      std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    // Unrecognizable file: treat everything as a torn tail.
+    stats.records_truncated = bytes.empty() ? 0 : 1;
+    create(path);
+    stats.bytes_replayed = sizeof(kWalMagic);
+    return stats;
+  }
+
+  std::size_t pos = sizeof(kWalMagic);
+  std::size_t good_end = pos;
+  bool tail_bad = false;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 9) {  // incomplete frame header
+      tail_bad = true;
+      break;
+    }
+    ByteReader frame{std::span<const std::uint8_t>(bytes).subspan(pos, 9)};
+    const std::uint8_t type = frame.get_u8();
+    const std::uint32_t len = frame.get_u32();
+    const std::uint32_t crc = frame.get_u32();
+    if ((type != 1 && type != 2) || bytes.size() - pos - 9 < len) {
+      tail_bad = true;
+      break;
+    }
+    const auto payload = std::span(bytes).subspan(pos + 9, len);
+    if (crc32(payload) != crc) {
+      tail_bad = true;
+      break;
+    }
+    ByteReader r(payload);
+    WalRecord rec;
+    rec.type = static_cast<WalRecord::Type>(type);
+    rec.stream = r.get_string();
+    if (rec.type == WalRecord::Type::kCreate) {
+      rec.collection_rate_hz = r.get_f64();
+      rec.t0 = r.get_f64();
+    } else {
+      const std::uint32_t count = r.get_u32();
+      rec.values.reserve(count);
+      for (std::uint32_t i = 0; i < count && r.ok(); ++i)
+        rec.values.push_back(r.get_f64());
+      if (rec.values.size() != count) {
+        tail_bad = true;  // CRC collided with a short payload; stop here
+        break;
+      }
+    }
+    if (!r.ok()) {
+      tail_bad = true;
+      break;
+    }
+    apply(rec);
+    pos += 9 + len;
+    good_end = pos;
+    ++stats.records_replayed;
+  }
+  if (tail_bad) ++stats.records_truncated;
+  stats.bytes_replayed = good_end;
+  if (good_end < bytes.size()) truncate_file(path, good_end);
+  return stats;
+}
+
+}  // namespace nyqmon::sto

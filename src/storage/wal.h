@@ -1,0 +1,93 @@
+// Write-ahead log for the retention store's raw hot tail.
+//
+// Sealed chunks reach disk codec-compressed at flush time; everything newer
+// — stream creations and raw append batches — is logged here first, so an
+// interrupted run loses nothing past the last fsync'd batch. Records are
+// length-framed and CRC32-protected; values are raw little-endian f64
+// (append speed over compactness: the WAL is transient, folded into
+// compressed segments at every flush).
+//
+// On-disk format:
+//   file   := "NYQWAL1\n" record*
+//   record := u8 type | u32 payload_len | u32 crc32(payload) | payload
+//   type 1 (create) := name:str16 | f64 rate_hz | f64 t0
+//   type 2 (append) := name:str16 | u32 count | f64 value * count
+//
+// Replay walks records in order and stops at the first incomplete or
+// CRC-bad record (a torn tail write), truncating the file back to the last
+// good record boundary so the log can keep appending after recovery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/io.h"
+
+namespace nyqmon::sto {
+
+inline constexpr char kWalMagic[8] = {'N', 'Y', 'Q', 'W', 'A', 'L', '1', '\n'};
+
+struct WalRecord {
+  enum class Type : std::uint8_t { kCreate = 1, kAppend = 2 };
+  Type type = Type::kAppend;
+  std::string stream;
+  double collection_rate_hz = 0.0;  ///< kCreate only
+  double t0 = 0.0;                  ///< kCreate only
+  std::vector<double> values;       ///< kAppend only
+};
+
+struct WalReplayStats {
+  std::size_t records_replayed = 0;
+  /// Records dropped at the tail (incomplete frame or CRC mismatch — the
+  /// signature of a torn write). The file is truncated past them.
+  std::size_t records_truncated = 0;
+  std::uint64_t bytes_replayed = 0;  ///< good prefix, including the magic
+};
+
+class WriteAheadLog {
+ public:
+  /// Create a fresh, fsync'd log containing only the magic.
+  static void create(const std::string& path);
+
+  /// Open an existing log for appending. The caller must have replayed and
+  /// truncated it first (or just created it) — appending after a torn tail
+  /// would corrupt the framing.
+  explicit WriteAheadLog(std::string path,
+                         std::size_t sync_interval_batches = 64);
+
+  void append_create(const std::string& stream, double collection_rate_hz,
+                     double t0);
+  void append_batch(const std::string& stream, std::span<const double> values);
+
+  /// Explicit durability barrier (also issued automatically every
+  /// `sync_interval_batches` appended records).
+  void sync();
+
+  std::uint64_t bytes() const { return file_.bytes_written(); }
+  std::uint64_t batches() const { return batches_; }
+  std::uint64_t syncs() const { return syncs_; }
+  const std::string& path() const { return path_; }
+
+  /// Replay `path` through `apply` in record order, stop at the first bad
+  /// or incomplete record, and truncate the file to the good prefix. A
+  /// missing or magic-less file replays as empty (and is re-created).
+  static WalReplayStats replay(
+      const std::string& path,
+      const std::function<void(const WalRecord&)>& apply);
+
+ private:
+  void append_record(WalRecord::Type type,
+                     const std::vector<std::uint8_t>& payload);
+
+  std::string path_;
+  File file_;
+  std::size_t sync_interval_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::size_t unsynced_ = 0;
+};
+
+}  // namespace nyqmon::sto
