@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json lines.
+
+Compares the bench_results/ JSON emitted by the current build against the
+checked-in baseline and fails (exit 1) when any tracked higher-is-better
+metric drops by more than the allowed fraction (default 30%).
+
+Usage:
+    python3 bench/check_regression.py \
+        --baseline bench_results --current build/bench_results \
+        [--threshold 0.30]
+
+Metrics listed for a bench missing on either side are reported but do not
+fail the gate (a freshly added bench has no baseline yet; a skipped smoke
+has no current result) — only a present-and-regressed metric fails.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Tracked higher-is-better metrics per bench. List-valued metrics (e.g. a
+# per-worker-count sweep) are compared on their maximum.
+TRACKED = {
+    "engine_throughput": ["pairs_per_sec"],
+    "query_throughput": ["qps"],
+    "storage_throughput": ["ingest_wal_mb_s", "flush_mb_s", "recover_mb_s"],
+    "streaming_throughput": ["samples_per_sec", "qps"],
+}
+
+
+def load(path: pathlib.Path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"warning: unreadable {path}: {err}")
+        return None
+
+
+def metric_value(doc, key):
+    value = doc.get(key)
+    if isinstance(value, list):
+        numeric = [v for v in value if isinstance(v, (int, float))]
+        return max(numeric) if numeric else None
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=pathlib.Path)
+    parser.add_argument("--current", required=True, type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max allowed fractional drop (default 0.30)")
+    args = parser.parse_args()
+
+    failures = []
+    checked = 0
+    for bench, keys in sorted(TRACKED.items()):
+        name = f"BENCH_{bench}.json"
+        base_doc = load(args.baseline / name) if (args.baseline / name).exists() else None
+        cur_doc = load(args.current / name) if (args.current / name).exists() else None
+        if base_doc is None:
+            print(f"skip {bench}: no baseline {args.baseline / name}")
+            continue
+        if cur_doc is None:
+            print(f"skip {bench}: no current result {args.current / name}")
+            continue
+        for key in keys:
+            base = metric_value(base_doc, key)
+            cur = metric_value(cur_doc, key)
+            if base is None or cur is None or base <= 0:
+                print(f"skip {bench}.{key}: missing or non-positive value")
+                continue
+            checked += 1
+            ratio = cur / base
+            status = "OK"
+            if ratio < 1.0 - args.threshold:
+                status = "REGRESSION"
+                failures.append((bench, key, base, cur, ratio))
+            print(f"{status:>10}  {bench}.{key}: baseline {base:.1f} -> "
+                  f"current {cur:.1f}  ({ratio:.2%})")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for bench, key, base, cur, ratio in failures:
+            print(f"  {bench}.{key}: {base:.1f} -> {cur:.1f} ({ratio:.2%})")
+        return 1
+    print(f"\nperf gate passed: {checked} metric(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+// Streaming runtime throughput: sustained ingest rate and query latency
+// under concurrent serving.
+//
+// Usage: bench_streaming_throughput [pairs] [query_threads]
+//
+// A [pairs]-pair fleet (default 300) replays its full monitoring timeline
+// through the StreamingRuntime under a virtual clock — the deadline
+// scheduler interleaving every pair's adaptive windows — while
+// [query_threads] client threads (default 2) hammer the live QueryEngine
+// with a rotating mix of fleet selectors. Reports sustained acquisition
+// and ingest rates plus query latency percentiles, and emits the
+// BENCH_streaming_throughput.json line the CI perf gate tracks.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "query/spec.h"
+#include "runtime/clock.h"
+#include "runtime/runtime.h"
+#include "telemetry/fleet.h"
+#include "util/ascii.h"
+
+using namespace nyqmon;
+
+namespace {
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t pairs =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 300;
+  const std::size_t query_threads =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 2;
+
+  tel::FleetConfig fleet_cfg;
+  fleet_cfg.target_pairs = pairs;
+  fleet_cfg.seed = bench::kFleetSeed;
+  const tel::Fleet fleet(fleet_cfg);
+
+  rt::VirtualClock clock;
+  rt::RuntimeConfig cfg;
+  cfg.engine.store.chunk_samples = 128;
+  rt::StreamingRuntime runtime(fleet, clock, cfg);
+
+  double span = 0.0;
+  for (const auto& p : fleet.pairs()) {
+    span = std::max(span, tel::schedule_pair(p, cfg.engine.samples_per_window,
+                                             cfg.engine.windows_per_pair)
+                              .duration_s);
+  }
+
+  // Rotating query mix: broad and narrow selectors, aggregated and raw,
+  // so the run exercises cache hits, invalidation under ingest, pruning
+  // and multi-stream reconstruction.
+  const std::string selectors[] = {"*/Temperature", "*/Link util",
+                                   "*/Memory usage", "*"};
+  const qry::Aggregation aggs[] = {qry::Aggregation::kP95,
+                                   qry::Aggregation::kAvg,
+                                   qry::Aggregation::kMax};
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies_ms(query_threads);
+  std::vector<std::thread> readers;
+  readers.reserve(query_threads);
+  for (std::size_t qt = 0; qt < query_threads; ++qt) {
+    readers.emplace_back([&, qt] {
+      auto& lat = latencies_ms[qt];
+      lat.reserve(1 << 16);
+      std::size_t i = qt;
+      while (!stop.load(std::memory_order_relaxed)) {
+        qry::QuerySpec spec;
+        spec.selector = selectors[i % std::size(selectors)];
+        spec.aggregate = aggs[i % std::size(aggs)];
+        spec.t_begin = 0.0;
+        spec.t_end = span;
+        spec.step_s = span / 256.0;
+        ++i;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = runtime.query_engine().run(spec);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (r.result == nullptr) std::abort();
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+
+  const auto t_start = std::chrono::steady_clock::now();
+  while (!runtime.done()) runtime.step();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t_start)
+                          .count();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  const rt::RuntimeStats stats = runtime.stats();
+  std::vector<double> all_ms;
+  for (const auto& lat : latencies_ms)
+    all_ms.insert(all_ms.end(), lat.begin(), lat.end());
+  std::sort(all_ms.begin(), all_ms.end());
+  const double p50 = percentile(all_ms, 0.50);
+  const double p99 = percentile(all_ms, 0.99);
+  const double samples_per_sec =
+      static_cast<double>(stats.samples_acquired) / wall;
+  const double values_per_sec =
+      static_cast<double>(stats.values_ingested) / wall;
+  const double qps = static_cast<double>(all_ms.size()) / wall;
+
+  AsciiTable table({"metric", "value"});
+  table.row({"pairs", std::to_string(fleet.size())});
+  table.row({"timeline (virtual s)", AsciiTable::format_double(span)});
+  table.row({"wall (s)", AsciiTable::format_double(wall)});
+  table.row({"windows processed", std::to_string(stats.windows_processed)});
+  table.row({"samples acquired/s", AsciiTable::format_double(samples_per_sec)});
+  table.row({"values ingested/s", AsciiTable::format_double(values_per_sec)});
+  table.row({"concurrent queries", std::to_string(all_ms.size())});
+  table.row({"query p50 (ms)", AsciiTable::format_double(p50)});
+  table.row({"query p99 (ms)", AsciiTable::format_double(p99)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::string json = "{\"bench\":\"streaming_throughput\"";
+  bench::json_append(json, "\"pairs\":%zu", fleet.size());
+  bench::json_append(json, "\"query_threads\":%zu", query_threads);
+  bench::json_append(json, "\"wall_s\":%.3f", wall);
+  bench::json_append(json, "\"samples_per_sec\":%.1f", samples_per_sec);
+  bench::json_append(json, "\"values_per_sec\":%.1f", values_per_sec);
+  bench::json_append(json, "\"queries\":%zu", all_ms.size());
+  bench::json_append(json, "\"qps\":%.1f", qps);
+  bench::json_append(json, "\"query_p50_ms\":%.3f", p50);
+  bench::json_append(json, "\"query_p99_ms\":%.3f", p99);
+  json += "}";
+  bench::write_json_line("streaming_throughput", json);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// nyqmon_ctl — command-line client for a running nyqmond.
+//
+// Usage:
+//   nyqmon_ctl <host> <port> stats
+//   nyqmon_ctl <host> <port> query <selector> <t_begin> <t_end> <step_s>
+//              [agg: none|sum|avg|min|max|p50|p95|p99] [tf: raw|rate|zscore]
+//   nyqmon_ctl <host> <port> ingest <stream> <rate_hz> <t0> <v1,v2,...>
+//   nyqmon_ctl <host> <port> checkpoint
+//
+// Examples against the default nyqmond demo:
+//   nyqmon_ctl 127.0.0.1 7411 stats
+//   nyqmon_ctl 127.0.0.1 7411 query 'pod0/*/cpu_util' 0 86400 600 p95
+//   nyqmon_ctl 127.0.0.1 7411 ingest lab/sensor 1.0 0 1.5,1.7,2.1,2.4
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+
+using namespace nyqmon;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nyqmon_ctl <host> <port> "
+               "stats | checkpoint | query <selector> <t0> <t1> <step> "
+               "[agg] [tf] | ingest <stream> <rate_hz> <t0> <v1,v2,...>\n");
+  return 2;
+}
+
+bool parse_aggregation(const std::string& s, qry::Aggregation& out) {
+  static const std::pair<const char*, qry::Aggregation> kNames[] = {
+      {"none", qry::Aggregation::kNone}, {"sum", qry::Aggregation::kSum},
+      {"avg", qry::Aggregation::kAvg},   {"min", qry::Aggregation::kMin},
+      {"max", qry::Aggregation::kMax},   {"p50", qry::Aggregation::kP50},
+      {"p95", qry::Aggregation::kP95},   {"p99", qry::Aggregation::kP99}};
+  for (const auto& [name, value] : kNames) {
+    if (s == name) {
+      out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_transform(const std::string& s, qry::Transform& out) {
+  if (s == "raw") out = qry::Transform::kRaw;
+  else if (s == "rate") out = qry::Transform::kRate;
+  else if (s == "zscore") out = qry::Transform::kZScore;
+  else return false;
+  return true;
+}
+
+std::vector<double> parse_values(const std::string& csv) {
+  std::vector<double> values;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string cell =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!cell.empty()) values.push_back(std::atof(cell.c_str()));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string host = argv[1];
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  const std::string verb = argv[3];
+
+  try {
+    srv::NyqmonClient client(host, port);
+
+    if (verb == "stats") {
+      std::printf("%s\n", client.stats_json().c_str());
+      return 0;
+    }
+
+    if (verb == "checkpoint") {
+      const srv::CheckpointReply r = client.checkpoint();
+      std::printf("checkpoint: persisted=%s chunks=%llu bytes=%llu\n",
+                  r.persisted ? "yes" : "no",
+                  static_cast<unsigned long long>(r.chunks),
+                  static_cast<unsigned long long>(r.bytes_written));
+      return 0;
+    }
+
+    if (verb == "query") {
+      if (argc < 8) return usage();
+      qry::QuerySpec spec;
+      spec.selector = argv[4];
+      spec.t_begin = std::atof(argv[5]);
+      spec.t_end = std::atof(argv[6]);
+      spec.step_s = std::atof(argv[7]);
+      if (argc > 8 && !parse_aggregation(argv[8], spec.aggregate))
+        return usage();
+      if (argc > 9 && !parse_transform(argv[9], spec.transform))
+        return usage();
+
+      const srv::QueryReply reply = client.query(spec);
+      std::printf("matched %u stream(s), reconstructed %u%s\n", reply.matched,
+                  reply.reconstructed,
+                  reply.cache_hit ? " (served from cache)" : "");
+      for (const auto& s : reply.series) {
+        std::printf("%-40s n=%zu", s.label.c_str(), s.series.size());
+        const std::size_t shown = std::min<std::size_t>(s.series.size(), 6);
+        for (std::size_t i = 0; i < shown; ++i)
+          std::printf(" %.4g", s.series[i]);
+        if (s.series.size() > shown) std::printf(" ...");
+        std::printf("\n");
+      }
+      return 0;
+    }
+
+    if (verb == "ingest") {
+      if (argc < 8) return usage();
+      const std::vector<double> values = parse_values(argv[7]);
+      const std::uint64_t total =
+          client.ingest(argv[4], std::atof(argv[5]), std::atof(argv[6]),
+                        values);
+      std::printf("ingested %zu value(s); stream now holds %llu\n",
+                  values.size(), static_cast<unsigned long long>(total));
+      return 0;
+    }
+
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nyqmon_ctl: %s\n", e.what());
+    return 1;
+  }
+}

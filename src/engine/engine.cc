@@ -53,27 +53,36 @@ FleetMonitorEngine::FleetMonitorEngine(const tel::Fleet& fleet,
   }
 }
 
-PairOutcome FleetMonitorEngine::drive_pair(std::size_t index,
-                                           std::uint64_t noise_seed) {
-  const tel::FleetPair& pair = fleet_.pairs()[index];
-  const tel::PairSchedule& sched = schedules_[index];
+std::vector<std::uint64_t> fork_noise_seeds(std::uint64_t seed,
+                                            std::size_t n) {
+  // Sequential forking, so per-pair outcomes cannot depend on the order in
+  // which worker threads (or the streaming scheduler) pick pairs up.
+  Rng rng(seed);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) seeds.push_back(rng.engine()());
+  return seeds;
+}
+
+mon::PipelineConfig pair_pipeline_config(const EngineConfig& config,
+                                         const tel::FleetPair& pair,
+                                         const tel::PairSchedule& sched) {
   const auto& spec = tel::metric_spec(pair.metric.kind);
-
   mon::PipelineConfig pc;
-  pc.sampler = config_.sampler;
+  pc.sampler = config.sampler;
   pc.sampler.initial_rate_hz = sched.production_rate_hz;
-  pc.sampler.min_rate_hz = sched.production_rate_hz / config_.max_slowdown;
-  pc.sampler.max_rate_hz = sched.production_rate_hz * config_.max_speedup;
+  pc.sampler.min_rate_hz = sched.production_rate_hz / config.max_slowdown;
+  pc.sampler.max_rate_hz = sched.production_rate_hz * config.max_speedup;
   pc.sampler.window_duration_s = sched.window_duration_s;
-  pc.cost = config_.cost;
-  pc.noise_stddev = config_.relative_noise * spec.fluctuation_rms;
+  pc.cost = config.cost;
+  pc.noise_stddev = config.relative_noise * spec.fluctuation_rms;
   pc.quantization_step = pair.metric.quantization_step;
+  return pc;
+}
 
-  const mon::AdaptiveMonitoringPipeline pipeline(pc);
-  const mon::PipelineResult result = pipeline.run(
-      *pair.metric.signal, 0.0, sched.duration_s, sched.production_rate_hz,
-      noise_seed);
-
+PairOutcome make_pair_outcome(std::size_t index, const tel::FleetPair& pair,
+                              const tel::PairSchedule& sched,
+                              const mon::PipelineResult& result) {
   PairOutcome out;
   out.pair_index = index;
   out.stream_id = tel::stream_id(pair);
@@ -85,6 +94,21 @@ PairOutcome FleetMonitorEngine::drive_pair(std::size_t index,
   out.adaptive_samples = result.run.total_samples;
   out.baseline_samples = result.run.baseline_samples(sched.production_rate_hz);
   out.audit = nyq::audit_run(result.run);
+  return out;
+}
+
+PairOutcome FleetMonitorEngine::drive_pair(std::size_t index,
+                                           std::uint64_t noise_seed) {
+  const tel::FleetPair& pair = fleet_.pairs()[index];
+  const tel::PairSchedule& sched = schedules_[index];
+
+  const mon::AdaptiveMonitoringPipeline pipeline(
+      pair_pipeline_config(config_, pair, sched));
+  const mon::PipelineResult result = pipeline.run(
+      *pair.metric.signal, 0.0, sched.duration_s, sched.production_rate_hz,
+      noise_seed);
+
+  PairOutcome out = make_pair_outcome(index, pair, sched, result);
 
   // Fan-in: retain the reconstruction (on the production grid) under this
   // pair's stream ID. One bulk append = one stripe-lock acquisition.
@@ -112,11 +136,8 @@ FleetRunResult FleetMonitorEngine::run() {
 
   // Fork every pair's noise seed sequentially so outcomes cannot depend on
   // thread scheduling.
-  Rng rng(config_.seed);
-  std::vector<std::uint64_t> noise_seeds;
-  noise_seeds.reserve(fleet_.size());
-  for (std::size_t i = 0; i < fleet_.size(); ++i)
-    noise_seeds.push_back(rng.engine()());
+  const std::vector<std::uint64_t> noise_seeds =
+      fork_noise_seeds(config_.seed, fleet_.size());
 
   const std::size_t workers = resolve_workers(config_.workers, fleet_.size());
   const std::size_t want_shards =

@@ -112,6 +112,24 @@ struct FleetRunResult {
   double fleet_cost_savings() const;
 };
 
+/// Noise seeds forked sequentially from the engine seed, one per pair —
+/// shared by the batch engine and the streaming runtime (runtime/runtime.h)
+/// so both drive bit-identical pairs.
+std::vector<std::uint64_t> fork_noise_seeds(std::uint64_t seed, std::size_t n);
+
+/// The pipeline configuration one pair is driven with: the template sampler
+/// config specialized to the pair's production rate, rate bounds, window
+/// duration, noise scale and quantization step.
+mon::PipelineConfig pair_pipeline_config(const EngineConfig& config,
+                                         const tel::FleetPair& pair,
+                                         const tel::PairSchedule& sched);
+
+/// A PairOutcome from one pair's completed pipeline result, minus the
+/// store byte bill (the caller fills that after ingest).
+PairOutcome make_pair_outcome(std::size_t index, const tel::FleetPair& pair,
+                              const tel::PairSchedule& sched,
+                              const mon::PipelineResult& result);
+
 class FleetMonitorEngine {
  public:
   /// The fleet must outlive the engine.

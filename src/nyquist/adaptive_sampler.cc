@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
 
@@ -24,113 +25,141 @@ AdaptiveSampler::AdaptiveSampler(AdaptiveConfig config) : config_(config) {
 
 AdaptiveRun AdaptiveSampler::run(const std::function<double(double)>& measure,
                                  double t0, double duration_s) const {
-  NYQMON_CHECK(measure != nullptr);
+  AdaptiveStepper stepper(config_, t0, duration_s);
+  while (!stepper.done()) stepper.step_window(measure);
+  return stepper.finish();
+}
+
+AdaptiveStepper::AdaptiveStepper(const AdaptiveConfig& config, double t0,
+                                 double duration_s)
+    : config_(config),
+      detector_(config.detector),
+      estimator_(config.estimator),
+      t0_(t0),
+      duration_s_(duration_s),
+      t_(t0),
+      mode_(SamplerMode::kProbe) {  // start conservative: verify first
   NYQMON_CHECK(duration_s > 0.0);
+  NYQMON_CHECK(config_.initial_rate_hz > 0.0);
+  NYQMON_CHECK(config_.min_rate_hz > 0.0);
+  NYQMON_CHECK(config_.min_rate_hz <= config_.max_rate_hz);
+  NYQMON_CHECK(config_.probe_factor > 1.0);
+  NYQMON_CHECK(config_.headroom >= 1.0);
+  NYQMON_CHECK(config_.max_decrease_factor > 1.0);
+  NYQMON_CHECK(config_.window_duration_s > 0.0);
+  // After the bound checks: clamp with lo > hi is undefined behavior.
+  rate_ = std::clamp(config_.initial_rate_hz, config_.min_rate_hz,
+                     config_.max_rate_hz);
+  run_.duration_s = duration_s;
+}
 
-  const DualRateAliasingDetector detector(config_.detector);
-  const NyquistEstimator estimator(config_.estimator);
+double AdaptiveStepper::window_end_s() const {
+  const double win =
+      std::min(config_.window_duration_s, t0_ + duration_s_ - t_);
+  return t_ + win;
+}
 
-  AdaptiveRun run;
-  run.duration_s = duration_s;
+const AdaptiveStep& AdaptiveStepper::step_window(
+    const std::function<double(double)>& measure) {
+  NYQMON_CHECK(measure != nullptr);
+  NYQMON_CHECK_MSG(!done(), "step_window() past the end of the run");
 
-  double rate = std::clamp(config_.initial_rate_hz, config_.min_rate_hz,
-                           config_.max_rate_hz);
-  SamplerMode mode = SamplerMode::kProbe;  // start conservative: verify first
-  double remembered_max = 0.0;
-  std::size_t windows_since_check = 0;
+  const double t = t_;
+  const double win = std::min(config_.window_duration_s, t0_ + duration_s_ - t);
+  const double rate = rate_;
 
-  const double w = config_.window_duration_s;
-  for (double t = t0; t + 1e-9 < t0 + duration_s; t += w) {
-    const double win = std::min(w, t0 + duration_s - t);
+  AdaptiveStep step;
+  step.window_start_s = t;
+  step.mode = mode_;
+  step.rate_hz = rate;
 
-    AdaptiveStep step;
-    step.window_start_s = t;
-    step.mode = mode;
-    step.rate_hz = rate;
-
-    // Acquire the primary stream at `rate`.
-    const std::size_t n_primary = std::max<std::size_t>(
-        8, static_cast<std::size_t>(std::floor(win * rate)));
-    const double dt = 1.0 / rate;
-    std::vector<double> primary(n_primary);
-    for (std::size_t i = 0; i < n_primary; ++i) {
-      const double ts = t + static_cast<double>(i) * dt;
-      primary[i] = measure(ts);
-      run.collected.push(ts, primary[i]);
-    }
-    const sig::RegularSeries primary_series(t, dt, primary);
-
-    // While probing (and periodically while tracking — "leverage temporal
-    // stability to make adaptation less expensive"), acquire a faster
-    // checker stream and run the Penny comparison (fast = ratio * rate vs
-    // primary = rate) on the common band [0, rate/2): a discrepancy there
-    // means the signal carries energy the primary stream folds — the
-    // *operating rate* is insufficient. This is the configuration whose
-    // cost is "roughly double" the primary's, as the paper notes.
-    const bool check_this_window =
-        mode == SamplerMode::kProbe ||
-        windows_since_check + 1 >= config_.recheck_interval_windows;
-
-    DetectionResult det;
-    step.samples_acquired = n_primary;
-    if (check_this_window) {
-      windows_since_check = 0;
-      const double fast_rate = rate * config_.detector.rate_ratio;
-      const std::size_t n_fast = std::max<std::size_t>(
-          8, static_cast<std::size_t>(std::floor(win * fast_rate)));
-      const double dtf = 1.0 / fast_rate;
-      std::vector<double> fast(n_fast);
-      for (std::size_t i = 0; i < n_fast; ++i)
-        fast[i] = measure(t + static_cast<double>(i) * dtf);
-      const sig::RegularSeries fast_series(t, dtf, fast);
-      det = detector.detect(fast_series, primary_series);
-      step.samples_acquired += n_fast;
-      // Estimate the Nyquist rate from the checker stream — the widest
-      // clean band available this window (Section 3.2's method).
-      step.estimate = estimator.estimate(fast_series);
-    } else {
-      ++windows_since_check;
-      step.estimate = estimator.estimate(primary_series);
-    }
-    step.aliasing_detected = det.aliasing_detected;
-    run.total_samples += step.samples_acquired;
-
-    const bool fast_aliased =
-        step.estimate.verdict == NyquistEstimate::Verdict::kAliased;
-
-    // --- Rate adaptation ----------------------------------------------
-    double next = rate;
-    if (det.aliasing_detected || fast_aliased) {
-      // The operating rate folds signal energy (or even the checker stream
-      // is aliased): probe upward multiplicatively; with rate memory, jump
-      // straight to the highest rate that was ever needed.
-      next = rate * config_.probe_factor;
-      if (config_.use_rate_memory && remembered_max > next)
-        next = remembered_max;
-      mode = SamplerMode::kProbe;
-    } else {
-      // Clean window: settle toward headroom * estimated Nyquist rate.
-      mode = SamplerMode::kTrack;
-      remembered_max = std::max(remembered_max, rate);
-      if (step.estimate.ok()) {
-        const double target = config_.headroom * step.estimate.nyquist_rate_hz;
-        if (target < rate) {
-          next = std::max(target, rate / config_.max_decrease_factor);
-        } else {
-          next = target;
-        }
-      } else if (step.estimate.verdict == NyquistEstimate::Verdict::kFlat) {
-        next = rate / config_.max_decrease_factor;  // calm signal: back off
-      }
-    }
-    next = std::clamp(next, config_.min_rate_hz, config_.max_rate_hz);
-    step.next_rate_hz = next;
-    run.steps.push_back(step);
-    rate = next;
+  // Acquire the primary stream at `rate`.
+  const std::size_t n_primary = std::max<std::size_t>(
+      8, static_cast<std::size_t>(std::floor(win * rate)));
+  const double dt = 1.0 / rate;
+  std::vector<double> primary(n_primary);
+  for (std::size_t i = 0; i < n_primary; ++i) {
+    const double ts = t + static_cast<double>(i) * dt;
+    primary[i] = measure(ts);
+    run_.collected.push(ts, primary[i]);
   }
+  const sig::RegularSeries primary_series(t, dt, primary);
 
-  run.final_rate_hz = rate;
-  return run;
+  // While probing (and periodically while tracking — "leverage temporal
+  // stability to make adaptation less expensive"), acquire a faster
+  // checker stream and run the Penny comparison (fast = ratio * rate vs
+  // primary = rate) on the common band [0, rate/2): a discrepancy there
+  // means the signal carries energy the primary stream folds — the
+  // *operating rate* is insufficient. This is the configuration whose
+  // cost is "roughly double" the primary's, as the paper notes.
+  const bool check_this_window =
+      mode_ == SamplerMode::kProbe ||
+      windows_since_check_ + 1 >= config_.recheck_interval_windows;
+
+  DetectionResult det;
+  step.samples_acquired = n_primary;
+  if (check_this_window) {
+    windows_since_check_ = 0;
+    const double fast_rate = rate * config_.detector.rate_ratio;
+    const std::size_t n_fast = std::max<std::size_t>(
+        8, static_cast<std::size_t>(std::floor(win * fast_rate)));
+    const double dtf = 1.0 / fast_rate;
+    std::vector<double> fast(n_fast);
+    for (std::size_t i = 0; i < n_fast; ++i)
+      fast[i] = measure(t + static_cast<double>(i) * dtf);
+    const sig::RegularSeries fast_series(t, dtf, fast);
+    det = detector_.detect(fast_series, primary_series);
+    step.samples_acquired += n_fast;
+    // Estimate the Nyquist rate from the checker stream — the widest
+    // clean band available this window (Section 3.2's method).
+    step.estimate = estimator_.estimate(fast_series);
+  } else {
+    ++windows_since_check_;
+    step.estimate = estimator_.estimate(primary_series);
+  }
+  step.aliasing_detected = det.aliasing_detected;
+  run_.total_samples += step.samples_acquired;
+
+  const bool fast_aliased =
+      step.estimate.verdict == NyquistEstimate::Verdict::kAliased;
+
+  // --- Rate adaptation ----------------------------------------------
+  double next = rate;
+  if (det.aliasing_detected || fast_aliased) {
+    // The operating rate folds signal energy (or even the checker stream
+    // is aliased): probe upward multiplicatively; with rate memory, jump
+    // straight to the highest rate that was ever needed.
+    next = rate * config_.probe_factor;
+    if (config_.use_rate_memory && remembered_max_ > next)
+      next = remembered_max_;
+    mode_ = SamplerMode::kProbe;
+  } else {
+    // Clean window: settle toward headroom * estimated Nyquist rate.
+    mode_ = SamplerMode::kTrack;
+    remembered_max_ = std::max(remembered_max_, rate);
+    if (step.estimate.ok()) {
+      const double target = config_.headroom * step.estimate.nyquist_rate_hz;
+      if (target < rate) {
+        next = std::max(target, rate / config_.max_decrease_factor);
+      } else {
+        next = target;
+      }
+    } else if (step.estimate.verdict == NyquistEstimate::Verdict::kFlat) {
+      next = rate / config_.max_decrease_factor;  // calm signal: back off
+    }
+  }
+  next = std::clamp(next, config_.min_rate_hz, config_.max_rate_hz);
+  step.next_rate_hz = next;
+  run_.steps.push_back(step);
+  rate_ = next;
+  t_ += config_.window_duration_s;
+  return run_.steps.back();
+}
+
+AdaptiveRun AdaptiveStepper::finish() {
+  NYQMON_CHECK_MSG(done(), "finish() before the run is complete");
+  run_.final_rate_hz = rate_;
+  return std::move(run_);
 }
 
 RunAudit audit_run(const AdaptiveRun& run) {

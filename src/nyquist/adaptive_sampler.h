@@ -115,4 +115,53 @@ class AdaptiveSampler {
   AdaptiveConfig config_;
 };
 
+/// Incremental form of AdaptiveSampler::run for the streaming runtime: one
+/// step_window() call acquires and adapts exactly one adaptation window, so
+/// a deadline scheduler can interleave hundreds of pairs and serve queries
+/// between windows. AdaptiveSampler::run() itself is implemented as
+/// "construct a stepper, step until done, finish" — batch and streaming
+/// drives are bit-identical by construction.
+class AdaptiveStepper {
+ public:
+  /// Stream [t0, t0 + duration) in windows of config.window_duration_s.
+  AdaptiveStepper(const AdaptiveConfig& config, double t0, double duration_s);
+
+  bool done() const { return !(t_ + 1e-9 < t0_ + duration_s_); }
+
+  /// Start of the next (not yet acquired) window; meaningless once done().
+  double window_start_s() const { return t_; }
+
+  /// Time at which the next window's data is complete — the deadline a
+  /// scheduler should wake this pair at. Meaningless once done().
+  double window_end_s() const;
+
+  /// The rate the next window will be acquired at (the sampler's current
+  /// operating rate, re-planned every window by the dual-rate detector).
+  double current_rate_hz() const { return rate_; }
+
+  /// Acquire one window at the current rate (plus the checker stream when
+  /// the detector is due), adapt the rate, and log the step. Returns the
+  /// step just taken. Must not be called once done().
+  const AdaptiveStep& step_window(const std::function<double(double)>& measure);
+
+  /// The run so far; collected/steps grow with every step_window().
+  const AdaptiveRun& run_so_far() const { return run_; }
+
+  /// Finalize and take the run. Requires done().
+  AdaptiveRun finish();
+
+ private:
+  AdaptiveConfig config_;
+  DualRateAliasingDetector detector_;
+  NyquistEstimator estimator_;
+  double t0_ = 0.0;
+  double duration_s_ = 0.0;
+  double t_ = 0.0;      ///< next window start
+  double rate_ = 0.0;   ///< operating rate for the next window
+  SamplerMode mode_ = SamplerMode::kProbe;
+  double remembered_max_ = 0.0;
+  std::size_t windows_since_check_ = 0;
+  AdaptiveRun run_;
+};
+
 }  // namespace nyqmon::nyq

@@ -1,0 +1,93 @@
+// Clock abstraction for the streaming runtime.
+//
+// The runtime schedules pair-windows against *deadlines on the fleet's
+// signal timeline* (seconds since the run epoch). Where those deadlines
+// come from is pluggable:
+//   * VirtualClock — tests, benches and the bit-identity contract: time
+//     advances only when the scheduler asks to sleep, so a whole multi-hour
+//     monitoring timeline replays as fast as the hardware allows while
+//     still interleaving pairs in exact deadline order.
+//   * SteadyClock — production pacing: the timeline is anchored to
+//     std::chrono::steady_clock at construction and sleeps are real.
+// Both are thread-safe: the scheduler sleeps while server/query threads
+// read the current time for stats.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace nyqmon::rt {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Seconds since the run epoch.
+  virtual double now_s() const = 0;
+
+  /// Block (or virtually jump) until now_s() >= t.
+  virtual void sleep_until_s(double t) = 0;
+};
+
+/// Manually advanced clock; sleep_until_s() jumps straight to the target.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(double start_s = 0.0) : now_(start_s) {}
+
+  double now_s() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  void sleep_until_s(double t) override { advance_to(t); }
+
+  /// Move time forward (never backward) to t.
+  void advance_to(double t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ = std::max(now_, t);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double now_;
+};
+
+/// Monotonic wall clock; the run epoch is the moment of construction.
+/// sleep_until_s() is interruptible via wake() so a server shutting down
+/// does not wait out a long poll interval.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  double now_s() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  void sleep_until_s(double t) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto deadline =
+        epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(t));
+    cv_.wait_until(lock, deadline, [&] { return woken_; });
+    woken_ = false;
+  }
+
+  /// Interrupt a sleeper (spurious wake-ups are the caller's business).
+  void wake() {
+    std::lock_guard<std::mutex> lock(mu_);
+    woken_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool woken_ = false;
+};
+
+}  // namespace nyqmon::rt

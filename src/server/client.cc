@@ -1,0 +1,148 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace nyqmon::srv {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+NyqmonClient::NyqmonClient(const std::string& host, std::uint16_t port,
+                           std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+NyqmonClient::~NyqmonClient() { close(); }
+
+void NyqmonClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void NyqmonClient::send_raw(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::uint8_t> NyqmonClient::read_response_body() {
+  auto read_exact = [&](std::uint8_t* dst, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, dst + got, n - got, 0);
+      if (r == 0) throw std::runtime_error("server closed the connection");
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("recv");
+      }
+      got += static_cast<std::size_t>(r);
+    }
+  };
+  std::uint8_t prefix[4];
+  read_exact(prefix, 4);
+  sto::ByteReader r(std::span<const std::uint8_t>(prefix, 4));
+  const std::uint32_t body_len = r.get_u32();
+  if (body_len == 0 || body_len > max_frame_bytes_)
+    throw std::runtime_error("bad response frame length");
+  std::vector<std::uint8_t> body(body_len);
+  read_exact(body.data(), body.size());
+  return body;
+}
+
+std::vector<std::uint8_t> NyqmonClient::request_raw(
+    std::uint8_t verb, std::span<const std::uint8_t> payload) {
+  send_raw(frame(verb, payload));
+  return read_response_body();
+}
+
+std::vector<std::uint8_t> NyqmonClient::request_ok(
+    Verb verb, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> body =
+      request_raw(static_cast<std::uint8_t>(verb), payload);
+  sto::ByteReader reader(body);
+  const auto status = static_cast<Status>(reader.get_u8());
+  if (status == Status::kOk)
+    return {body.begin() + 1, body.end()};
+  const std::string message = reader.get_string();
+  throw std::runtime_error("server error: " +
+                           (message.empty() ? "(no message)" : message));
+}
+
+std::uint64_t NyqmonClient::ingest(const std::string& stream, double rate_hz,
+                                   double t0, std::span<const double> values) {
+  IngestRequest req;
+  req.stream = stream;
+  req.rate_hz = rate_hz;
+  req.t0 = t0;
+  req.values.assign(values.begin(), values.end());
+  const auto payload = request_ok(Verb::kIngest, encode_ingest(req));
+  sto::ByteReader reader(payload);
+  const std::uint64_t total = reader.get_u64();
+  if (!reader.ok()) throw std::runtime_error("malformed INGEST response");
+  return total;
+}
+
+QueryReply NyqmonClient::query(const qry::QuerySpec& spec) {
+  const auto payload = request_ok(Verb::kQuery, encode_query(spec));
+  sto::ByteReader reader(payload);
+  auto reply = decode_query_reply(reader);
+  if (!reply.has_value()) throw std::runtime_error("malformed QUERY response");
+  return std::move(*reply);
+}
+
+std::string NyqmonClient::stats_json() {
+  const auto payload = request_ok(Verb::kStats, {});
+  return std::string(payload.begin(), payload.end());
+}
+
+CheckpointReply NyqmonClient::checkpoint() {
+  const auto payload = request_ok(Verb::kCheckpoint, {});
+  sto::ByteReader reader(payload);
+  auto reply = decode_checkpoint_reply(reader);
+  if (!reply.has_value())
+    throw std::runtime_error("malformed CHECKPOINT response");
+  return *reply;
+}
+
+}  // namespace nyqmon::srv

@@ -1,0 +1,71 @@
+// NyqmonClient — blocking client for the nyqmond wire protocol.
+//
+// One instance owns one TCP connection and issues one command at a time
+// (the protocol is strictly request/response per connection; concurrency
+// comes from multiple clients). Command methods throw std::runtime_error
+// when the transport fails or the server answers ERR — the server's
+// message is carried through verbatim.
+//
+// The raw escape hatches (send_raw / request_raw) exist for protocol
+// tests: truncated frames, oversized length prefixes, unknown verbs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "query/spec.h"
+#include "server/protocol.h"
+
+namespace nyqmon::srv {
+
+class NyqmonClient {
+ public:
+  /// Connect to host:port (numeric IPv4 host). Throws on failure.
+  /// `max_frame_bytes` must match the server's frame cap when that was
+  /// raised from the default — response frames beyond it are rejected.
+  NyqmonClient(const std::string& host, std::uint16_t port,
+               std::size_t max_frame_bytes = kMaxFrameBytes);
+  ~NyqmonClient();
+
+  NyqmonClient(const NyqmonClient&) = delete;
+  NyqmonClient& operator=(const NyqmonClient&) = delete;
+
+  /// Append a batch to `stream`, creating it on first ingest with the
+  /// given collection rate and start time. Returns the stream's total
+  /// ingested sample count after the append.
+  std::uint64_t ingest(const std::string& stream, double rate_hz, double t0,
+                       std::span<const double> values);
+
+  QueryReply query(const qry::QuerySpec& spec);
+
+  /// The server's JSON counter snapshot, verbatim.
+  std::string stats_json();
+
+  CheckpointReply checkpoint();
+
+  /// Close the socket early (tests: disconnect mid-exchange). Idempotent.
+  void close();
+
+  // ---- protocol-test escape hatches ----
+
+  /// Send raw bytes as-is (no framing).
+  void send_raw(std::span<const std::uint8_t> bytes);
+
+  /// Send one framed request and return the raw response body
+  /// (status byte + payload). Throws only on transport failure.
+  std::vector<std::uint8_t> request_raw(std::uint8_t verb,
+                                        std::span<const std::uint8_t> payload);
+
+ private:
+  /// request_raw + ERR unwrapping: returns the OK payload.
+  std::vector<std::uint8_t> request_ok(Verb verb,
+                                       std::span<const std::uint8_t> payload);
+  std::vector<std::uint8_t> read_response_body();
+
+  int fd_ = -1;
+  std::size_t max_frame_bytes_;
+};
+
+}  // namespace nyqmon::srv

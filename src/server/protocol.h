@@ -1,0 +1,232 @@
+// nyqmond wire protocol: length-prefixed binary frames over TCP.
+//
+// Frame layout (all integers little-endian, floats IEEE-754 f64 bits):
+//
+//   u32 body_len | body
+//
+// Request  body: u8 verb   | verb payload
+// Response body: u8 status | response payload       (status 0=OK, 1=ERR)
+//
+// An ERR payload is a u16-length-prefixed UTF-8 message. A body_len of 0 or
+// larger than the server's frame cap is a protocol violation: the server
+// answers with ERR and closes the connection (it cannot resynchronize a
+// corrupt length prefix).
+//
+// Verbs:
+//   INGEST (1)      u16 name_len|name, f64 rate_hz, f64 t0, u32 count,
+//                   count × f64 values
+//                   → OK: u64 stream_total_ingested
+//                   The stream is created on first ingest (rate/t0 taken
+//                   from the first frame; later frames append in grid
+//                   order).
+//   QUERY (2)       u16 sel_len|selector, f64 t_begin, f64 t_end,
+//                   f64 step_s, u8 transform, u8 aggregation
+//                   → OK: u8 cache_hit, u32 matched, u32 reconstructed,
+//                     u32 n_series, then per series: u16 label_len|label,
+//                     f64 t0, f64 dt, u32 n, n × f64 values
+//   STATS (3)       (empty)
+//                   → OK: the rest of the payload is a UTF-8 JSON object
+//                     (store rollup + serving counters + server counters)
+//   CHECKPOINT (4)  (empty)
+//                   → OK: u8 persisted, u64 chunks, u64 bytes_written
+//                   persisted=0 means the server runs without a durable
+//                   tier; the frame still succeeds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/spec.h"
+#include "storage/io.h"
+#include "util/check.h"
+
+namespace nyqmon::srv {
+
+/// Default cap on one frame body; oversized length prefixes are answered
+/// with ERR and the connection is closed.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class Verb : std::uint8_t {
+  kIngest = 1,
+  kQuery = 2,
+  kStats = 3,
+  kCheckpoint = 4,
+};
+
+enum class Status : std::uint8_t { kOk = 0, kError = 1 };
+
+struct IngestRequest {
+  std::string stream;
+  double rate_hz = 0.0;
+  double t0 = 0.0;
+  std::vector<double> values;
+};
+
+/// Decoded QUERY response.
+struct QueryReply {
+  bool cache_hit = false;
+  std::uint32_t matched = 0;
+  std::uint32_t reconstructed = 0;
+  std::vector<qry::QuerySeries> series;
+};
+
+/// Decoded CHECKPOINT response.
+struct CheckpointReply {
+  bool persisted = false;
+  std::uint64_t chunks = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+// ------------------------------------------------------------- framing ----
+
+/// u32 length prefix + body (u8 first_byte + payload). The payload must
+/// fit the u32 prefix; frame producers cap it (the server refuses replies
+/// over its frame cap) rather than let the prefix wrap.
+inline std::vector<std::uint8_t> frame(std::uint8_t first_byte,
+                                       std::span<const std::uint8_t> payload) {
+  NYQMON_CHECK_MSG(payload.size() < 0xffffffffull,
+                   "frame payload exceeds the u32 length prefix");
+  std::vector<std::uint8_t> out;
+  out.reserve(5 + payload.size());
+  sto::put_u32(out, static_cast<std::uint32_t>(1 + payload.size()));
+  sto::put_u8(out, first_byte);
+  sto::put_bytes(out, payload);
+  return out;
+}
+
+inline std::vector<std::uint8_t> request_frame(
+    Verb verb, std::span<const std::uint8_t> payload) {
+  return frame(static_cast<std::uint8_t>(verb), payload);
+}
+
+inline std::vector<std::uint8_t> ok_frame(
+    std::span<const std::uint8_t> payload) {
+  return frame(static_cast<std::uint8_t>(Status::kOk), payload);
+}
+
+inline std::vector<std::uint8_t> error_frame(const std::string& message) {
+  std::vector<std::uint8_t> payload;
+  sto::put_string(payload, message);
+  return frame(static_cast<std::uint8_t>(Status::kError), payload);
+}
+
+// ------------------------------------------------------------- payloads ---
+
+inline std::vector<std::uint8_t> encode_ingest(const IngestRequest& req) {
+  std::vector<std::uint8_t> p;
+  sto::put_string(p, req.stream);
+  sto::put_f64(p, req.rate_hz);
+  sto::put_f64(p, req.t0);
+  sto::put_u32(p, static_cast<std::uint32_t>(req.values.size()));
+  for (const double v : req.values) sto::put_f64(p, v);
+  return p;
+}
+
+inline std::optional<IngestRequest> decode_ingest(sto::ByteReader& r) {
+  IngestRequest req;
+  req.stream = r.get_string();
+  req.rate_hz = r.get_f64();
+  req.t0 = r.get_f64();
+  const std::uint32_t count = r.get_u32();
+  if (!r.ok() || req.stream.empty()) return std::nullopt;
+  // 64-bit multiply: a 32-bit product would wrap for huge declared counts
+  // and let a tiny frame drive a multi-gigabyte reserve below.
+  if (r.remaining() != 8ull * count) return std::nullopt;  // truncated values
+  req.values.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) req.values.push_back(r.get_f64());
+  if (!r.ok()) return std::nullopt;
+  return req;
+}
+
+inline std::vector<std::uint8_t> encode_query(const qry::QuerySpec& spec) {
+  std::vector<std::uint8_t> p;
+  sto::put_string(p, spec.selector);
+  sto::put_f64(p, spec.t_begin);
+  sto::put_f64(p, spec.t_end);
+  sto::put_f64(p, spec.step_s);
+  sto::put_u8(p, static_cast<std::uint8_t>(spec.transform));
+  sto::put_u8(p, static_cast<std::uint8_t>(spec.aggregate));
+  return p;
+}
+
+inline std::optional<qry::QuerySpec> decode_query(sto::ByteReader& r) {
+  qry::QuerySpec spec;
+  spec.selector = r.get_string();
+  spec.t_begin = r.get_f64();
+  spec.t_end = r.get_f64();
+  spec.step_s = r.get_f64();
+  const std::uint8_t transform = r.get_u8();
+  const std::uint8_t aggregate = r.get_u8();
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  if (transform > static_cast<std::uint8_t>(qry::Transform::kZScore) ||
+      aggregate > static_cast<std::uint8_t>(qry::Aggregation::kP99))
+    return std::nullopt;
+  spec.transform = static_cast<qry::Transform>(transform);
+  spec.aggregate = static_cast<qry::Aggregation>(aggregate);
+  return spec;
+}
+
+inline std::vector<std::uint8_t> encode_query_reply(
+    const qry::QueryResult& result, bool cache_hit) {
+  std::vector<std::uint8_t> p;
+  sto::put_u8(p, cache_hit ? 1 : 0);
+  sto::put_u32(p, static_cast<std::uint32_t>(result.matched.size()));
+  sto::put_u32(p, static_cast<std::uint32_t>(result.reconstructed.size()));
+  sto::put_u32(p, static_cast<std::uint32_t>(result.series.size()));
+  for (const auto& s : result.series) {
+    sto::put_string(p, s.label);
+    sto::put_f64(p, s.series.t0());
+    sto::put_f64(p, s.series.dt());
+    sto::put_u32(p, static_cast<std::uint32_t>(s.series.size()));
+    for (const double v : s.series.values()) sto::put_f64(p, v);
+  }
+  return p;
+}
+
+inline std::optional<QueryReply> decode_query_reply(sto::ByteReader& r) {
+  QueryReply reply;
+  reply.cache_hit = r.get_u8() != 0;
+  reply.matched = r.get_u32();
+  reply.reconstructed = r.get_u32();
+  const std::uint32_t n_series = r.get_u32();
+  if (!r.ok()) return std::nullopt;
+  reply.series.reserve(n_series);
+  for (std::uint32_t i = 0; i < n_series; ++i) {
+    qry::QuerySeries s;
+    s.label = r.get_string();
+    const double t0 = r.get_f64();
+    const double dt = r.get_f64();
+    const std::uint32_t n = r.get_u32();
+    if (!r.ok() || r.remaining() < 8ull * n) return std::nullopt;
+    std::vector<double> values;
+    values.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j) values.push_back(r.get_f64());
+    s.series = sig::RegularSeries(t0, dt, std::move(values));
+    reply.series.push_back(std::move(s));
+  }
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return reply;
+}
+
+inline std::vector<std::uint8_t> encode_checkpoint_reply(
+    const CheckpointReply& reply) {
+  std::vector<std::uint8_t> p;
+  sto::put_u8(p, reply.persisted ? 1 : 0);
+  sto::put_u64(p, reply.chunks);
+  sto::put_u64(p, reply.bytes_written);
+  return p;
+}
+
+inline std::optional<CheckpointReply> decode_checkpoint_reply(
+    sto::ByteReader& r) {
+  CheckpointReply reply;
+  reply.persisted = r.get_u8() != 0;
+  reply.chunks = r.get_u64();
+  reply.bytes_written = r.get_u64();
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return reply;
+}
+
+}  // namespace nyqmon::srv

@@ -1,0 +1,420 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sys/time.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace nyqmon::srv {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+NyqmondServer::NyqmondServer(mon::StripedRetentionStore& store,
+                             sto::StorageManager* storage, ServerConfig config)
+    : store_(store),
+      storage_(storage),
+      config_(std::move(config)),
+      query_(store, config_.query) {
+  NYQMON_CHECK(config_.max_frame_bytes >= 64);
+}
+
+NyqmondServer::~NyqmondServer() { stop(); }
+
+void NyqmondServer::start() {
+  NYQMON_CHECK_MSG(!running_.load(), "server already started");
+
+  // Everything before the loop thread spawns can throw; close whatever was
+  // opened so a failed (or retried) start never leaks descriptors.
+  try {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+        1)
+      throw std::runtime_error("bad bind address: " + config_.bind_address);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0)
+      throw_errno("bind");
+    if (::listen(listen_fd_, static_cast<int>(config_.listen_backlog)) < 0)
+      throw_errno("listen");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+        0)
+      throw_errno("getsockname");
+    port_ = ntohs(addr.sin_port);
+
+    if (::pipe(wake_pipe_) < 0) throw_errno("pipe");
+    set_nonblocking(wake_pipe_[0]);
+    set_nonblocking(listen_fd_);
+  } catch (...) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+    if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+    listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+    throw;
+  }
+
+  stopping_.store(false);
+  running_.store(true);
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+void NyqmondServer::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // Wake the poll loop.
+  const char byte = 'x';
+  [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &byte, 1);
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  // Drain: a reply the loop already queued belongs to a fully processed
+  // request — give each such connection one bounded blocking flush before
+  // closing, so clients aren't cut off mid-read for work the server did.
+  for (auto& conn : conns_) {
+    if (conn->out_sent >= conn->out.size()) continue;
+    const int flags = ::fcntl(conn->fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(conn->fd, F_SETFL, flags & ~O_NONBLOCK);
+    timeval timeout{0, 200000};  // 200 ms cap per connection
+    ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    while (conn->out_sent < conn->out.size()) {
+      const ssize_t sent =
+          ::send(conn->fd, conn->out.data() + conn->out_sent,
+                 conn->out.size() - conn->out_sent, MSG_NOSIGNAL);
+      if (sent <= 0) break;
+      conn->out_sent += static_cast<std::size_t>(sent);
+    }
+  }
+  for (auto& conn : conns_) ::close(conn->fd);
+  conns_.clear();
+  ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+
+  // Final checkpoint: everything the server ingested is sealed into
+  // segments and the WAL swaps fresh, so the directory recovers to exactly
+  // the served state.
+  if (config_.checkpoint_fn) {
+    config_.checkpoint_fn();
+  } else if (storage_ != nullptr) {
+    storage_->sync();
+    storage_->flush(store_);
+  }
+}
+
+void NyqmondServer::loop() {
+  std::vector<pollfd> fds;
+  while (!stopping_.load()) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const auto& conn : conns_) {
+      const std::size_t backlog = conn->out.size() - conn->out_sent;
+      short events = 0;
+      // Backpressure: stop reading once a connection is closing or its
+      // reply backlog is large — a client that pipelines requests without
+      // draining replies must not grow server memory without bound.
+      if (!conn->close_after_flush && backlog < config_.max_frame_bytes)
+        events |= POLLIN;
+      if (backlog > 0) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    if (::poll(fds.data(), fds.size(), 1000) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) continue;  // wake for shutdown
+
+    // Scan only the connections that were actually polled this round —
+    // accept_clients() below appends to conns_, and fresh connections have
+    // no pollfd entry (they are served from the next round on).
+    const std::size_t polled = fds.size() - 2;
+    if (fds[0].revents & POLLIN) accept_clients();
+
+    // Serve clients; reap the dead ones after the scan.
+    std::vector<std::size_t> dead;
+    for (std::size_t i = 0; i < polled; ++i) {
+      Connection& conn = *conns_[i];
+      const short revents = fds[i + 2].revents;
+      bool alive = true;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+      if (alive && (revents & POLLIN)) alive = read_client(conn);
+      if (alive && conn.out_sent < conn.out.size()) alive = write_client(conn);
+      if (alive && conn.close_after_flush && conn.out_sent == conn.out.size())
+        alive = false;
+      if (!alive) dead.push_back(i);
+    }
+    for (std::size_t k = dead.size(); k-- > 0;) {
+      ::close(conns_[dead[k]]->fd);
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(dead[k]));
+      connections_closed_.fetch_add(1);
+    }
+  }
+}
+
+void NyqmondServer::accept_clients() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      // EMFILE/ENFILE etc. leave the pending connection queued and the
+      // level-triggered POLLIN hot — back off briefly instead of spinning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      return;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conns_.push_back(std::move(conn));
+    connections_accepted_.fetch_add(1);
+  }
+}
+
+bool NyqmondServer::read_client(Connection& conn) {
+  std::uint8_t buf[16384];
+  while (true) {
+    // Backpressure inside the read burst too: once this client's reply
+    // backlog hits the cap, stop pulling bytes (the kernel buffer and the
+    // peer's send window hold the rest until the client drains replies).
+    if (conn.out.size() - conn.out_sent >= config_.max_frame_bytes) break;
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.insert(conn.in.end(), buf, buf + n);
+      if (conn.in.size() > config_.max_frame_bytes + 5) {
+        // Drain complete frames first — a burst of legally pipelined
+        // frames may exceed one frame's cap; only an *undrainable* buffer
+        // this large means a single over-cap frame.
+        if (!drain_frames(conn)) return false;
+        if (conn.in.size() > config_.max_frame_bytes + 5) {
+          protocol_errors_.fetch_add(1);
+          return false;
+        }
+      }
+      continue;
+    }
+    if (n == 0) return false;  // orderly disconnect (possibly mid-frame)
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return drain_frames(conn);
+}
+
+bool NyqmondServer::write_client(Connection& conn) {
+  while (conn.out_sent < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_sent,
+                             conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // client went away mid-reply
+  }
+  if (conn.out_sent == conn.out.size()) {
+    conn.out.clear();
+    conn.out_sent = 0;
+  }
+  return true;
+}
+
+bool NyqmondServer::drain_frames(Connection& conn) {
+  // Past a corrupt length prefix the byte stream has no trustworthy frame
+  // boundaries — never parse again on this connection, just flush the ERR.
+  if (conn.close_after_flush) return write_client(conn);
+  std::size_t consumed = 0;
+  while (conn.in.size() - consumed >= 4) {
+    // Stop dispatching once the reply backlog hits the cap; the remaining
+    // input stays buffered and POLLIN stays suppressed until the client
+    // reads its replies. Bounds conn.out at cap + one reply.
+    if (conn.out.size() - conn.out_sent >= config_.max_frame_bytes) break;
+    sto::ByteReader prefix(
+        std::span<const std::uint8_t>(conn.in).subspan(consumed, 4));
+    const std::uint32_t body_len = prefix.get_u32();
+    if (body_len == 0 || body_len > config_.max_frame_bytes) {
+      // Unsynchronizable: answer and close once the error is flushed.
+      protocol_errors_.fetch_add(1);
+      const auto err = error_frame("bad frame length");
+      conn.out.insert(conn.out.end(), err.begin(), err.end());
+      conn.close_after_flush = true;
+      conn.in.clear();
+      consumed = 0;
+      break;
+    }
+    if (conn.in.size() - consumed < 4u + body_len) break;  // partial frame
+    dispatch(conn, std::span<const std::uint8_t>(conn.in)
+                       .subspan(consumed + 4, body_len));
+    consumed += 4u + body_len;
+  }
+  if (consumed > 0)
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(consumed));
+  // Opportunistic flush; POLLOUT picks up whatever the socket won't take.
+  return write_client(conn);
+}
+
+void NyqmondServer::dispatch(Connection& conn,
+                             std::span<const std::uint8_t> body) {
+  frames_.fetch_add(1);
+  sto::ByteReader reader(body);
+  const auto verb = static_cast<Verb>(reader.get_u8());
+
+  std::vector<std::uint8_t> reply;
+  try {
+    switch (verb) {
+      case Verb::kIngest:
+        ingest_frames_.fetch_add(1);
+        reply = handle_ingest(reader);
+        break;
+      case Verb::kQuery:
+        query_frames_.fetch_add(1);
+        reply = handle_query(reader);
+        break;
+      case Verb::kStats:
+        stats_frames_.fetch_add(1);
+        reply = handle_stats();
+        break;
+      case Verb::kCheckpoint:
+        checkpoint_frames_.fetch_add(1);
+        reply = handle_checkpoint();
+        break;
+      default:
+        protocol_errors_.fetch_add(1);
+        reply = error_frame("unknown verb");
+        break;
+    }
+  } catch (const std::exception& e) {
+    protocol_errors_.fetch_add(1);
+    reply = error_frame(e.what());
+  }
+  conn.out.insert(conn.out.end(), reply.begin(), reply.end());
+}
+
+std::vector<std::uint8_t> NyqmondServer::handle_ingest(
+    sto::ByteReader& reader) {
+  const auto req = decode_ingest(reader);
+  if (!req.has_value()) return error_frame("malformed INGEST payload");
+  if (!store_.find_meta(req->stream).has_value()) {
+    if (!(req->rate_hz > 0.0))
+      return error_frame("stream creation needs rate_hz > 0");
+    store_.create_stream(req->stream, req->rate_hz, req->t0);
+  }
+  store_.append_series(req->stream, req->values);
+  samples_ingested_.fetch_add(req->values.size());
+  std::vector<std::uint8_t> payload;
+  sto::put_u64(payload, store_.meta(req->stream).ingested_samples);
+  return ok_frame(payload);
+}
+
+std::vector<std::uint8_t> NyqmondServer::handle_query(sto::ByteReader& reader) {
+  const auto spec = decode_query(reader);
+  if (!spec.has_value()) return error_frame("malformed QUERY payload");
+  spec->validate();  // throws -> ERR via dispatch
+  const qry::QueryResponse response = query_.run(*spec);
+  auto payload = encode_query_reply(*response.result, response.cache_hit);
+  // A reply must fit one frame: clients reject bodies over their cap, and
+  // past 4 GiB the u32 length prefix would wrap. Refuse rather than emit
+  // an undeliverable frame.
+  if (payload.size() >= config_.max_frame_bytes)
+    return error_frame(
+        "query result exceeds the frame cap; narrow the selector/range or "
+        "coarsen step_s");
+  return ok_frame(payload);
+}
+
+std::vector<std::uint8_t> NyqmondServer::handle_stats() {
+  const mon::StoreRollup rollup = store_.rollup();
+  const qry::QueryEngineStats q = query_.stats();
+  char json[768];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"streams\":%zu,\"ingested_samples\":%zu,\"stored_samples\":%zu,"
+      "\"bytes_raw\":%llu,\"bytes_stored\":%llu,"
+      "\"queries\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"frames\":%llu,\"ingest_frames\":%llu,\"query_frames\":%llu,"
+      "\"protocol_errors\":%llu,\"samples_ingested\":%llu,"
+      "\"connections_accepted\":%llu}",
+      rollup.streams, rollup.ingested_samples, rollup.stored_samples,
+      static_cast<unsigned long long>(rollup.bytes_raw),
+      static_cast<unsigned long long>(rollup.bytes_stored),
+      static_cast<unsigned long long>(q.queries),
+      static_cast<unsigned long long>(q.cache.hits),
+      static_cast<unsigned long long>(q.cache.misses),
+      static_cast<unsigned long long>(frames_.load()),
+      static_cast<unsigned long long>(ingest_frames_.load()),
+      static_cast<unsigned long long>(query_frames_.load()),
+      static_cast<unsigned long long>(protocol_errors_.load()),
+      static_cast<unsigned long long>(samples_ingested_.load()),
+      static_cast<unsigned long long>(connections_accepted_.load()));
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(json);
+  return ok_frame(std::span<const std::uint8_t>(bytes, std::strlen(json)));
+}
+
+std::vector<std::uint8_t> NyqmondServer::handle_checkpoint() {
+  CheckpointReply reply;
+  if (config_.checkpoint_fn) {
+    const sto::FlushStats flush = config_.checkpoint_fn();
+    reply.persisted = !flush.skipped;
+    reply.chunks = flush.chunks;
+    reply.bytes_written = flush.bytes_written;
+  } else if (storage_ != nullptr) {
+    storage_->sync();
+    const sto::FlushStats flush = storage_->flush(store_);
+    reply.persisted = true;
+    reply.chunks = flush.chunks;
+    reply.bytes_written = flush.bytes_written;
+  }
+  return ok_frame(encode_checkpoint_reply(reply));
+}
+
+ServerStats NyqmondServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_closed = connections_closed_.load();
+  s.frames = frames_.load();
+  s.ingest_frames = ingest_frames_.load();
+  s.query_frames = query_frames_.load();
+  s.stats_frames = stats_frames_.load();
+  s.checkpoint_frames = checkpoint_frames_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.samples_ingested = samples_ingested_.load();
+  return s;
+}
+
+}  // namespace nyqmon::srv

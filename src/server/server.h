@@ -1,0 +1,138 @@
+// NyqmondServer — the network front of the retention store.
+//
+// A small poll(2)-driven TCP server speaking the length-prefixed binary
+// protocol of server/protocol.h: INGEST appends batched samples to retained
+// streams (created on first ingest), QUERY runs a selector + spec through a
+// QueryEngine, STATS reports a JSON counter snapshot, CHECKPOINT seals the
+// durable tier. One event-loop thread owns every connection; commands
+// execute inline on that thread (the query engine fans each query out over
+// its own workers), so wire-visible behavior is sequential and
+// deterministic while the *store* stays safely shared with a concurrently
+// running StreamingRuntime — serving during ingest is the normal mode.
+//
+// Robustness: partial frames are buffered per connection, oversized or
+// zero length prefixes answer ERR and close (a corrupt prefix cannot be
+// resynchronized), unknown verbs and malformed payloads answer ERR and
+// keep the connection, and a client that disconnects mid-reply just gets
+// its connection reaped (SIGPIPE is never raised). Shutdown is graceful:
+// stop() drains the loop, closes every connection, and flushes a final
+// checkpoint so the WAL + segments on disk recover to the served state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/striped_store.h"
+#include "query/engine.h"
+#include "server/protocol.h"
+#include "storage/manager.h"
+
+namespace nyqmon::srv {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with port().
+  std::uint16_t port = 0;
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  std::size_t listen_backlog = 64;
+  qry::QueryEngineConfig query;
+  /// CHECKPOINT delegate. Servers fronting a StreamingRuntime must point
+  /// this at StreamingRuntime::checkpoint() so the flush is quiesced
+  /// against the scheduler; when unset, the server flushes `storage`
+  /// directly (safe: the loop thread is then the only ingest path).
+  std::function<sto::FlushStats()> checkpoint_fn;
+};
+
+/// Monotonic wire counters (readable from any thread).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t ingest_frames = 0;
+  std::uint64_t query_frames = 0;
+  std::uint64_t stats_frames = 0;
+  std::uint64_t checkpoint_frames = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t samples_ingested = 0;
+};
+
+class NyqmondServer {
+ public:
+  /// The store (and storage manager, when given) must outlive the server.
+  /// `storage` may be nullptr for an in-memory server.
+  NyqmondServer(mon::StripedRetentionStore& store,
+                sto::StorageManager* storage, ServerConfig config = {});
+  ~NyqmondServer();
+
+  NyqmondServer(const NyqmondServer&) = delete;
+  NyqmondServer& operator=(const NyqmondServer&) = delete;
+
+  /// Bind, listen, and spawn the event loop. Throws std::runtime_error on
+  /// socket failure.
+  void start();
+
+  /// Graceful shutdown: stop accepting, close connections, join the loop,
+  /// and flush a final checkpoint. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(); }
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_sent = 0;
+    bool close_after_flush = false;
+  };
+
+  void loop();
+  void accept_clients();
+  /// Returns false when the connection must be dropped.
+  bool read_client(Connection& conn);
+  bool write_client(Connection& conn);
+  /// Consume every complete frame in conn.in.
+  bool drain_frames(Connection& conn);
+  void dispatch(Connection& conn, std::span<const std::uint8_t> body);
+  std::vector<std::uint8_t> handle_ingest(sto::ByteReader& reader);
+  std::vector<std::uint8_t> handle_query(sto::ByteReader& reader);
+  std::vector<std::uint8_t> handle_stats();
+  std::vector<std::uint8_t> handle_checkpoint();
+
+  mon::StripedRetentionStore& store_;
+  sto::StorageManager* storage_;
+  ServerConfig config_;
+  qry::QueryEngine query_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> ingest_frames_{0};
+  std::atomic<std::uint64_t> query_frames_{0};
+  std::atomic<std::uint64_t> stats_frames_{0};
+  std::atomic<std::uint64_t> checkpoint_frames_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> samples_ingested_{0};
+};
+
+}  // namespace nyqmon::srv

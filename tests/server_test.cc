@@ -1,0 +1,428 @@
+// NyqmondServer + NyqmonClient: wire round-trips, protocol edge cases
+// (truncated frames, oversized length prefixes, unknown verbs, disconnects
+// mid-exchange), 4-client concurrent ingest+query determinism, live
+// serving in front of a StreamingRuntime, and checkpointed shutdown whose
+// WAL/segments recover to the served state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/striped_store.h"
+#include "query/engine.h"
+#include "runtime/clock.h"
+#include "runtime/runtime.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/manager.h"
+#include "telemetry/fleet.h"
+
+namespace {
+
+using namespace nyqmon;
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / ("nyqmon_server_test_" + name))
+                 .string()) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+bool same_values(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), 8 * a.size()) == 0);
+}
+
+/// Deterministic per-stream test signal.
+std::vector<double> wave(std::size_t n, double phase) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = std::sin(phase + 0.1 * static_cast<double>(i)) +
+           0.01 * static_cast<double>(i);
+  return v;
+}
+
+/// Wait until the server has reaped its side of a closed connection.
+void wait_closed(const srv::NyqmondServer& server, std::uint64_t at_least) {
+  for (int i = 0; i < 500 && server.stats().connections_closed < at_least; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+}
+
+// ------------------------------------------------------------ round trips --
+
+TEST(Server, StartStopAndStats) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  const std::string json = client.stats_json();
+  EXPECT_NE(json.find("\"streams\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queries\":0"), std::string::npos) << json;
+
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.stats().stats_frames, 1u);
+}
+
+TEST(Server, IngestThenQueryRoundTrip) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+
+  const auto values = wave(256, 0.0);
+  // Two batches: creation + append to an existing stream.
+  EXPECT_EQ(client.ingest("rack1/temp", 1.0, 0.0,
+                          std::span<const double>(values).first(100)),
+            100u);
+  EXPECT_EQ(client.ingest("rack1/temp", 1.0, 0.0,
+                          std::span<const double>(values).subspan(100)),
+            256u);
+
+  qry::QuerySpec spec;
+  spec.selector = "rack1/*";
+  spec.t_begin = 0.0;
+  spec.t_end = 256.0;
+  spec.step_s = 1.0;
+  const srv::QueryReply reply = client.query(spec);
+  EXPECT_EQ(reply.matched, 1u);
+  EXPECT_EQ(reply.reconstructed, 1u);
+  ASSERT_EQ(reply.series.size(), 1u);
+  EXPECT_EQ(reply.series[0].label, "rack1/temp");
+
+  // The wire result must be bit-identical to a local engine over the store.
+  qry::QueryEngine local(store);
+  const auto direct = local.run(spec);
+  ASSERT_EQ(direct.result->series.size(), 1u);
+  EXPECT_TRUE(same_values(direct.result->series[0].series.span(),
+                          reply.series[0].series.span()));
+
+  // Identical spec again: served from the server-side cache.
+  EXPECT_TRUE(client.query(spec).cache_hit);
+  server.stop();
+}
+
+TEST(Server, IngestIntoUnknownStreamNeedsRate) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  const auto values = wave(8, 0.0);
+  EXPECT_THROW(client.ingest("x/y", 0.0, 0.0, values), std::runtime_error);
+  // The connection survives an application-level error.
+  EXPECT_EQ(client.ingest("x/y", 2.0, 0.0, values), 8u);
+  server.stop();
+}
+
+// ------------------------------------------------------------ edge cases --
+
+TEST(Server, TruncatedFrameThenDisconnectIsHarmless) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  {
+    srv::NyqmonClient half("127.0.0.1", server.port());
+    // Claim a 100-byte body, deliver 10, vanish.
+    std::vector<std::uint8_t> bytes;
+    sto::put_u32(bytes, 100);
+    for (int i = 0; i < 10; ++i) sto::put_u8(bytes, 0x42);
+    half.send_raw(bytes);
+  }
+  wait_closed(server, 1);
+
+  // Server must still serve.
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  EXPECT_NE(client.stats_json().find("\"streams\""), std::string::npos);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);  // partial ≠ protocol error
+  server.stop();
+}
+
+TEST(Server, OversizedLengthPrefixAnswersErrorAndCloses) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient bad("127.0.0.1", server.port());
+  std::vector<std::uint8_t> bytes;
+  sto::put_u32(bytes, 0x7fffffffu);  // way past the frame cap
+  bad.send_raw(bytes);
+
+  // The server answers ERR, then closes this connection.
+  std::vector<std::uint8_t> body;
+  ASSERT_NO_THROW(body = bad.request_raw(0, {}));  // reads the pending ERR
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body[0], static_cast<std::uint8_t>(srv::Status::kError));
+  wait_closed(server, 1);
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  EXPECT_NE(client.stats_json().find("\"streams\""), std::string::npos);
+  server.stop();
+}
+
+TEST(Server, UnknownVerbKeepsConnectionUsable) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+
+  const auto body = client.request_raw(0x7e, {});
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body[0], static_cast<std::uint8_t>(srv::Status::kError));
+
+  // Same connection still works for a real command.
+  EXPECT_NE(client.stats_json().find("\"streams\""), std::string::npos);
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(Server, MalformedPayloadAnswersError) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+
+  // INGEST whose declared value count exceeds the payload.
+  std::vector<std::uint8_t> payload;
+  sto::put_string(payload, "a/b");
+  sto::put_f64(payload, 1.0);
+  sto::put_f64(payload, 0.0);
+  sto::put_u32(payload, 1000);  // ...but zero value bytes follow
+  const auto body = client.request_raw(
+      static_cast<std::uint8_t>(srv::Verb::kIngest), payload);
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body[0], static_cast<std::uint8_t>(srv::Status::kError));
+  EXPECT_EQ(store.streams(), 0u);
+
+  // A count whose 8×count wraps a 32-bit product to the actual payload
+  // size must still be rejected (no multi-GB allocation from a 60-byte
+  // frame).
+  std::vector<std::uint8_t> wrap;
+  sto::put_string(wrap, "a/b");
+  sto::put_f64(wrap, 1.0);
+  sto::put_f64(wrap, 0.0);
+  sto::put_u32(wrap, 0x20000002u);  // 8 * count ≡ 16 (mod 2^32)
+  sto::put_f64(wrap, 1.0);
+  sto::put_f64(wrap, 2.0);
+  const auto wrap_body = client.request_raw(
+      static_cast<std::uint8_t>(srv::Verb::kIngest), wrap);
+  ASSERT_FALSE(wrap_body.empty());
+  EXPECT_EQ(wrap_body[0], static_cast<std::uint8_t>(srv::Status::kError));
+  EXPECT_EQ(store.streams(), 0u);
+
+  // Bad query spec (t_begin >= t_end) is rejected, connection survives.
+  qry::QuerySpec spec;
+  spec.selector = "*";
+  spec.t_begin = 5.0;
+  spec.t_end = 5.0;
+  spec.step_s = 1.0;
+  EXPECT_THROW(client.query(spec), std::runtime_error);
+  EXPECT_NE(client.stats_json().find("\"streams\""), std::string::npos);
+  server.stop();
+}
+
+TEST(Server, ClientDisconnectMidQueryIsHarmless) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  {
+    srv::NyqmonClient client("127.0.0.1", server.port());
+    const auto values = wave(4096, 1.0);
+    client.ingest("big/stream", 10.0, 0.0, values);
+
+    // Fire a query whose reply is substantial, then vanish without reading.
+    qry::QuerySpec spec;
+    spec.selector = "big/*";
+    spec.t_begin = 0.0;
+    spec.t_end = 409.6;
+    spec.step_s = 0.1;
+    srv::NyqmonClient dropper("127.0.0.1", server.port());
+    dropper.send_raw(srv::request_frame(srv::Verb::kQuery,
+                                        srv::encode_query(spec)));
+    dropper.close();
+  }
+  wait_closed(server, 2);
+
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  EXPECT_NE(client.stats_json().find("\"streams\":1"), std::string::npos);
+  server.stop();
+}
+
+// ------------------------------------------- concurrency & determinism ----
+
+TEST(Server, FourClientConcurrentIngestQueryIsDeterministic) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kBatches = 16;
+  constexpr std::size_t kBatch = 64;
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> failures{0};
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        srv::NyqmonClient client("127.0.0.1", server.port());
+        const std::string stream =
+            "client" + std::to_string(c) + "/metric";
+        const auto values = wave(kBatches * kBatch, static_cast<double>(c));
+        for (std::size_t b = 0; b < kBatches; ++b) {
+          client.ingest(stream, 1.0, 0.0,
+                        std::span<const double>(values).subspan(b * kBatch,
+                                                                kBatch));
+          // Interleave queries over everyone's streams while others ingest.
+          qry::QuerySpec spec;
+          spec.selector = "client*/metric";
+          spec.t_begin = 0.0;
+          spec.t_end = static_cast<double>(kBatches * kBatch);
+          spec.step_s = 4.0;
+          spec.aggregate = qry::Aggregation::kSum;
+          const auto reply = client.query(spec);
+          if (reply.series.size() != 1) ++failures;
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0u);
+
+  // Quiesced: every client's view of the same spec must now be identical,
+  // and bit-identical to a local query engine over the server's store.
+  qry::QuerySpec spec;
+  spec.selector = "client*/metric";
+  spec.t_begin = 0.0;
+  spec.t_end = static_cast<double>(kBatches * kBatch);
+  spec.step_s = 2.0;
+  spec.aggregate = qry::Aggregation::kP95;
+
+  srv::NyqmonClient a("127.0.0.1", server.port());
+  srv::NyqmonClient b("127.0.0.1", server.port());
+  const auto reply_a = a.query(spec);
+  const auto reply_b = b.query(spec);
+  ASSERT_EQ(reply_a.series.size(), 1u);
+  ASSERT_EQ(reply_b.series.size(), 1u);
+  EXPECT_TRUE(same_values(reply_a.series[0].series.span(),
+                          reply_b.series[0].series.span()));
+  EXPECT_EQ(reply_a.matched, kClients);
+
+  qry::QueryEngine local(store);
+  const auto direct = local.run(spec);
+  EXPECT_TRUE(same_values(direct.result->series[0].series.span(),
+                          reply_a.series[0].series.span()));
+  server.stop();
+}
+
+// --------------------------------------------- runtime + durable shutdown --
+
+TEST(Server, ServesLiveStreamingRuntime) {
+  tel::FleetConfig fleet_cfg;
+  fleet_cfg.target_pairs = 16;
+  fleet_cfg.seed = 21;
+  const tel::Fleet fleet(fleet_cfg);
+
+  rt::VirtualClock clock;
+  rt::RuntimeConfig cfg;
+  cfg.engine.workers = 2;
+  cfg.engine.samples_per_window = 48;
+  cfg.engine.windows_per_pair = 4;
+  rt::StreamingRuntime runtime(fleet, clock, cfg);
+
+  srv::ServerConfig server_cfg;
+  server_cfg.checkpoint_fn = [&runtime] { return runtime.checkpoint(); };
+  srv::NyqmondServer server(runtime.mutable_store(), nullptr, server_cfg);
+  server.start();
+
+  std::atomic<bool> stop{false};
+  std::thread driver([&] {
+    while (!runtime.done() && !stop.load()) runtime.step();
+  });
+
+  // Query the fleet over the wire while the runtime ingests it.
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  qry::QuerySpec spec;
+  spec.selector = "*/*";
+  spec.t_begin = 0.0;
+  spec.t_end = 3600.0;
+  spec.step_s = 60.0;
+  spec.aggregate = qry::Aggregation::kAvg;
+  std::size_t queries = 0;
+  while (!runtime.done() && queries < 50) {
+    client.query(spec);
+    ++queries;
+  }
+  stop.store(true);
+  driver.join();
+  while (!runtime.done()) runtime.step();
+
+  EXPECT_GT(queries, 0u);
+  const auto reply = client.query(spec);
+  ASSERT_EQ(reply.series.size(), 1u);
+  EXPECT_EQ(reply.matched, fleet.size());
+  server.stop();
+}
+
+TEST(Server, CheckpointedShutdownRecoversServedState) {
+  TempDir dir("shutdown");
+  sto::StorageConfig storage_cfg;
+  storage_cfg.dir = dir.path;
+  storage_cfg.truncate_existing = true;
+  mon::StoreConfig store_cfg;
+  store_cfg.chunk_samples = 128;
+
+  std::vector<std::string> names;
+  {
+    auto storage = std::make_unique<sto::StorageManager>(storage_cfg);
+    mon::StripedRetentionStore store(store_cfg);
+    storage->record_geometry(store_cfg);
+    store.set_ingest_sink(storage.get());
+
+    srv::NyqmondServer server(store, storage.get());
+    server.start();
+    srv::NyqmonClient client("127.0.0.1", server.port());
+    for (std::size_t s = 0; s < 6; ++s) {
+      const std::string name = "dev" + std::to_string(s) + "/metric";
+      names.push_back(name);
+      client.ingest(name, 2.0, 0.0, wave(700, static_cast<double>(s)));
+    }
+    // Mid-session checkpoint over the wire...
+    const auto ck = client.checkpoint();
+    EXPECT_TRUE(ck.persisted);
+    EXPECT_GT(ck.chunks, 0u);
+    // ...more ingest afterwards lands in the fresh WAL only.
+    client.ingest(names[0], 2.0, 0.0, wave(100, 42.0));
+    server.stop();  // graceful: final checkpoint
+  }
+
+  // Cold start from disk: the recovered store serves exactly what the
+  // server ingested, including the post-checkpoint tail.
+  sto::StorageConfig attach;
+  attach.dir = dir.path;
+  sto::StorageManager manager(attach);
+  mon::StoreConfig recovered_cfg;
+  ASSERT_TRUE(manager.manifest_geometry().has_value());
+  manager.manifest_geometry()->apply(recovered_cfg);
+  mon::StripedRetentionStore recovered(recovered_cfg);
+  const auto rec = manager.recover(recovered);
+  EXPECT_EQ(rec.crc_skipped_blocks, 0u);
+  ASSERT_EQ(recovered.stream_names().size(), names.size());
+  EXPECT_EQ(recovered.meta(names[0]).ingested_samples, 800u);
+  for (const auto& name : names) {
+    const auto meta = recovered.meta(name);
+    EXPECT_GT(meta.ingested_samples, 0u) << name;
+  }
+}
+
+}  // namespace
