@@ -25,6 +25,7 @@ import sys
 TRACKED = {
     "engine_throughput": ["pairs_per_sec"],
     "query_throughput": ["qps"],
+    "scenario_frontier": ["sweep_pairs_per_sec"],
     "storage_throughput": ["ingest_wal_mb_s", "flush_mb_s", "recover_mb_s"],
     "streaming_throughput": ["samples_per_sec", "qps"],
 }

@@ -5,41 +5,14 @@
 // aggregates must be bit-identical whatever the worker count, so the
 // scaling numbers describe the *same* computation.
 #include <cstdio>
-#include <cstring>
 
 #include "common.h"
 #include "engine/engine.h"
 #include "engine/report.h"
 #include "util/ascii.h"
 #include "util/csv.h"
-#include "util/hash.h"
-
-namespace {
 
 using namespace nyqmon;
-
-// Bitwise digest of the deterministic outcome fields (NaN-safe, unlike ==).
-std::uint64_t digest(const eng::FleetRunResult& result) {
-  Fnv1a h;
-  auto mix_double = [&h](double d) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &d, sizeof(bits));
-    h.mix(bits);
-  };
-  for (const auto& p : result.pairs) {
-    h.mix(p.pair_index);
-    mix_double(p.cost_savings);
-    mix_double(p.nrmse);
-    h.mix(p.adaptive_samples);
-    h.mix(p.audit.aliased_windows);
-    mix_double(p.audit.final_rate_hz);
-  }
-  h.mix(result.store.stored_samples);
-  h.mix(result.store.chunks_reduced);
-  return h.value();
-}
-
-}  // namespace
 
 int main() {
   tel::FleetConfig fleet_cfg;
@@ -63,7 +36,7 @@ int main() {
     eng::FleetMonitorEngine engine(fleet, cfg);
     const eng::FleetRunResult result = engine.run();
 
-    const std::uint64_t d = digest(result);
+    const std::uint64_t d = eng::run_digest(result);
     if (workers == 1) {
       base_wall = result.wall_seconds;
       base_digest = d;

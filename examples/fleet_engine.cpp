@@ -1,13 +1,18 @@
 // Fleet engine: drive a whole synthetic datacenter concurrently.
 //
-// Usage: fleet_engine [pairs] [workers] [persist_dir]
+// Usage: fleet_engine [pairs|spec.scn] [workers] [persist_dir]
 //        (defaults: 600 pairs, 4 workers, in-memory only)
 //
-// Builds the fleet, runs the sharded FleetMonitorEngine (adaptive sampling
-// + reconstruction + aliasing audit per pair, fan-in to the striped
-// retention store), prints the fleet report, and queries one retained
-// stream back out of the store. The argv overrides make it double as a
-// quick scaling probe: try `fleet_engine 1613 1` vs `fleet_engine 1613 8`.
+// The fleet is scenario-driven: the first argument is either a stream
+// count (the built-in default-mix scenario — all seven signal families,
+// with correlation/dropout/clock-skew modifiers on a subset of groups) or
+// a path to a scenario spec file (see scenarios/frontier.scn and
+// src/scenario/spec.h for the format). Builds the fleet, runs the sharded
+// FleetMonitorEngine (adaptive sampling + reconstruction + aliasing audit
+// per pair, fan-in to the striped retention store), prints the fleet
+// report, and queries one retained stream back out of the store. The argv
+// overrides make it double as a quick scaling probe: try
+// `fleet_engine 1613 1` vs `fleet_engine 1613 8`.
 //
 // With [persist_dir] the run is durable: every ingest batch is WAL-logged
 // there and the store is checkpointed into compressed segments at the end.
@@ -19,33 +24,50 @@
 // faster — spending more there is the paper's fidelity trade, not waste.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
+#include <string>
 
 #include "engine/engine.h"
 #include "engine/report.h"
-#include "telemetry/fleet.h"
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
   using namespace nyqmon;
 
-  const std::size_t pairs =
-      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
-               : 600;
+  const std::string fleet_arg = argc > 1 ? argv[1] : "600";
   const std::size_t workers =
       argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10))
                : 4;
   const std::string persist_dir = argc > 3 ? argv[3] : "";
-  if (pairs == 0) {
-    std::fprintf(stderr, "usage: %s [pairs] [workers] [persist_dir]\n",
+
+  // A numeric first argument sizes the built-in default-mix scenario;
+  // anything else is a spec file path.
+  char* end = nullptr;
+  const std::size_t pairs =
+      static_cast<std::size_t>(std::strtoull(fleet_arg.c_str(), &end, 10));
+  const bool numeric = end != nullptr && *end == '\0' && !fleet_arg.empty();
+  if (numeric && pairs < 7) {
+    std::fprintf(stderr, "usage: %s [pairs>=7|spec.scn] [workers] [persist_dir]\n",
                  argv[0]);
     return 2;
   }
-
-  tel::FleetConfig fleet_cfg;
-  fleet_cfg.target_pairs = pairs;
-  fleet_cfg.seed = 1234;
-  const tel::Fleet fleet(fleet_cfg);
-  std::printf("fleet: %zu devices, %zu metric-device pairs\n",
-              fleet.topology().size(), fleet.size());
+  std::optional<scn::BuiltScenario> maybe_built;
+  try {
+    const scn::ScenarioSpec spec = numeric
+                                       ? scn::default_scenario(pairs, 1234)
+                                       : scn::load_scenario_file(fleet_arg);
+    maybe_built.emplace(scn::build_scenario(spec));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return 2;
+  }
+  const scn::BuiltScenario& built = *maybe_built;
+  const tel::Fleet& fleet = built.fleet;
+  std::printf("scenario %s: %zu group(s), %zu metric-device pairs\n",
+              built.name.c_str(), built.groups.size(), fleet.size());
+  for (const auto& g : built.groups)
+    std::printf("  %-18s %-17s %4zu streams\n", g.name.c_str(),
+                scn::family_name(g.family).c_str(), g.pairs);
 
   eng::EngineConfig cfg;
   cfg.workers = workers;

@@ -1,42 +1,55 @@
 // nyqmond — the monitoring service: a live StreamingRuntime behind the
 // nyqmond TCP protocol.
 //
-// Usage: nyqmond [pairs] [port] [persist_dir] [serve_seconds]
+// Usage: nyqmond [pairs|spec.scn] [port] [persist_dir] [serve_seconds]
 //
-// A fleet of [pairs] metric-device pairs (default 200) is driven by the
-// streaming runtime under a virtual clock, replaying its multi-hour
-// monitoring timeline as fast as the hardware allows, while the server
-// answers INGEST/QUERY/STATS/CHECKPOINT clients on [port] (default 7411,
-// 0 = ephemeral) the whole time — serving during ingest is the normal
-// mode. With [persist_dir], every batch is write-ahead-logged and
-// CHECKPOINT (or shutdown) seals segments there; reopen the directory with
-// `fleet_query <dir>` for the cold-start view. Once the fleet's timeline
-// completes, the server keeps serving for [serve_seconds] (default 0 —
-// print the run summary and exit; use e.g. 3600 to keep a long-lived
-// service for nyqmon_ctl sessions).
+// A scenario-driven fleet (default: the built-in default-mix scenario at
+// 200 streams; pass a spec file path — see scenarios/frontier.scn — for a
+// custom workload) is driven by the streaming runtime under a virtual
+// clock, replaying its multi-hour monitoring timeline as fast as the
+// hardware allows, while the server answers INGEST/QUERY/STATS/CHECKPOINT
+// clients on [port] (default 7411, 0 = ephemeral) the whole time — serving
+// during ingest is the normal mode. With [persist_dir], every batch is
+// write-ahead-logged and CHECKPOINT (or shutdown) seals segments there;
+// reopen the directory with `fleet_query <dir>` for the cold-start view.
+// Once the fleet's timeline completes, the server keeps serving for
+// [serve_seconds] (default 0 — print the run summary and exit; use e.g.
+// 3600 to keep a long-lived service for nyqmon_ctl sessions).
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "runtime/clock.h"
 #include "runtime/runtime.h"
+#include "scenario/scenario.h"
 #include "server/server.h"
-#include "telemetry/fleet.h"
 
 using namespace nyqmon;
 
 int main(int argc, char** argv) {
-  const std::size_t pairs =
-      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 200;
+  const std::string fleet_arg = argc > 1 ? argv[1] : "200";
   const auto port =
       static_cast<std::uint16_t>(argc > 2 ? std::atoi(argv[2]) : 7411);
   const std::string persist_dir = argc > 3 ? argv[3] : "";
   const double serve_seconds = argc > 4 ? std::atof(argv[4]) : 0.0;
 
-  tel::FleetConfig fleet_cfg;
-  fleet_cfg.target_pairs = pairs;
-  const tel::Fleet fleet(fleet_cfg);
+  char* end = nullptr;
+  const std::size_t pairs =
+      static_cast<std::size_t>(std::strtoull(fleet_arg.c_str(), &end, 10));
+  const bool numeric = end != nullptr && *end == '\0' && !fleet_arg.empty();
+  std::optional<scn::BuiltScenario> built;
+  try {
+    const scn::ScenarioSpec spec = numeric
+                                       ? scn::default_scenario(pairs)
+                                       : scn::load_scenario_file(fleet_arg);
+    built.emplace(scn::build_scenario(spec));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return 2;
+  }
+  const tel::Fleet& fleet = built->fleet;
 
   rt::VirtualClock clock;
   rt::RuntimeConfig cfg;

@@ -1,0 +1,48 @@
+// Scenario sweep: where does the cost-vs-quality frontier sit for each
+// signal family?
+//
+// Usage: scenario_sweep [spec_path]
+//        (default: the built-in default-mix scenario, ~120 streams)
+//
+// Loads a scenario spec (see scenarios/frontier.scn and the format notes
+// in src/scenario/spec.h), builds the fleet, runs a small frontier grid —
+// estimator energy cutoff (target fidelity) x max slowdown (rate bound) —
+// and prints the per-group savings-vs-NRMSE frontier. Read it like the
+// paper's sweet-spot argument: for the smooth families, savings should
+// climb with the rate bound while NRMSE stays nearly flat; the bursty /
+// regime-switching families are where quality starts to buy cost.
+#include <cstdio>
+#include <string>
+
+#include "scenario/frontier.h"
+#include "scenario/scenario.h"
+
+using namespace nyqmon;
+
+int main(int argc, char** argv) {
+  scn::ScenarioSpec spec;
+  if (argc > 1) {
+    spec = scn::load_scenario_file(argv[1]);
+  } else {
+    spec = scn::default_scenario(120);
+    std::printf("no spec given; using the built-in default-mix scenario\n");
+  }
+
+  const scn::BuiltScenario built = scn::build_scenario(spec);
+  std::printf("scenario %s: %zu group(s), %zu streams\n\n", built.name.c_str(),
+              built.groups.size(), built.fleet.size());
+  for (const auto& g : built.groups)
+    std::printf("  %-18s %-17s %3zu streams  (%s)\n", g.name.c_str(),
+                scn::family_name(g.family).c_str(), g.pairs,
+                tel::metric_name(g.metric).c_str());
+
+  scn::FrontierConfig cfg;
+  cfg.energy_cutoffs = {0.90, 0.99};
+  cfg.max_slowdowns = {4.0, 16.0, 64.0};
+  const scn::FrontierResult result = scn::run_frontier(built, cfg);
+
+  std::printf("\n%s\n", scn::render(result).c_str());
+  std::printf("%zu grid point(s), %zu pair runs in %.2fs\n",
+              result.grid_points, result.pair_runs, result.wall_seconds);
+  return 0;
+}

@@ -16,11 +16,22 @@
 // fleet dominated by wideband event counters can legitimately cost more
 // than the fixed-rate baseline — the report splits both populations out.
 //
+// Ownership: the engine borrows the fleet (which must outlive it) and owns
+// its store, schedules and optional durable tier; serve() returns a
+// QueryEngine that borrows the engine.
+//
+// Threading: construction and run() belong to one caller thread; run()
+// itself fans out over an internal worker pool and joins it before
+// returning. After run(), store()/serve() are safe from any thread
+// (mutable_store() hands out the striped store's own thread-safe ingest
+// surface for post-run writers).
+//
 // Determinism: results are bit-identical for any worker/shard count. Every
 // pair's noise seed is forked from the engine seed sequentially before the
 // fan-out, each pair's work is a pure function of (pair, seed, config),
 // outcome slots are pre-allocated per pair, and aggregation iterates in
-// pair order.
+// pair order. eng::run_digest() (engine/report.h) is the compact test
+// hook for this contract.
 #pragma once
 
 #include <cstdint>

@@ -2,14 +2,41 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "analysis/cdf.h"
 #include "analysis/report.h"
 #include "telemetry/metric_model.h"
 #include "util/csv.h"
+#include "util/hash.h"
 
 namespace nyqmon::eng {
+
+std::uint64_t run_digest(const FleetRunResult& result) {
+  Fnv1a h;
+  auto mix_double = [&h](double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    h.mix(bits);
+  };
+  for (const auto& p : result.pairs) {
+    h.mix(p.pair_index);
+    mix_double(p.cost_savings);
+    mix_double(p.nrmse);
+    mix_double(p.max_abs_error);
+    h.mix(p.adaptive_samples);
+    h.mix(p.baseline_samples);
+    h.mix(p.audit.windows);
+    h.mix(p.audit.aliased_windows);
+    h.mix(p.audit.probe_windows);
+    mix_double(p.audit.final_rate_hz);
+  }
+  h.mix(result.store.ingested_samples);
+  h.mix(result.store.stored_samples);
+  h.mix(result.store.chunks_reduced);
+  return h.value();
+}
 
 EngineReport build_report(const FleetRunResult& result) {
   EngineReport report;

@@ -5,6 +5,14 @@
 // Figure 4 reduction CDFs), plus the engine-wide cost/retention summary.
 // Rendering reuses the analysis layer (Cdf quantiles, ASCII tables) and the
 // whole report exports to CSV for downstream plotting.
+//
+// Ownership: reports are self-contained value types copied out of a
+// FleetRunResult; they hold no references into the engine. Threading:
+// build/render/write are pure functions of their input — safe to call
+// concurrently on distinct results. Determinism: everything derived here
+// is a pure fold over per-pair outcomes in pair order, so reports (and
+// run_digest below) inherit the engine's bit-identical-across-workers
+// guarantee; only wall_seconds and shard/worker accounting vary.
 #pragma once
 
 #include <map>
@@ -68,6 +76,15 @@ struct EngineReport {
 };
 
 EngineReport build_report(const FleetRunResult& result);
+
+/// Bitwise FNV-1a digest of a run's deterministic content: per-pair
+/// outcomes (cost/NRMSE/sample counts/audit, NaN-safe via bit patterns)
+/// plus the store fan-in aggregates. Two runs over the same fleet, seed
+/// and config must digest identically whatever the worker count — the
+/// compact form of the engine's determinism contract, shared by
+/// bench_engine_throughput, bench_scenario_frontier and the scenario
+/// tests. Excludes wall_seconds, shard accounting and durable-tier stats.
+std::uint64_t run_digest(const FleetRunResult& result);
 
 /// Render the per-metric quantile tables plus the fleet summary block.
 std::string render(const EngineReport& report);

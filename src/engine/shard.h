@@ -6,6 +6,12 @@
 // so consecutive indices are already de-correlated); workers then pull whole
 // shards from a shared queue, which balances load without per-pair
 // contention.
+//
+// Ownership/threading: partition_shards() is a pure function returning a
+// value; shards hold indices only, never pointers into the fleet.
+// Determinism: the partition depends only on (n_pairs, n_shards) — never
+// on which worker later claims which shard — which is one leg of the
+// engine's bit-identical-across-workers contract.
 #pragma once
 
 #include <cstddef>

@@ -9,8 +9,14 @@
 //     still interleaving pairs in exact deadline order.
 //   * SteadyClock — production pacing: the timeline is anchored to
 //     std::chrono::steady_clock at construction and sleeps are real.
-// Both are thread-safe: the scheduler sleeps while server/query threads
-// read the current time for stats.
+//
+// Ownership: clocks are plain objects the caller owns; a runtime borrows
+// its clock and never destroys it. Threading: both clocks are thread-safe
+// — the scheduler sleeps while server/query threads read the current time
+// for stats, and SteadyClock::wake() may interrupt a sleeper from any
+// thread. Determinism: VirtualClock advances only when the scheduler asks
+// to sleep, so virtual-clock runs are reproducible end to end; SteadyClock
+// runs are real-time paced and therefore not.
 #pragma once
 
 #include <algorithm>

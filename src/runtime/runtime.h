@@ -20,11 +20,21 @@
 // query results (write-generation counters differ: streaming ingests each
 // stream in many batches rather than one).
 //
+// Ownership: the runtime borrows the fleet and the clock (both must
+// outlive it) and owns its store, query engine, pair pipelines and
+// optional durable tier.
+//
 // Threading: poll()/step()/run_to_completion()/checkpoint() are the
 // scheduler's and must come from one thread at a time (they serialize on an
 // internal mutex); poll() itself fans due pairs out over worker threads.
 // store(), query_engine() and stats() may be used concurrently from any
 // thread, including while a poll is in flight — that is the point.
+//
+// Determinism: under a VirtualClock a completed run is bit-identical to
+// FleetMonitorEngine::run() over the same fleet/config/seed — per-pair
+// noise seeds come from the same sequential fork, and each pair's windows
+// are stepped in timeline order regardless of how poll() batches them.
+// Only write-generation counters (and wall-clock stats) differ.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,354 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "scenario/waveforms.h"
+#include "signal/generators.h"
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace nyqmon::scn {
+
+namespace {
+
+constexpr double kDay = 86400.0;
+
+/// Sentinel stream index for a group's shared (correlated) component.
+constexpr std::size_t kSharedIndex = std::numeric_limits<std::size_t>::max();
+
+/// Group knobs with every kUnset resolved against the metric spec.
+struct ResolvedGroup {
+  tel::MetricKind metric = tel::MetricKind::kTemperature;
+  double poll_interval_s = 0.0;
+  double bandwidth_lo_hz = 0.0;
+  double bandwidth_hi_hz = 0.0;
+  double dc_level = 0.0;
+  double fluctuation_rms = 0.0;
+  double quantization_step = 0.0;
+  double horizon_s = 0.0;
+  /// The span a standard run drives (spec.run_samples production samples):
+  /// regime and outage windows are placed inside it so the driven portion
+  /// of the trace exhibits the declared behaviour.
+  double run_window_s = 0.0;
+};
+
+ResolvedGroup resolve(const StreamGroupSpec& g, std::size_t run_samples) {
+  ResolvedGroup r;
+  r.metric = effective_metric(g);
+  const tel::MetricSpec& ms = tel::metric_spec(r.metric);
+  r.poll_interval_s = g.is_set(g.poll_interval_s) ? g.poll_interval_s
+                                                  : ms.poll_interval_s;
+  r.bandwidth_lo_hz =
+      g.is_set(g.bandwidth_lo_hz) ? g.bandwidth_lo_hz : ms.bandwidth_lo_hz;
+  r.bandwidth_hi_hz =
+      g.is_set(g.bandwidth_hi_hz) ? g.bandwidth_hi_hz : ms.bandwidth_hi_hz;
+  r.dc_level = g.is_set(g.dc_level) ? g.dc_level : ms.dc_level;
+  r.fluctuation_rms =
+      g.is_set(g.fluctuation_rms) ? g.fluctuation_rms : ms.fluctuation_rms;
+  r.quantization_step = g.is_set(g.quantization_step) ? g.quantization_step
+                                                      : ms.quantization_step;
+  // Event trains must cover any plausible run: twice the declared run
+  // geometry, with the metric's own study duration as the floor.
+  r.run_window_s = static_cast<double>(run_samples) * r.poll_interval_s;
+  r.horizon_s = std::max(ms.trace_duration_s, 2.0 * r.run_window_s);
+  return r;
+}
+
+/// The group's base waveform for one stream (dc folded in only when
+/// `with_dc` — the shared correlated component is built around zero so the
+/// weighted mix does not double the DC level).
+std::shared_ptr<const sig::ContinuousSignal> make_family_signal(
+    SignalFamily family, const ResolvedGroup& r, bool with_dc, Rng& rng) {
+  const double dc = with_dc ? r.dc_level : 0.0;
+  const double rms = r.fluctuation_rms;
+  const double bandwidth =
+      rng.log_uniform(r.bandwidth_lo_hz, r.bandwidth_hi_hz);
+
+  switch (family) {
+    case SignalFamily::kDiurnal: {
+      auto composite = std::make_shared<sig::CompositeSignal>();
+      const auto harmonics =
+          static_cast<std::size_t>(1 + rng.index(3));  // 1..3
+      composite->add(
+          sig::make_diurnal(rms * rng.uniform(1.0, 2.0), harmonics, rng, dc));
+      composite->add(sig::make_bandlimited_process(bandwidth, rms * 0.4, 24,
+                                                   rng));
+      return composite;
+    }
+    case SignalFamily::kSeasonal: {
+      // Weekly fundamental plus two harmonics with decaying amplitudes —
+      // the multi-day analogue of the diurnal shape.
+      const double f0 = 1.0 / (7.0 * kDay);
+      std::vector<sig::Tone> tones;
+      double amp = rms;
+      for (std::size_t h = 1; h <= 3; ++h) {
+        tones.push_back({f0 * static_cast<double>(h), amp,
+                         rng.uniform(0.0, 2.0 * M_PI)});
+        amp *= rng.uniform(0.25, 0.5);
+      }
+      auto composite = std::make_shared<sig::CompositeSignal>();
+      composite->add(std::make_shared<sig::SumOfSines>(std::move(tones), dc));
+      composite->add(
+          sig::make_bandlimited_process(bandwidth, rms * 0.2, 16, rng));
+      return composite;
+    }
+    case SignalFamily::kGauge:
+      return sig::make_bandlimited_process(bandwidth, rms, 32, rng, dc);
+    case SignalFamily::kBursty: {
+      const double sigma = 0.8365 / bandwidth;
+      const double bursts_per_day = rng.uniform(8.0, 40.0);
+      return sig::make_burst_process(r.horizon_s, bursts_per_day / kDay,
+                                     sigma, rms, rng, dc);
+    }
+    case SignalFamily::kHeavyTailed: {
+      // Poisson arrivals with Pareto(alpha=1.5) amplitudes: most bursts are
+      // small, the occasional one is an order of magnitude above the scale
+      // (capped at 50x so a single draw cannot swamp NRMSE normalization).
+      const double sigma = 0.8365 / bandwidth;
+      const double rate_per_s = rng.uniform(8.0, 40.0) / kDay;
+      std::vector<sig::GaussianBumpTrain::Bump> bumps;
+      double t = rng.exponential(rate_per_s);
+      while (t < r.horizon_s) {
+        const double amp = std::min(rng.pareto(rms * 0.4, 1.5), rms * 50.0);
+        bumps.push_back({t, amp});
+        t += rng.exponential(rate_per_s);
+      }
+      return std::make_shared<sig::GaussianBumpTrain>(std::move(bumps), sigma,
+                                                      dc);
+    }
+    case SignalFamily::kRegimeSwitching: {
+      // A calm slow wander that starts flapping during 1-2 active regimes
+      // and calms down again — the adaptive sampler's probe/track workload
+      // at fleet scale. The flapping component is gated *smoothly* (an
+      // inverted OutageGate: zero outside its active windows), so the
+      // signal stays continuous and band-limited while its local band
+      // limit switches by ~50x at the regime boundaries. Regimes are
+      // placed inside the standard run window; the calm wander's band
+      // limit is floored at a few cycles per run so quantization never
+      // dominates a near-flat driven trace.
+      auto calm = sig::make_bandlimited_process(
+          std::max(bandwidth * 0.02, 3.0 / r.run_window_s), rms * 0.4, 16,
+          rng, dc);
+      auto flappy = sig::make_flap_process(
+          r.horizon_s, rng.uniform(8.0, 24.0) / r.run_window_s,
+          1.4 / bandwidth, rms, rng, 0.0);
+
+      const std::size_t regimes = 1 + rng.index(2);  // 1..2 active windows
+      std::vector<double> edges;                     // regime boundaries
+      for (std::size_t s = 0; s < 2 * regimes; ++s)
+        edges.push_back(
+            rng.uniform(0.05 * r.run_window_s, 0.95 * r.run_window_s));
+      std::sort(edges.begin(), edges.end());
+      // Complement intervals: the gate dips to zero *outside* the active
+      // regimes, leaving the flap process visible only inside them.
+      std::vector<OutageWindow> off;
+      off.push_back({-2.0 * r.horizon_s, edges[0]});
+      for (std::size_t s = 1; s + 1 < edges.size(); s += 2)
+        off.push_back({edges[s], edges[s + 1]});
+      off.push_back({edges.back(), 3.0 * r.horizon_s});
+      const double edge_width = std::max(0.01 * r.run_window_s,
+                                         4.0 * r.poll_interval_s);
+      auto gated = std::make_shared<OutageGate>(std::move(flappy),
+                                                std::move(off), edge_width,
+                                                0.0);
+
+      auto composite = std::make_shared<sig::CompositeSignal>();
+      composite->add(std::move(calm));
+      composite->add(std::move(gated));
+      return composite;
+    }
+    case SignalFamily::kMonotoneCounter: {
+      // Non-decreasing by construction: a positive linear drift plus a
+      // train of positive smooth steps (traffic-byte-counter shape).
+      const double width = 1.4 / bandwidth;
+      const double steps_per_day = rng.uniform(10.0, 50.0);
+      const double rate_per_s = steps_per_day / kDay;
+      std::vector<sig::SmoothStepTrain::Step> steps;
+      double t = rng.exponential(rate_per_s);
+      while (t < r.horizon_s) {
+        steps.push_back({t, rms * rng.log_uniform(0.2, 3.0)});
+        t += rng.exponential(rate_per_s);
+      }
+      auto train = std::make_shared<sig::SmoothStepTrain>(std::move(steps),
+                                                          width, 0.0);
+      const double slope = rms * rng.uniform(2.0, 8.0) / kDay;
+      return std::make_shared<LinearDrift>(std::move(train), dc, slope);
+    }
+  }
+  throw std::logic_error("make_family_signal: unknown SignalFamily");
+}
+
+/// One stream's fully composed signal: weighted shared+own mix, then the
+/// outage gate, then the clock warp (outages happen in device-local time).
+std::shared_ptr<const sig::ContinuousSignal> make_stream_signal(
+    const StreamGroupSpec& g, const ResolvedGroup& r,
+    const std::shared_ptr<const sig::ContinuousSignal>& shared, Rng& rng) {
+  std::shared_ptr<const sig::ContinuousSignal> signal =
+      make_family_signal(g.family, r, /*with_dc=*/true, rng);
+
+  if (g.correlation > 0.0) {
+    NYQMON_CHECK(shared != nullptr);
+    auto mixed = std::make_shared<sig::CompositeSignal>();
+    mixed->add(shared, g.correlation);
+    mixed->add(signal, 1.0 - g.correlation);
+    signal = mixed;
+  }
+
+  if (g.dropout_per_day > 0.0) {
+    std::vector<OutageWindow> outages;
+    double t = rng.exponential(g.dropout_per_day / kDay);
+    while (t < r.horizon_s) {
+      const double len = g.dropout_duration_s * rng.uniform(0.5, 1.5);
+      outages.push_back({t, t + len});
+      t += len + rng.exponential(g.dropout_per_day / kDay);
+    }
+    // Edge width bounded below by the polling interval so the gate's own
+    // band limit stays near the production Nyquist rate instead of making
+    // every outage an unresolvable wideband event.
+    const double edge =
+        std::max(4.0 * r.poll_interval_s, 0.1 * g.dropout_duration_s);
+    signal = std::make_shared<OutageGate>(std::move(signal),
+                                          std::move(outages), edge,
+                                          r.dc_level);
+  }
+
+  if (g.clock_skew_max_s > 0.0 || g.clock_drift_max_ppm > 0.0) {
+    const double offset = g.clock_skew_max_s > 0.0
+                              ? rng.uniform(-g.clock_skew_max_s,
+                                            g.clock_skew_max_s)
+                              : 0.0;
+    const double drift = g.clock_drift_max_ppm > 0.0
+                             ? rng.uniform(-g.clock_drift_max_ppm,
+                                           g.clock_drift_max_ppm) * 1e-6
+                             : 0.0;
+    signal = std::make_shared<ClockWarp>(std::move(signal), offset, drift);
+  }
+  return signal;
+}
+
+}  // namespace
+
+std::uint64_t stream_seed(const ScenarioSpec& spec,
+                          const StreamGroupSpec& group, std::size_t index) {
+  Fnv1a h;
+  h.mix(spec.seed);
+  h.mix(fnv1a(group.name));
+  h.mix(static_cast<std::uint64_t>(index) + 1);
+  return h.value();
+}
+
+BuiltScenario build_scenario(const ScenarioSpec& spec) {
+  validate(spec);
+  const std::size_t total = spec.total_streams();
+
+  // Size the synthetic topology to the stream count: one device per stream,
+  // assigned in sequence (a default pod contributes 42 devices + 4 core).
+  tel::TopologyConfig topo_cfg;
+  const std::size_t per_pod =
+      topo_cfg.racks_per_pod * (1 + topo_cfg.servers_per_rack) +
+      topo_cfg.agg_per_pod;
+  topo_cfg.pods = std::max<std::size_t>(1, (total + per_pod - 1) / per_pod);
+  tel::Topology topology(topo_cfg);
+  NYQMON_ENSURE(topology.size() >= total);
+  const auto& devices = topology.devices();
+
+  std::vector<tel::FleetPair> pairs;
+  pairs.reserve(total);
+  std::vector<GroupRange> ranges;
+
+  std::size_t next_device = 0;
+  for (const auto& g : spec.groups) {
+    const ResolvedGroup r = resolve(g, spec.run_samples);
+
+    // The group-shared component for correlated streams: built around zero
+    // from the group's own sentinel seed, shared by pointer.
+    std::shared_ptr<const sig::ContinuousSignal> shared;
+    if (g.correlation > 0.0) {
+      Rng shared_rng(stream_seed(spec, g, kSharedIndex));
+      shared = make_family_signal(g.family, r, /*with_dc=*/false, shared_rng);
+    }
+
+    GroupRange range;
+    range.name = g.name;
+    range.family = g.family;
+    range.metric = r.metric;
+    range.first_pair = pairs.size();
+    range.pairs = g.streams;
+
+    for (std::size_t i = 0; i < g.streams; ++i) {
+      Rng rng(stream_seed(spec, g, i));
+      tel::FleetPair pair;
+      pair.device = devices[next_device++];
+      pair.metric.kind = r.metric;
+      pair.metric.signal = make_stream_signal(g, r, shared, rng);
+      pair.metric.true_bandwidth_hz = pair.metric.signal->bandwidth_hz();
+      pair.metric.poll_interval_s = r.poll_interval_s;
+      pair.metric.quantization_step = r.quantization_step;
+      pair.metric.trace_duration_s = r.horizon_s;
+      pairs.push_back(std::move(pair));
+    }
+    ranges.push_back(std::move(range));
+  }
+
+  return BuiltScenario{spec.name,
+                       tel::Fleet(std::move(topology), std::move(pairs)),
+                       std::move(ranges)};
+}
+
+ScenarioSpec default_scenario(std::size_t target_streams, std::uint64_t seed) {
+  NYQMON_CHECK_MSG(target_streams >= 7,
+                   "default_scenario needs at least one stream per family");
+  ScenarioSpec spec;
+  spec.name = "default-mix";
+  spec.seed = seed;
+
+  // Family weights roughly matching a production fleet: mostly gauges and
+  // event counters, a thin tail of regime-switchers.
+  struct Slot {
+    const char* name;
+    SignalFamily family;
+    double weight;
+  };
+  const Slot slots[kFamilyCount] = {
+      {"diurnal-temps", SignalFamily::kDiurnal, 0.20},
+      {"seasonal-memory", SignalFamily::kSeasonal, 0.10},
+      {"util-gauges", SignalFamily::kGauge, 0.25},
+      {"drop-bursts", SignalFamily::kBursty, 0.15},
+      {"fcs-heavy-tail", SignalFamily::kHeavyTailed, 0.10},
+      {"lossy-regimes", SignalFamily::kRegimeSwitching, 0.10},
+      {"byte-counters", SignalFamily::kMonotoneCounter, 0.10},
+  };
+
+  std::size_t assigned = 0;
+  for (const Slot& s : slots) {
+    StreamGroupSpec g;
+    g.name = s.name;
+    g.family = s.family;
+    g.streams = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(s.weight * static_cast<double>(target_streams))));
+    assigned += g.streams;
+    spec.groups.push_back(std::move(g));
+  }
+  // Put the rounding remainder on the biggest group (gauges).
+  if (assigned < target_streams)
+    spec.groups[2].streams += target_streams - assigned;
+
+  // Exercise the orthogonal modifiers on a subset of groups.
+  spec.groups[0].correlation = 0.5;          // temperatures move together
+  spec.groups[2].clock_skew_max_s = 5.0;     // skewed gauge pollers
+  spec.groups[2].clock_drift_max_ppm = 200.0;
+  // Flaky burst exporters: ~2 outages across a standard 512-sample run
+  // (UnicastDrops polls every 15 s, so a run spans ~2 hours).
+  spec.groups[3].dropout_per_day = 24.0;
+  spec.groups[3].dropout_duration_s = 600.0;
+
+  validate(spec);
+  return spec;
+}
+
+}  // namespace nyqmon::scn

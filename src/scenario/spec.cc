@@ -1,0 +1,349 @@
+#include "scenario/spec.h"
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace nyqmon::scn {
+
+namespace {
+
+[[noreturn]] void fail_line(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + what);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Split "key rest-of-line" on the first whitespace run.
+std::pair<std::string, std::string> split_key(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  return {line.substr(0, i), trim(line.substr(i))};
+}
+
+double parse_double(const std::string& value, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    // Non-finite inputs ("nan", "inf") would alias the kUnset sentinel or
+    // poison downstream arithmetic — reject them at the source.
+    if (used != value.size() || !std::isfinite(v))
+      fail_line(line, "malformed number '" + value + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail_line(line, "malformed number '" + value + "'");
+  } catch (const std::out_of_range&) {
+    fail_line(line, "number out of range '" + value + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& value, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(value, &used);
+    if (used != value.size() || value[0] == '-')
+      fail_line(line, "malformed integer '" + value + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail_line(line, "malformed integer '" + value + "'");
+  } catch (const std::out_of_range&) {
+    fail_line(line, "integer out of range '" + value + "'");
+  }
+}
+
+tel::MetricKind metric_from_name(const std::string& name, std::size_t line) {
+  for (const tel::MetricKind kind : tel::all_metrics())
+    if (tel::metric_name(kind) == name) return kind;
+  fail_line(line, "unknown metric '" + name + "'");
+}
+
+std::string format_knob(double v) {
+  std::ostringstream os;
+  os.precision(17);  // round-trips any double
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+const std::vector<SignalFamily>& all_families() {
+  static const std::vector<SignalFamily> kAll = {
+      SignalFamily::kDiurnal,         SignalFamily::kSeasonal,
+      SignalFamily::kGauge,           SignalFamily::kBursty,
+      SignalFamily::kHeavyTailed,     SignalFamily::kRegimeSwitching,
+      SignalFamily::kMonotoneCounter,
+  };
+  return kAll;
+}
+
+std::string family_name(SignalFamily family) {
+  switch (family) {
+    case SignalFamily::kDiurnal: return "diurnal";
+    case SignalFamily::kSeasonal: return "seasonal";
+    case SignalFamily::kGauge: return "gauge";
+    case SignalFamily::kBursty: return "bursty";
+    case SignalFamily::kHeavyTailed: return "heavy-tailed";
+    case SignalFamily::kRegimeSwitching: return "regime-switching";
+    case SignalFamily::kMonotoneCounter: return "monotone-counter";
+  }
+  return "unknown";
+}
+
+SignalFamily family_from_name(const std::string& name) {
+  for (const SignalFamily family : all_families())
+    if (family_name(family) == name) return family;
+  throw std::invalid_argument("unknown signal family '" + name + "'");
+}
+
+tel::MetricKind default_metric(SignalFamily family) {
+  switch (family) {
+    case SignalFamily::kDiurnal: return tel::MetricKind::kTemperature;
+    case SignalFamily::kSeasonal: return tel::MetricKind::kMemoryUsage;
+    case SignalFamily::kGauge: return tel::MetricKind::kLinkUtil;
+    case SignalFamily::kBursty: return tel::MetricKind::kUnicastDrops;
+    case SignalFamily::kHeavyTailed: return tel::MetricKind::kFcsErrors;
+    case SignalFamily::kRegimeSwitching: return tel::MetricKind::kLossyPaths;
+    case SignalFamily::kMonotoneCounter: return tel::MetricKind::kUnicastBytes;
+  }
+  return tel::MetricKind::kTemperature;
+}
+
+tel::MetricKind effective_metric(const StreamGroupSpec& group) {
+  return group.metric_set ? group.metric : default_metric(group.family);
+}
+
+std::size_t ScenarioSpec::total_streams() const {
+  std::size_t n = 0;
+  for (const auto& g : groups) n += g.streams;
+  return n;
+}
+
+void validate(const ScenarioSpec& spec) {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("scenario spec: " + what);
+  };
+  if (spec.name.empty()) fail("missing scenario name");
+  if (spec.run_samples < 2) fail("run_samples must be >= 2");
+  if (spec.groups.empty()) fail("a scenario needs at least one group");
+  std::set<std::string> names;
+  for (const auto& g : spec.groups) {
+    const std::string where = "group '" + g.name + "': ";
+    if (g.name.empty()) fail("unnamed group");
+    if (!names.insert(g.name).second) fail("duplicate " + where.substr(0, where.size() - 2));
+    if (g.streams == 0) fail(where + "streams must be >= 1");
+    if (g.is_set(g.poll_interval_s) && g.poll_interval_s <= 0.0)
+      fail(where + "poll_interval_s must be > 0");
+    if (g.is_set(g.bandwidth_lo_hz) != g.is_set(g.bandwidth_hi_hz))
+      fail(where + "bandwidth_lo_hz and bandwidth_hi_hz must be set together");
+    if (g.is_set(g.bandwidth_lo_hz) &&
+        (g.bandwidth_lo_hz <= 0.0 || g.bandwidth_hi_hz < g.bandwidth_lo_hz))
+      fail(where + "need 0 < bandwidth_lo_hz <= bandwidth_hi_hz");
+    if (g.is_set(g.fluctuation_rms) && g.fluctuation_rms <= 0.0)
+      fail(where + "fluctuation_rms must be > 0");
+    if (g.is_set(g.quantization_step) && g.quantization_step < 0.0)
+      fail(where + "quantization_step must be >= 0");
+    if (g.correlation < 0.0 || g.correlation >= 1.0)
+      fail(where + "correlation must be in [0, 1)");
+    if (g.dropout_per_day < 0.0) fail(where + "dropout_per_day must be >= 0");
+    if (g.dropout_duration_s < 0.0)
+      fail(where + "dropout_duration_s must be >= 0");
+    if (g.dropout_per_day > 0.0 && g.dropout_duration_s <= 0.0)
+      fail(where + "dropout_per_day needs dropout_duration_s > 0");
+    if (g.clock_skew_max_s < 0.0) fail(where + "clock_skew_max_s must be >= 0");
+    if (g.clock_drift_max_ppm < 0.0 || g.clock_drift_max_ppm >= 1e6)
+      fail(where + "clock_drift_max_ppm must be in [0, 1e6)");
+  }
+}
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  ScenarioSpec spec;
+  StreamGroupSpec* group = nullptr;
+  bool saw_scenario = false;
+  bool group_has_family = false;  // `family` is required per group
+  std::size_t group_line = 0;
+  auto close_group = [&] {
+    if (group != nullptr && !group_has_family)
+      fail_line(group_line,
+                "group '" + group->name + "' is missing required key 'family'");
+  };
+
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto [key, value] = split_key(line);
+
+    if (key == "scenario") {
+      if (saw_scenario) fail_line(lineno, "duplicate 'scenario' line");
+      if (value.empty()) fail_line(lineno, "scenario needs a name");
+      spec.name = value;
+      saw_scenario = true;
+      continue;
+    }
+    if (!saw_scenario)
+      fail_line(lineno, "expected 'scenario <name>' before '" + key + "'");
+
+    if (key == "seed") {
+      spec.seed = parse_u64(value, lineno);
+      continue;
+    }
+    if (key == "run_samples") {
+      spec.run_samples = static_cast<std::size_t>(parse_u64(value, lineno));
+      continue;
+    }
+    if (key == "group") {
+      if (value.empty()) fail_line(lineno, "group needs a name");
+      close_group();
+      spec.groups.emplace_back();
+      group = &spec.groups.back();
+      group->name = value;
+      group_has_family = false;
+      group_line = lineno;
+      continue;
+    }
+    if (group == nullptr)
+      fail_line(lineno, "'" + key + "' must appear inside a group");
+
+    if (key == "family") {
+      try {
+        group->family = family_from_name(value);
+      } catch (const std::invalid_argument& e) {
+        fail_line(lineno, e.what());
+      }
+      group_has_family = true;
+      if (!group->metric_set) group->metric = default_metric(group->family);
+    } else if (key == "streams") {
+      group->streams = static_cast<std::size_t>(parse_u64(value, lineno));
+    } else if (key == "metric") {
+      group->metric = metric_from_name(value, lineno);
+      group->metric_set = true;
+    } else if (key == "poll_interval_s") {
+      group->poll_interval_s = parse_double(value, lineno);
+    } else if (key == "bandwidth_lo_hz") {
+      group->bandwidth_lo_hz = parse_double(value, lineno);
+    } else if (key == "bandwidth_hi_hz") {
+      group->bandwidth_hi_hz = parse_double(value, lineno);
+    } else if (key == "dc_level") {
+      group->dc_level = parse_double(value, lineno);
+    } else if (key == "fluctuation_rms") {
+      group->fluctuation_rms = parse_double(value, lineno);
+    } else if (key == "quantization_step") {
+      group->quantization_step = parse_double(value, lineno);
+    } else if (key == "correlation") {
+      group->correlation = parse_double(value, lineno);
+    } else if (key == "dropout_per_day") {
+      group->dropout_per_day = parse_double(value, lineno);
+    } else if (key == "dropout_duration_s") {
+      group->dropout_duration_s = parse_double(value, lineno);
+    } else if (key == "clock_skew_max_s") {
+      group->clock_skew_max_s = parse_double(value, lineno);
+    } else if (key == "clock_drift_max_ppm") {
+      group->clock_drift_max_ppm = parse_double(value, lineno);
+    } else {
+      fail_line(lineno, "unknown key '" + key + "'");
+    }
+  }
+
+  close_group();
+  try {
+    validate(spec);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string(e.what()) +
+                                " (after parsing " +
+                                std::to_string(lineno) + " line(s))");
+  }
+  return spec;
+}
+
+std::string serialize_scenario(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "scenario " << spec.name << "\n";
+  out << "seed " << spec.seed << "\n";
+  if (spec.run_samples != 512)
+    out << "run_samples " << spec.run_samples << "\n";
+  for (const auto& g : spec.groups) {
+    out << "\ngroup " << g.name << "\n";
+    out << "  family " << family_name(g.family) << "\n";
+    out << "  streams " << g.streams << "\n";
+    if (g.metric_set) out << "  metric " << tel::metric_name(g.metric) << "\n";
+    auto knob = [&](const char* key, double v) {
+      if (g.is_set(v)) out << "  " << key << " " << format_knob(v) << "\n";
+    };
+    knob("poll_interval_s", g.poll_interval_s);
+    knob("bandwidth_lo_hz", g.bandwidth_lo_hz);
+    knob("bandwidth_hi_hz", g.bandwidth_hi_hz);
+    knob("dc_level", g.dc_level);
+    knob("fluctuation_rms", g.fluctuation_rms);
+    knob("quantization_step", g.quantization_step);
+    if (g.correlation != 0.0)
+      out << "  correlation " << format_knob(g.correlation) << "\n";
+    if (g.dropout_per_day != 0.0)
+      out << "  dropout_per_day " << format_knob(g.dropout_per_day) << "\n";
+    if (g.dropout_duration_s != 0.0)
+      out << "  dropout_duration_s " << format_knob(g.dropout_duration_s)
+          << "\n";
+    if (g.clock_skew_max_s != 0.0)
+      out << "  clock_skew_max_s " << format_knob(g.clock_skew_max_s) << "\n";
+    if (g.clock_drift_max_ppm != 0.0)
+      out << "  clock_drift_max_ppm " << format_knob(g.clock_drift_max_ppm)
+          << "\n";
+  }
+  return out.str();
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("cannot read scenario spec file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_scenario(buffer.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+namespace {
+
+/// Optional-knob equality: both unset (NaN) compares equal.
+bool knob_eq(double a, double b) {
+  return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+}  // namespace
+
+bool operator==(const StreamGroupSpec& a, const StreamGroupSpec& b) {
+  return a.name == b.name && a.family == b.family && a.streams == b.streams &&
+         a.metric_set == b.metric_set &&
+         (!a.metric_set || a.metric == b.metric) &&
+         knob_eq(a.poll_interval_s, b.poll_interval_s) &&
+         knob_eq(a.bandwidth_lo_hz, b.bandwidth_lo_hz) &&
+         knob_eq(a.bandwidth_hi_hz, b.bandwidth_hi_hz) &&
+         knob_eq(a.dc_level, b.dc_level) &&
+         knob_eq(a.fluctuation_rms, b.fluctuation_rms) &&
+         knob_eq(a.quantization_step, b.quantization_step) &&
+         a.correlation == b.correlation &&
+         a.dropout_per_day == b.dropout_per_day &&
+         a.dropout_duration_s == b.dropout_duration_s &&
+         a.clock_skew_max_s == b.clock_skew_max_s &&
+         a.clock_drift_max_ppm == b.clock_drift_max_ppm;
+}
+
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
+  return a.name == b.name && a.seed == b.seed &&
+         a.run_samples == b.run_samples && a.groups == b.groups;
+}
+
+}  // namespace nyqmon::scn

@@ -1,0 +1,158 @@
+// Declarative fleet-scenario descriptions.
+//
+// A ScenarioSpec names a workload: an ordered list of stream groups, each
+// declaring a signal family (the waveform class), a stream count, and the
+// per-group knobs — polling, band-limit range, amplitude, cross-stream
+// correlation, dropout/outage behaviour, and per-device clock skew/drift.
+// Specs are pure data: building them (from the C++ builders here or from
+// the text format below) involves no RNG, no signals, no I/O. The scenario
+// builder (scenario/scenario.h) turns a spec into a tel::Fleet.
+//
+// Text format (parse_scenario/serialize_scenario round-trip bit-exactly):
+//
+//   # comment
+//   scenario <name>            # required, first non-comment line
+//   seed <u64>                 # optional, default 1
+//   run_samples <n>            # optional, default 512: the production-rate
+//                              # sample count a standard run covers; regime
+//                              # and dropout windows are placed within it
+//   group <name>               # starts a group; group keys follow
+//     family <name>            # required: see family_name() for the set
+//     streams <n>              # required, >= 1
+//     metric <Metric name>     # optional, defaults per family
+//     poll_interval_s <f>      # optional, default from the metric's spec
+//     bandwidth_lo_hz <f>      # optional  \  per-stream band limit drawn
+//     bandwidth_hi_hz <f>      # optional  /  log-uniformly from this range
+//     dc_level <f>             # optional
+//     fluctuation_rms <f>      # optional
+//     quantization_step <f>    # optional
+//     correlation <f>          # optional, [0,1): shared-component weight
+//     dropout_per_day <f>      # optional, outage arrival rate
+//     dropout_duration_s <f>   # optional, mean outage length
+//     clock_skew_max_s <f>     # optional, |offset| bound per device
+//     clock_drift_max_ppm <f>  # optional, |drift| bound per device
+//
+// Indentation is cosmetic; keys bind to the most recent `group` line.
+// Unknown keys, unknown families, malformed numbers, duplicate group names
+// and out-of-range values all throw std::invalid_argument with a line
+// number. Optional numeric knobs stay at kUnset until defaulted against
+// the metric table at build time.
+//
+// Ownership/threading: specs are value types with no hidden state; share
+// them freely. Determinism: two equal specs build bit-identical fleets
+// (see scenario/scenario.h for the seeding contract).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "telemetry/metric_model.h"
+
+namespace nyqmon::scn {
+
+/// The waveform classes a stream group can draw from. Families fix the
+/// shape; the group's knobs scale it.
+enum class SignalFamily {
+  kDiurnal,          ///< daily harmonics + band-limited noise (gauge)
+  kSeasonal,         ///< multi-day cycle + slow noise (gauge)
+  kGauge,            ///< plain band-limited noise around a DC level
+  kBursty,           ///< Poisson Gaussian-bump event bursts
+  kHeavyTailed,      ///< bursts with Pareto-distributed amplitudes
+  kRegimeSwitching,  ///< piecewise calm/flapping segments
+  kMonotoneCounter,  ///< non-decreasing: linear drift + positive steps
+};
+
+inline constexpr std::size_t kFamilyCount = 7;
+
+/// All families, in enum order.
+const std::vector<SignalFamily>& all_families();
+
+/// Stable spec-format name ("diurnal", "heavy-tailed", ...).
+std::string family_name(SignalFamily family);
+
+/// Inverse of family_name(); throws std::invalid_argument on unknown names.
+SignalFamily family_from_name(const std::string& name);
+
+/// The MetricKind a family defaults to (sets stream naming plus the
+/// poll/quantization/amplitude defaults taken from tel::metric_spec()).
+tel::MetricKind default_metric(SignalFamily family);
+
+struct StreamGroupSpec;
+
+/// The metric kind a group resolves to: its explicit `metric` when one was
+/// declared, the family default otherwise.
+tel::MetricKind effective_metric(const StreamGroupSpec& group);
+
+/// One group of same-family streams. A knob left at kUnset (NaN) means
+/// "default from the group's metric spec at build time"; any finite value
+/// is an explicit setting (negative dc_level is legal; the other knobs
+/// have sign constraints enforced by validate()).
+struct StreamGroupSpec {
+  std::string name;
+  SignalFamily family = SignalFamily::kGauge;
+  std::size_t streams = 0;
+  tel::MetricKind metric = tel::MetricKind::kTemperature;
+  bool metric_set = false;  ///< false: derive from family at build time
+
+  double poll_interval_s = kUnset;
+  double bandwidth_lo_hz = kUnset;
+  double bandwidth_hi_hz = kUnset;
+  double dc_level = kUnset;
+  double fluctuation_rms = kUnset;
+  double quantization_step = kUnset;
+
+  /// Weight of the group-shared signal component in [0, 1): 0 = independent
+  /// streams, 0.9 = devices that move almost in lockstep.
+  double correlation = 0.0;
+
+  /// Expected outages per day (Poisson arrivals) and their mean duration.
+  /// 0 = no dropout windows.
+  double dropout_per_day = 0.0;
+  double dropout_duration_s = 0.0;
+
+  /// Per-device clock imperfections, drawn uniformly in [-max, +max].
+  double clock_skew_max_s = 0.0;
+  double clock_drift_max_ppm = 0.0;
+
+  static constexpr double kUnset =
+      std::numeric_limits<double>::quiet_NaN();
+  bool is_set(double knob) const { return !std::isnan(knob); }
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::uint64_t seed = 1;
+  /// The run geometry event placement assumes: a standard engine run
+  /// covers this many production-rate samples per pair (the EngineConfig
+  /// default is samples_per_window 64 x windows_per_pair 8 = 512). Regime
+  /// and outage windows are drawn inside this span so the driven portion
+  /// of every trace actually exhibits the group's declared behaviour.
+  std::size_t run_samples = 512;
+  std::vector<StreamGroupSpec> groups;
+
+  std::size_t total_streams() const;
+};
+
+/// Validate invariants that hold for any buildable spec (non-empty name,
+/// >= 1 group, every group named/sized, correlation in [0,1), band range
+/// ordered, ...). Throws std::invalid_argument naming the offending group.
+void validate(const ScenarioSpec& spec);
+
+/// Parse the text format above. Throws std::invalid_argument with a
+/// "line N: ..." message on any malformed input; the returned spec passes
+/// validate().
+ScenarioSpec parse_scenario(const std::string& text);
+
+/// Canonical text form; parse_scenario(serialize_scenario(s)) == s.
+std::string serialize_scenario(const ScenarioSpec& spec);
+
+/// Read + parse a spec file. Throws std::runtime_error when unreadable.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+bool operator==(const StreamGroupSpec& a, const StreamGroupSpec& b);
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b);
+
+}  // namespace nyqmon::scn

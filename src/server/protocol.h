@@ -1,4 +1,5 @@
 // nyqmond wire protocol: length-prefixed binary frames over TCP.
+// Canonical spec (framing, caps, error semantics): docs/FORMATS.md.
 //
 // Frame layout (all integers little-endian, floats IEEE-754 f64 bits):
 //

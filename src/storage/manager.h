@@ -1,6 +1,7 @@
 // StorageManager — the durable tier under the retention store.
 //
-// Owns a directory with a three-part layout:
+// Owns a directory with a three-part layout (canonical spec, including
+// the MANIFEST line format and durability contract: docs/FORMATS.md):
 //   MANIFEST        text file naming the live segments (in logical order),
 //                   the active WAL, the next file sequence number, and the
 //                   store geometry (chunk_samples/headroom) — committed

@@ -13,7 +13,7 @@
 // superseded by later segments (latest wins). Compaction folds a run of
 // delta segments into one full segment using exactly this merge.
 //
-// On-disk format:
+// On-disk format (canonical spec: docs/FORMATS.md):
 //   file   := "NYQSEG1\n" block*
 //   block  := u8 type | u32 payload_len | u32 crc32(payload) | payload
 //   type 1 (stream header) := name:str16 | f64 rate_hz | f64 t0 | f64 hot_t0

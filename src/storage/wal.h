@@ -7,7 +7,7 @@
 // (append speed over compactness: the WAL is transient, folded into
 // compressed segments at every flush).
 //
-// On-disk format:
+// On-disk format (canonical spec: docs/FORMATS.md):
 //   file   := "NYQWAL1\n" record*
 //   record := u8 type | u32 payload_len | u32 crc32(payload) | payload
 //   type 1 (create) := name:str16 | f64 rate_hz | f64 t0

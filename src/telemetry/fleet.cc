@@ -1,6 +1,7 @@
 #include "telemetry/fleet.h"
 
 #include <algorithm>
+#include <set>
 
 #include "util/check.h"
 
@@ -74,6 +75,20 @@ Fleet::Fleet(const FleetConfig& config) : topology_(config.topology) {
     pair.metric = make_metric_instance(
         kind, metric_spec(kind).trace_duration_s, child);
     pairs_.push_back(std::move(pair));
+  }
+}
+
+Fleet::Fleet(Topology topology, std::vector<FleetPair> pairs)
+    : topology_(std::move(topology)), pairs_(std::move(pairs)) {
+  NYQMON_CHECK_MSG(!pairs_.empty(), "a fleet needs at least one pair");
+  std::set<std::string> ids;
+  for (const auto& pair : pairs_) {
+    NYQMON_CHECK_MSG(pair.metric.signal != nullptr,
+                     "every fleet pair needs a ground-truth signal");
+    NYQMON_CHECK_MSG(pair.metric.poll_interval_s > 0.0,
+                     "every fleet pair needs a polling interval");
+    NYQMON_CHECK_MSG(ids.insert(stream_id(pair)).second,
+                     "duplicate stream id in externally built fleet");
   }
 }
 

@@ -53,6 +53,12 @@ class Fleet {
  public:
   explicit Fleet(const FleetConfig& config);
 
+  /// A fleet whose pair population was built elsewhere (e.g. by the
+  /// scenario layer, scenario/scenario.h) rather than drawn randomly from
+  /// the topology's exportable combinations. Stream IDs must be unique
+  /// across `pairs`; every pair must carry a signal.
+  Fleet(Topology topology, std::vector<FleetPair> pairs);
+
   const std::vector<FleetPair>& pairs() const { return pairs_; }
   std::size_t size() const { return pairs_.size(); }
   const Topology& topology() const { return topology_; }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in markdown docs.
+
+Scans the given markdown files (and directories, recursively) for inline
+links/images `[text](target)` and reference definitions `[id]: target`,
+and exits 1 if any non-external target does not exist on disk relative to
+the file containing it. External schemes (http/https/mailto) and pure
+in-page anchors (#...) are skipped; a `path#anchor` target checks only the
+path part.
+
+Usage:
+    python3 tools/check_doc_links.py README.md docs/
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline [text](target) — target up to the first unescaped ')' — plus
+# reference-style "[id]: target" definitions at line start.
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def targets_in(text):
+    yield from INLINE.findall(text)
+    yield from REFDEF.findall(text)
+
+
+def check_file(md: pathlib.Path):
+    broken = []
+    text = md.read_text(encoding="utf-8")
+    for target in targets_in(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            broken.append((target, resolved))
+    return broken
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__)
+        return 2
+    files = []
+    for arg in args:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"error: no such file or directory: {arg}")
+            return 2
+
+    failures = 0
+    checked = 0
+    for md in files:
+        broken = check_file(md)
+        checked += 1
+        for target, resolved in broken:
+            print(f"BROKEN  {md}: ({target}) -> {resolved}")
+            failures += 1
+    if failures:
+        print(f"\nFAIL: {failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"docs link check passed: {checked} file(s), no broken links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
