@@ -2,17 +2,22 @@
 """CI perf-regression gate over the BENCH_*.json lines.
 
 Compares the bench_results/ JSON emitted by the current build against the
-checked-in baseline and fails (exit 1) when any tracked higher-is-better
-metric drops by more than the allowed fraction (default 30%).
+checked-in baseline and fails (exit 1) when any tracked metric moves past
+the allowed fraction (default 30%): higher-is-better metrics may not drop
+below baseline * (1 - threshold), lower-is-better metrics (latency tails)
+may not rise above baseline * (1 + threshold).
 
 Usage:
     python3 bench/check_regression.py \
         --baseline bench_results --current build/bench_results \
         [--threshold 0.30]
 
-Metrics listed for a bench missing on either side are reported but do not
-fail the gate (a freshly added bench has no baseline yet; a skipped smoke
-has no current result) — only a present-and-regressed metric fails.
+A missing baseline file, missing current result, or missing tracked metric
+is a hard failure, not a skip: every tracked bench has a checked-in
+baseline, so an absence means the smoke silently stopped emitting (or the
+baseline was dropped) and the gate would otherwise pass while checking
+nothing. When adding a bench to TRACKED, commit its BENCH_*.json baseline
+in the same change.
 """
 
 import argparse
@@ -23,11 +28,17 @@ import sys
 # Tracked higher-is-better metrics per bench. List-valued metrics (e.g. a
 # per-worker-count sweep) are compared on their maximum.
 TRACKED = {
-    "engine_throughput": ["pairs_per_sec"],
+    "engine_throughput": ["pairs_per_sec", "scaling_efficiency"],
     "query_throughput": ["qps"],
     "scenario_frontier": ["sweep_pairs_per_sec"],
     "storage_throughput": ["ingest_wal_mb_s", "flush_mb_s", "recover_mb_s"],
     "streaming_throughput": ["samples_per_sec", "qps"],
+}
+
+# Tracked lower-is-better metrics (latency tails): fail when the current
+# value exceeds baseline * (1 + threshold).
+TRACKED_LOWER = {
+    "streaming_throughput": ["query_p99"],
 }
 
 
@@ -36,7 +47,7 @@ def load(path: pathlib.Path):
         with open(path, encoding="utf-8") as fh:
             return json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
-        print(f"warning: unreadable {path}: {err}")
+        print(f"error: unreadable {path}: {err}")
         return None
 
 
@@ -55,41 +66,52 @@ def main() -> int:
     parser.add_argument("--baseline", required=True, type=pathlib.Path)
     parser.add_argument("--current", required=True, type=pathlib.Path)
     parser.add_argument("--threshold", type=float, default=0.30,
-                        help="max allowed fractional drop (default 0.30)")
+                        help="max allowed fractional move (default 0.30)")
     args = parser.parse_args()
 
+    benches = sorted(set(TRACKED) | set(TRACKED_LOWER))
     failures = []
     checked = 0
-    for bench, keys in sorted(TRACKED.items()):
+    for bench in benches:
         name = f"BENCH_{bench}.json"
-        base_doc = load(args.baseline / name) if (args.baseline / name).exists() else None
-        cur_doc = load(args.current / name) if (args.current / name).exists() else None
+        base_doc = load(args.baseline / name)
+        cur_doc = load(args.current / name)
         if base_doc is None:
-            print(f"skip {bench}: no baseline {args.baseline / name}")
+            failures.append((bench, "<baseline>",
+                             f"missing baseline {args.baseline / name}"))
             continue
         if cur_doc is None:
-            print(f"skip {bench}: no current result {args.current / name}")
+            failures.append((bench, "<current>",
+                             f"missing current result {args.current / name}"))
             continue
-        for key in keys:
+        tracked = [(k, False) for k in TRACKED.get(bench, [])] + \
+                  [(k, True) for k in TRACKED_LOWER.get(bench, [])]
+        for key, lower_is_better in tracked:
             base = metric_value(base_doc, key)
             cur = metric_value(cur_doc, key)
             if base is None or cur is None or base <= 0:
-                print(f"skip {bench}.{key}: missing or non-positive value")
+                failures.append((bench, key,
+                                 f"missing or non-positive value "
+                                 f"(baseline={base}, current={cur})"))
                 continue
             checked += 1
             ratio = cur / base
-            status = "OK"
-            if ratio < 1.0 - args.threshold:
-                status = "REGRESSION"
-                failures.append((bench, key, base, cur, ratio))
-            print(f"{status:>10}  {bench}.{key}: baseline {base:.1f} -> "
-                  f"current {cur:.1f}  ({ratio:.2%})")
+            regressed = (ratio > 1.0 + args.threshold if lower_is_better
+                         else ratio < 1.0 - args.threshold)
+            status = "REGRESSION" if regressed else "OK"
+            arrow = "v" if lower_is_better else "^"
+            if regressed:
+                failures.append((bench, key,
+                                 f"baseline {base:.3f} -> current {cur:.3f} "
+                                 f"({ratio:.2%})"))
+            print(f"{status:>10}  [{arrow}] {bench}.{key}: "
+                  f"baseline {base:.3f} -> current {cur:.3f}  ({ratio:.2%})")
 
     if failures:
-        print(f"\nFAIL: {len(failures)} metric(s) regressed more than "
+        print(f"\nFAIL: {len(failures)} gate violation(s) at threshold "
               f"{args.threshold:.0%}:")
-        for bench, key, base, cur, ratio in failures:
-            print(f"  {bench}.{key}: {base:.1f} -> {cur:.1f} ({ratio:.2%})")
+        for bench, key, detail in failures:
+            print(f"  {bench}.{key}: {detail}")
         return 1
     print(f"\nperf gate passed: {checked} metric(s) within "
           f"{args.threshold:.0%} of baseline")

@@ -5,10 +5,12 @@
 // aggregates must be bit-identical whatever the worker count, so the
 // scaling numbers describe the *same* computation.
 #include <cstdio>
+#include <vector>
 
 #include "common.h"
 #include "engine/engine.h"
 #include "engine/report.h"
+#include "obs/metrics.h"
 #include "util/ascii.h"
 #include "util/csv.h"
 
@@ -30,6 +32,8 @@ int main() {
   std::uint64_t base_digest = 0;
   bool deterministic = true;
   std::string json_workers, json_pps;
+  std::vector<double> pps_by_workers;
+  std::size_t max_workers = 1;
   for (const std::size_t workers : {1, 2, 4, 8}) {
     eng::EngineConfig cfg;
     cfg.workers = workers;
@@ -59,16 +63,47 @@ int main() {
                      base_wall / result.wall_seconds});
     bench::json_append(json_workers, "%zu", workers);
     bench::json_append(json_pps, "%.1f", pps);
+    pps_by_workers.push_back(pps);
+    max_workers = workers;
+  }
+
+  // Worker-scaling efficiency (ROADMAP item 1's headline number): the
+  // widest configuration's speedup over 1 worker, normalized by its worker
+  // count — 1.0 is perfect linear scaling, 1/max_workers is flat.
+  const double scaling_efficiency =
+      pps_by_workers.size() < 2 || pps_by_workers.front() <= 0.0
+          ? 0.0
+          : pps_by_workers.back() / pps_by_workers.front() /
+                static_cast<double>(max_workers);
+
+  // Stage-timing snapshot from the obs layer: where a pair's budget went
+  // (sample covers acquisition incl. the FFT slice reported separately).
+  AsciiTable stages({"stage", "count", "p50_us", "p99_us", "max_us"});
+  for (const char* name :
+       {"nyqmon_engine_stage_sample_ns", "nyqmon_engine_stage_fft_ns",
+        "nyqmon_engine_stage_reconstruct_ns", "nyqmon_engine_stage_audit_ns"}) {
+    const obs::HistogramSnapshot s =
+        obs::Registry::instance().histogram_snapshot(name);
+    stages.row({name, std::to_string(s.count),
+                AsciiTable::format_double(s.quantile(0.50) / 1e3),
+                AsciiTable::format_double(s.quantile(0.99) / 1e3),
+                AsciiTable::format_double(static_cast<double>(s.max) / 1e3)});
   }
 
   std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", stages.render().c_str());
   std::printf("aggregates bit-identical across worker counts: %s\n",
               deterministic ? "yes" : "NO (BUG)");
+  std::printf("scaling efficiency (%zu workers): %.3f\n", max_workers,
+              scaling_efficiency);
+  char eff[32];
+  std::snprintf(eff, sizeof(eff), "%.3f", scaling_efficiency);
   bench::write_json_line(
       "engine_throughput",
       "{\"bench\":\"engine_throughput\",\"pairs\":" +
           std::to_string(fleet.size()) + ",\"workers\":[" + json_workers +
-          "],\"pairs_per_sec\":[" + json_pps + "],\"deterministic\":" +
-          (deterministic ? "true" : "false") + "}");
+          "],\"pairs_per_sec\":[" + json_pps + "],\"scaling_efficiency\":" +
+          eff + ",\"deterministic\":" + (deterministic ? "true" : "false") +
+          "}");
   return deterministic ? 0 : 1;
 }

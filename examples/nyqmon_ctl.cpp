@@ -6,11 +6,20 @@
 //              [agg: none|sum|avg|min|max|p50|p95|p99] [tf: raw|rate|zscore]
 //   nyqmon_ctl <host> <port> ingest <stream> <rate_hz> <t0> <v1,v2,...>
 //   nyqmon_ctl <host> <port> checkpoint
+//   nyqmon_ctl <host> <port> metrics
+//   nyqmon_ctl <host> <port> trace [out.json]
+//
+// `metrics` prints the server's Prometheus text exposition (metric catalog:
+// docs/OBSERVABILITY.md). `trace` drains the server's trace ring buffers to
+// chrome://tracing JSON — load the file via chrome://tracing or
+// https://ui.perfetto.dev; without an output path the JSON goes to stdout.
 //
 // Examples against the default nyqmond demo:
 //   nyqmon_ctl 127.0.0.1 7411 stats
 //   nyqmon_ctl 127.0.0.1 7411 query 'pod0/*/cpu_util' 0 86400 600 p95
 //   nyqmon_ctl 127.0.0.1 7411 ingest lab/sensor 1.0 0 1.5,1.7,2.1,2.4
+//   nyqmon_ctl 127.0.0.1 7411 metrics
+//   nyqmon_ctl 127.0.0.1 7411 trace /tmp/nyqmond-trace.json
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +36,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: nyqmon_ctl <host> <port> "
-               "stats | checkpoint | query <selector> <t0> <t1> <step> "
+               "stats | checkpoint | metrics | trace [out.json] | "
+               "query <selector> <t0> <t1> <step> "
                "[agg] [tf] | ingest <stream> <rate_hz> <t0> <v1,v2,...>\n");
   return 2;
 }
@@ -82,6 +92,29 @@ int main(int argc, char** argv) {
 
     if (verb == "stats") {
       std::printf("%s\n", client.stats_json().c_str());
+      return 0;
+    }
+
+    if (verb == "metrics") {
+      std::printf("%s", client.metrics_text().c_str());
+      return 0;
+    }
+
+    if (verb == "trace") {
+      const std::string json = client.trace_json();
+      if (argc > 4) {
+        std::FILE* f = std::fopen(argv[4], "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot open %s for writing\n", argv[4]);
+          return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %zu bytes to %s (open via chrome://tracing)\n",
+                    json.size(), argv[4]);
+      } else {
+        std::printf("%s\n", json.c_str());
+      }
       return 0;
     }
 

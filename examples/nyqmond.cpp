@@ -15,12 +15,18 @@
 // Once the fleet's timeline completes, the server keeps serving for
 // [serve_seconds] (default 0 — print the run summary and exit; use e.g.
 // 3600 to keep a long-lived service for nyqmon_ctl sessions).
+//
+// Self-telemetry is live the whole time: `nyqmon_ctl <host> <port> metrics`
+// returns the Prometheus exposition of every internal counter/histogram,
+// and trace capture is armed at startup so `nyqmon_ctl <host> <port> trace
+// out.json` drains the most recent spans for chrome://tracing.
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
 #include <thread>
 
+#include "obs/trace.h"
 #include "runtime/clock.h"
 #include "runtime/runtime.h"
 #include "scenario/scenario.h"
@@ -50,6 +56,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const tel::Fleet& fleet = built->fleet;
+
+  // Arm trace capture before any work runs: the TRACE verb then always has
+  // the most recent window of engine/storage/server spans to drain.
+  obs::TraceRecorder::instance().set_enabled(true);
 
   rt::VirtualClock clock;
   rt::RuntimeConfig cfg;

@@ -1,8 +1,11 @@
 #include "engine/engine.h"
 
+#include <atomic>
 #include <chrono>
 
 #include "engine/shard.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "telemetry/metric_model.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -93,7 +96,14 @@ PairOutcome make_pair_outcome(std::size_t index, const tel::FleetPair& pair,
   out.max_abs_error = result.max_abs_error;
   out.adaptive_samples = result.run.total_samples;
   out.baseline_samples = result.run.baseline_samples(sched.production_rate_hz);
-  out.audit = nyq::audit_run(result.run);
+  {
+    // Last of the four per-pair stage timings (sample and reconstruct in
+    // monitor/pipeline.cc, FFT in nyquist/estimator.cc). Shared with the
+    // streaming runtime, so both execution modes fill the same histograms.
+    NYQMON_OBS_TIMER("nyqmon_engine_stage_audit_ns");
+    out.audit = nyq::audit_run(result.run);
+  }
+  NYQMON_OBS_COUNT("nyqmon_engine_pairs_total", 1);
   return out;
 }
 
@@ -150,8 +160,16 @@ FleetRunResult FleetMonitorEngine::run() {
   result.shards_used = shards.size();
 
   // Round-robin shard queue: workers claim whole shards until none remain.
+  // The claim counter and depth gauge expose how evenly the queue drains —
+  // ROADMAP item 1 (flat 1→8-worker scaling) starts from these numbers.
+  NYQMON_TRACE_SPAN("fleet_run", "engine");
+  std::atomic<std::size_t> shards_left{shards.size()};
   result.workers_used =
       parallel_claim(shards.size(), workers, [&](std::size_t s) {
+        NYQMON_OBS_COUNT("nyqmon_engine_shards_claimed_total", 1);
+        NYQMON_OBS_GAUGE_SET(
+            "nyqmon_engine_shard_queue_depth",
+            shards_left.fetch_sub(1, std::memory_order_relaxed) - 1);
         for (const std::size_t i : shards[s].pair_indices)
           result.pairs[i] = drive_pair(i, noise_seeds[i]);
       });

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "dsp/quantize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reconstruct/error.h"
 #include "reconstruct/lowpass_reconstructor.h"
 #include "signal/preclean.h"
@@ -135,8 +137,18 @@ std::size_t StreamingPairPipeline::emit_ready(double horizon_s) {
 
 std::size_t StreamingPairPipeline::step_window() {
   NYQMON_CHECK_MSG(!done(), "step_window() past the end of the run");
-  const nyq::AdaptiveStep& step = stepper_.step_window(measure_);
-  upsample_window(step);
+  NYQMON_TRACE_SPAN("window", "engine");
+  // Stage timings for the per-pair hot loop. The batch engine delegates
+  // here too, so these histograms cover both execution modes; the FFT/PSD
+  // slice inside the sample stage has its own histogram in
+  // nyquist/estimator.cc.
+  const nyq::AdaptiveStep* step = nullptr;
+  {
+    NYQMON_OBS_TIMER("nyqmon_engine_stage_sample_ns");
+    step = &stepper_.step_window(measure_);
+  }
+  NYQMON_OBS_TIMER("nyqmon_engine_stage_reconstruct_ns");
+  upsample_window(*step);
   // Every future dense sample lands at or after the next window's start
   // (the last window finalizes everything).
   const double horizon = stepper_.done()

@@ -1,12 +1,49 @@
 #include "monitor/striped_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/hash.h"
 
 namespace nyqmon::mon {
+
+namespace {
+
+/// Every stripe acquisition funnels through here so lock contention —
+/// ROADMAP item 1's prime suspect for the flat worker scaling — is
+/// measurable without a profiler. The uncontended fast path is a try_lock
+/// plus one counter bump; only a blocked acquisition pays for timestamps.
+/// All three instruments register together on first use, so the exposition
+/// shows zeroed contention series even on an uncontended run.
+std::unique_lock<std::mutex> lock_stripe(std::mutex& mu) {
+#if defined(NYQMON_OBS_NOOP)
+  return std::unique_lock<std::mutex>(mu);
+#else
+  static obs::Counter& acquisitions = obs::Registry::instance().counter(
+      "nyqmon_store_lock_acquisitions_total");
+  static obs::Counter& contended =
+      obs::Registry::instance().counter("nyqmon_store_lock_contended_total");
+  static obs::Histogram& wait =
+      obs::Registry::instance().histogram("nyqmon_store_lock_wait_ns");
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  acquisitions.add(1);
+  if (!lock.owns_lock()) {
+    contended.add(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    lock.lock();
+    wait.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  return lock;
+#endif
+}
+
+}  // namespace
 
 StripedRetentionStore::StripedRetentionStore(StoreConfig config,
                                              std::size_t stripes) {
@@ -30,47 +67,53 @@ void StripedRetentionStore::create_stream(const std::string& name,
                                           double collection_rate_hz,
                                           double t0) {
   Stripe& s = stripe_of(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = lock_stripe(s.mu);
   s.store.create_stream(name, collection_rate_hz, t0);
 }
 
 void StripedRetentionStore::append(const std::string& name, double value) {
   Stripe& s = stripe_of(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = lock_stripe(s.mu);
   s.store.append(name, value);
+  // Each append advances the stream's generation, invalidating cached
+  // query results that covered it — churn here is churn in the cache.
+  NYQMON_OBS_COUNT("nyqmon_store_appends_total", 1);
+  NYQMON_OBS_COUNT("nyqmon_store_generation_bumps_total", 1);
 }
 
 void StripedRetentionStore::append_series(const std::string& name,
                                           std::span<const double> values) {
   Stripe& s = stripe_of(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = lock_stripe(s.mu);
   s.store.append_series(name, values);
+  NYQMON_OBS_COUNT("nyqmon_store_appends_total", 1);
+  NYQMON_OBS_COUNT("nyqmon_store_generation_bumps_total", 1);
 }
 
 sig::RegularSeries StripedRetentionStore::query(const std::string& name,
                                                 double t_begin,
                                                 double t_end) const {
   const Stripe& s = stripe_of(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = lock_stripe(s.mu);
   return s.store.query(name, t_begin, t_end);
 }
 
 StreamStats StripedRetentionStore::stats(const std::string& name) const {
   const Stripe& s = stripe_of(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = lock_stripe(s.mu);
   return s.store.stats(name);
 }
 
 StreamMeta StripedRetentionStore::meta(const std::string& name) const {
   const Stripe& s = stripe_of(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = lock_stripe(s.mu);
   return s.store.meta(name);
 }
 
 std::optional<StreamMeta> StripedRetentionStore::find_meta(
     const std::string& name) const {
   const Stripe& s = stripe_of(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = lock_stripe(s.mu);
   return s.store.find_meta(name);
 }
 
@@ -83,7 +126,7 @@ StripedRetentionStore::list_meta() const {
   std::vector<std::pair<std::string, StreamMeta>> all;
   std::vector<std::size_t> bounds{0};
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    const auto lock = lock_stripe(stripe->mu);
     auto part = stripe->store.list_meta();
     all.insert(all.end(), std::make_move_iterator(part.begin()),
                std::make_move_iterator(part.end()));
@@ -109,7 +152,7 @@ StripedRetentionStore::list_meta() const {
 std::vector<std::string> StripedRetentionStore::stream_names() const {
   std::vector<std::string> names;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    const auto lock = lock_stripe(stripe->mu);
     const auto part = stripe->store.stream_names();
     names.insert(names.end(), part.begin(), part.end());
   }
@@ -120,7 +163,7 @@ std::vector<std::string> StripedRetentionStore::stream_names() const {
 StoreRollup StripedRetentionStore::rollup() const {
   StoreRollup total;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    const auto lock = lock_stripe(stripe->mu);
     total += stripe->store.rollup();
   }
   return total;
@@ -129,7 +172,7 @@ StoreRollup StripedRetentionStore::rollup() const {
 Cost StripedRetentionStore::storage_cost() const {
   Cost total;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    const auto lock = lock_stripe(stripe->mu);
     total += stripe->store.storage_cost();
   }
   return total;
@@ -141,7 +184,7 @@ const StoreConfig& StripedRetentionStore::config() const {
 
 void StripedRetentionStore::set_ingest_sink(IngestSink* sink) {
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    const auto lock = lock_stripe(stripe->mu);
     stripe->store.set_ingest_sink(sink);
   }
 }
@@ -149,20 +192,20 @@ void StripedRetentionStore::set_ingest_sink(IngestSink* sink) {
 StreamSnapshot StripedRetentionStore::snapshot_stream(
     const std::string& name, std::size_t skip_chunks) const {
   const Stripe& s = stripe_of(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = lock_stripe(s.mu);
   return s.store.snapshot_stream(name, skip_chunks);
 }
 
 void StripedRetentionStore::restore_stream(StreamSnapshot snapshot) {
   Stripe& s = stripe_of(snapshot.name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = lock_stripe(s.mu);
   s.store.restore_stream(std::move(snapshot));
 }
 
 std::size_t StripedRetentionStore::streams() const {
   std::size_t n = 0;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    const auto lock = lock_stripe(stripe->mu);
     n += stripe->store.streams();
   }
   return n;

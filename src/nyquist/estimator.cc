@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dsp/detrend.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace nyqmon::nyq {
@@ -65,19 +66,24 @@ NyquistEstimate NyquistEstimator::estimate(std::span<const double> values,
   }
 
   dsp::Psd psd;
-  if (config_.welch_segments > 1) {
-    dsp::WelchConfig wc;
-    wc.segment_length = std::max<std::size_t>(
-        config_.min_samples, x.size() / config_.welch_segments * 2);
-    wc.overlap = 0.5;
-    wc.window = config_.window;
-    wc.remove_mean = false;
-    psd = dsp::welch(x, sample_rate_hz, wc);
-  } else {
-    dsp::PeriodogramConfig pc;
-    pc.window = config_.window;
-    pc.remove_mean = false;
-    psd = dsp::periodogram(x, sample_rate_hz, pc);
+  {
+    // The PSD transform is the estimator's FFT-bound core, timed apart
+    // from the sample stage that wraps it (nyqmon_engine_stage_sample_ns).
+    NYQMON_OBS_TIMER("nyqmon_engine_stage_fft_ns");
+    if (config_.welch_segments > 1) {
+      dsp::WelchConfig wc;
+      wc.segment_length = std::max<std::size_t>(
+          config_.min_samples, x.size() / config_.welch_segments * 2);
+      wc.overlap = 0.5;
+      wc.window = config_.window;
+      wc.remove_mean = false;
+      psd = dsp::welch(x, sample_rate_hz, wc);
+    } else {
+      dsp::PeriodogramConfig pc;
+      pc.window = config_.window;
+      pc.remove_mean = false;
+      psd = dsp::periodogram(x, sample_rate_hz, pc);
+    }
   }
 
   est.total_bins = psd.bins();

@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace nyqmon::obs {
+
+std::size_t thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th value (1-based), then walk the cumulative counts to
+  // the bucket that holds it.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      // Interpolate the rank's position across the bucket's value span.
+      const double frac =
+          std::clamp((rank - static_cast<double>(cum)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      const double lo = static_cast<double>(bucket_lo(b));
+      // The observed max tightens the top occupied bucket's upper edge.
+      const double hi = std::min(static_cast<double>(bucket_hi(b)),
+                                 std::max(lo, static_cast<double>(max)));
+      return lo + frac * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max);  // q == 1 with rounding slack
+}
+
+HistogramSnapshot& HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  return *this;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b)
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+HistogramSnapshot Registry::histogram_snapshot(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{}
+                                 : it->second->snapshot();
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+namespace {
+
+void append_line(std::string& out, const char* fmt, ...) {
+  char line[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof(line), fmt, args);
+  va_end(args);
+  out += line;
+}
+
+}  // namespace
+
+std::string Registry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  // std::map keeps each section name-sorted; the output is deterministic
+  // for a given set of registered metrics.
+  for (const auto& [name, c] : counters_) {
+    append_line(out, "# TYPE %s counter\n", name.c_str());
+    append_line(out, "%s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    append_line(out, "# TYPE %s gauge\n", name.c_str());
+    append_line(out, "%s %lld\n", name.c_str(),
+                static_cast<long long>(g->value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    append_line(out, "# TYPE %s summary\n", name.c_str());
+    append_line(out, "%s{quantile=\"0.5\"} %.1f\n", name.c_str(),
+                s.quantile(0.50));
+    append_line(out, "%s{quantile=\"0.9\"} %.1f\n", name.c_str(),
+                s.quantile(0.90));
+    append_line(out, "%s{quantile=\"0.99\"} %.1f\n", name.c_str(),
+                s.quantile(0.99));
+    append_line(out, "%s_sum %llu\n", name.c_str(),
+                static_cast<unsigned long long>(s.sum));
+    append_line(out, "%s_count %llu\n", name.c_str(),
+                static_cast<unsigned long long>(s.count));
+    append_line(out, "%s_max %llu\n", name.c_str(),
+                static_cast<unsigned long long>(s.max));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace nyqmon::obs

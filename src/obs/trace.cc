@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nyqmon::obs {
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(std::max<std::size_t>(1, ring_capacity)) {
+  static std::atomic<std::uint64_t> next_uid{1};
+  uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+}
+
+TraceRecorder::Ring& TraceRecorder::local_ring() {
+  // One ring per (thread, recorder); the common case — one process-wide
+  // recorder — hits the two cached thread-locals and never takes rings_mu_.
+  thread_local std::uint64_t cached_uid = 0;
+  thread_local Ring* cached_ring = nullptr;
+  if (cached_uid == uid_) return *cached_ring;
+
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  rings_.push_back(std::make_unique<Ring>(
+      capacity_, static_cast<std::uint32_t>(rings_.size() + 1)));
+  cached_uid = uid_;
+  cached_ring = rings_.back().get();
+  return *cached_ring;
+}
+
+void TraceRecorder::record(const char* name, const char* category,
+                           std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  Ring& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.written >= ring.slots.size())
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  ring.slots[ring.head] = TraceEvent{name, category, ts_ns, dur_ns, ring.tid};
+  ring.head = (ring.head + 1) % ring.slots.size();
+  ++ring.written;
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> rings_lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    const std::size_t cap = ring->slots.size();
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(ring->written, cap));
+    // Oldest-first: a wrapped ring starts at head (the next overwrite
+    // target is the oldest survivor), an unwrapped one at slot 0.
+    const std::size_t start = ring->written > cap ? ring->head : 0;
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(ring->slots[(start + i) % cap]);
+    ring->head = 0;
+    ring->written = 0;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+std::string TraceRecorder::export_chrome_json() {
+  const std::vector<TraceEvent> events = drain();
+  std::string out = "{\"traceEvents\":[";
+  out.reserve(64 + 96 * events.size());
+  char line[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    // The format's native time unit is microseconds; keep ns precision in
+    // the fraction.
+    std::snprintf(line, sizeof(line),
+                  "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  i == 0 ? "" : ",", e.name, e.category,
+                  static_cast<double>(e.ts_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, e.tid);
+    out += line;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace nyqmon::obs

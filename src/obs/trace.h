@@ -1,0 +1,150 @@
+// Bounded in-process trace capture with a chrome://tracing exporter.
+//
+// A TraceRecorder keeps one fixed-capacity ring of TraceEvents per writing
+// thread. Writers append complete spans ('X' phase in the Trace Event
+// Format): the ScopedSpan RAII helper timestamps construction and records
+// name/category/start/duration on destruction. When a ring is full the
+// oldest event is overwritten and a drop is counted — tracing is a bounded
+// window onto recent activity, never a memory hazard on long runs.
+//
+// Capture is off by default; set_enabled(true) arms it (nyqmond does this
+// at startup). Disarmed spans cost one relaxed atomic load. Each ring has
+// its own mutex so a writer and a drain() from another thread never race
+// on the slots; writers almost always find their ring uncontended.
+//
+// drain() snapshots and clears every ring, returning events merged in
+// timestamp order; export_chrome_json() wraps that in the JSON object
+// format ({"traceEvents":[...]}) that chrome://tracing and Perfetto load
+// directly. Timestamps are nanoseconds on the recorder's steady-clock
+// epoch, exported as fractional microseconds (the format's native unit).
+//
+// Event names/categories are `const char*` by design: recording does not
+// allocate, so callers must pass string literals (or otherwise
+// recorder-outliving storage).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nyqmon::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;      ///< literal; span label
+  const char* category = nullptr;  ///< literal; layer ("engine", "storage", …)
+  std::uint64_t ts_ns = 0;         ///< span start, recorder-epoch-relative
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< dense per-recorder writer-thread id, from 1
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 4096;
+
+  explicit TraceRecorder(std::size_t ring_capacity = kDefaultRingCapacity);
+
+  /// The process-wide recorder every NYQMON_TRACE_SPAN site writes to.
+  static TraceRecorder& instance();
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since this recorder's epoch (its construction).
+  std::uint64_t now_ns() const;
+
+  /// Append one complete span to the calling thread's ring (overwriting
+  /// the oldest event, counted as a drop, when full). No-op when disabled.
+  void record(const char* name, const char* category, std::uint64_t ts_ns,
+              std::uint64_t dur_ns);
+
+  /// Move every buffered event out (rings empty afterwards), merged in
+  /// start-timestamp order. Safe concurrently with writers: events recorded
+  /// during the drain land in the next one.
+  std::vector<TraceEvent> drain();
+
+  /// Events overwritten before any drain could see them.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// drain() + Trace Event Format (JSON object form). Loads directly in
+  /// chrome://tracing / Perfetto.
+  std::string export_chrome_json();
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity, std::uint32_t tid)
+        : slots(capacity), tid(tid) {}
+    std::mutex mu;
+    std::vector<TraceEvent> slots;
+    std::size_t head = 0;      ///< next write position
+    std::uint64_t written = 0;  ///< total events ever recorded here
+    std::uint32_t tid;
+  };
+
+  Ring& local_ring();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+  /// Process-unique recorder id: the thread-local ring cache keys on this
+  /// instead of `this`, so a recorder reallocated at a dead one's address
+  /// (stack-local recorders in tests) can never hit a stale cache entry.
+  std::uint64_t uid_;
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;  ///< one per writer thread
+};
+
+/// RAII span against TraceRecorder::instance(). Costs one atomic load when
+/// tracing is disabled. `name`/`category` must be string literals.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category) noexcept {
+    TraceRecorder& rec = TraceRecorder::instance();
+    if (rec.enabled()) {
+      name_ = name;
+      category_ = category;
+      t0_ns_ = rec.now_ns();
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    TraceRecorder& rec = TraceRecorder::instance();
+    rec.record(name_, category_, t0_ns_, rec.now_ns() - t0_ns_);
+  }
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr = tracing was off at entry
+  const char* category_ = nullptr;
+  std::uint64_t t0_ns_ = 0;
+};
+
+}  // namespace nyqmon::obs
+
+#ifndef NYQMON_OBS_CAT
+#define NYQMON_OBS_CAT2(a, b) a##b
+#define NYQMON_OBS_CAT(a, b) NYQMON_OBS_CAT2(a, b)
+#endif
+
+#if defined(NYQMON_OBS_NOOP)
+#define NYQMON_TRACE_SPAN(name, category)
+#else
+/// Trace the rest of the enclosing scope as one complete event.
+#define NYQMON_TRACE_SPAN(name, category)                      \
+  ::nyqmon::obs::ScopedSpan NYQMON_OBS_CAT(nyqmon_obs_span_,   \
+                                           __LINE__) {         \
+    name, category                                             \
+  }
+#endif

@@ -8,6 +8,8 @@
 
 #include "analysis/cdf.h"
 #include "dsp/resample.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/selector.h"
 #include "signal/stats.h"
 #include "util/hash.h"
@@ -80,6 +82,10 @@ QueryEngine::QueryEngine(const mon::StripedRetentionStore& store,
 
 QueryResponse QueryEngine::run(const QuerySpec& spec) {
   spec.validate();
+  // End-to-end latency including the cache path: the p50-vs-p99 spread of
+  // this histogram is ROADMAP item 2's tail, measured per query.
+  NYQMON_OBS_TIMER("nyqmon_query_latency_ns");
+  NYQMON_TRACE_SPAN("query", "query");
   queries_.fetch_add(1, std::memory_order_relaxed);
 
   // Metadata pass: selector match + invalidation fingerprint, no
@@ -106,7 +112,11 @@ QueryResponse QueryEngine::run(const QuerySpec& spec) {
 
   const std::string key = spec.canonical_key();
   if (config_.cache_enabled) {
-    if (auto hit = cache_.lookup(key, fp.value())) return {std::move(hit), true};
+    if (auto hit = cache_.lookup(key, fp.value())) {
+      NYQMON_OBS_COUNT("nyqmon_query_cache_hits_total", 1);
+      return {std::move(hit), true};
+    }
+    NYQMON_OBS_COUNT("nyqmon_query_cache_misses_total", 1);
   }
 
   streams_considered_.fetch_add(considered, std::memory_order_relaxed);
@@ -138,6 +148,8 @@ std::shared_ptr<const QueryResult> QueryEngine::execute(
       std::memory_order_relaxed);
   streams_reconstructed_.fetch_add(result->reconstructed.size(),
                                    std::memory_order_relaxed);
+  NYQMON_OBS_COUNT("nyqmon_query_streams_reconstructed_total",
+                   result->reconstructed.size());
   if (result->reconstructed.empty()) return result;
 
   // Output grid timestamps, relative to t_begin (which is also where the

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -110,15 +112,23 @@ void StreamingRuntime::advance_pair(std::size_t index, double now_s) {
 }
 
 std::size_t StreamingRuntime::poll() {
+  NYQMON_TRACE_SPAN("poll", "runtime");
   std::lock_guard<std::mutex> lock(scheduler_mu_);
   const double now = clock_.now_s();
 
   std::vector<std::size_t> due;
   while (!deadlines_.empty() && deadlines_.top().first <= now + 1e-9) {
+    // Scheduler slip: how far past its deadline (in clock-domain seconds —
+    // virtual when driven by a VirtualClock) a pair is picked up. A wall
+    // clock that can't keep up shows here before quality degrades.
+    const double slip_s = now - deadlines_.top().first;
+    NYQMON_OBS_RECORD("nyqmon_runtime_deadline_slip_ns",
+                      slip_s > 0.0 ? slip_s * 1e9 : 0.0);
     due.push_back(deadlines_.top().second);
     deadlines_.pop();
   }
   if (due.empty()) return 0;
+  NYQMON_OBS_RECORD("nyqmon_runtime_poll_batch_depth", due.size());
 
   const std::uint64_t windows_before = windows_processed_.load();
   parallel_claim(due.size(), config_.engine.workers,
@@ -128,6 +138,7 @@ std::size_t StreamingRuntime::poll() {
   }
   const auto processed =
       static_cast<std::size_t>(windows_processed_.load() - windows_before);
+  NYQMON_OBS_COUNT("nyqmon_runtime_windows_total", processed);
 
   if (storage_ != nullptr && config_.checkpoint_interval_windows > 0) {
     windows_since_checkpoint_ += processed;
@@ -163,6 +174,7 @@ sto::FlushStats StreamingRuntime::checkpoint_locked() {
   storage_->sync();
   const sto::FlushStats flush = storage_->flush(store_);
   checkpoints_.fetch_add(1);
+  NYQMON_OBS_COUNT("nyqmon_runtime_checkpoints_total", 1);
   return flush;
 }
 

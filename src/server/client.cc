@@ -136,6 +136,16 @@ std::string NyqmonClient::stats_json() {
   return std::string(payload.begin(), payload.end());
 }
 
+std::string NyqmonClient::metrics_text() {
+  const auto payload = request_ok(Verb::kMetrics, {});
+  return std::string(payload.begin(), payload.end());
+}
+
+std::string NyqmonClient::trace_json() {
+  const auto payload = request_ok(Verb::kTrace, {});
+  return std::string(payload.begin(), payload.end());
+}
+
 CheckpointReply NyqmonClient::checkpoint() {
   const auto payload = request_ok(Verb::kCheckpoint, {});
   sto::ByteReader reader(payload);

@@ -43,6 +43,14 @@ class NyqmonClient {
   /// The server's JSON counter snapshot, verbatim.
   std::string stats_json();
 
+  /// The server process's metric registry as Prometheus text exposition
+  /// (catalog: docs/OBSERVABILITY.md), verbatim.
+  std::string metrics_text();
+
+  /// Drain the server's trace rings as chrome://tracing JSON, verbatim.
+  /// Consuming: consecutive calls return disjoint windows of activity.
+  std::string trace_json();
+
   CheckpointReply checkpoint();
 
   /// Close the socket early (tests: disconnect mid-exchange). Idempotent.

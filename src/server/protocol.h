@@ -32,6 +32,15 @@
 //                   → OK: u8 persisted, u64 chunks, u64 bytes_written
 //                   persisted=0 means the server runs without a durable
 //                   tier; the frame still succeeds.
+//   METRICS (5)     (empty)
+//                   → OK: the rest of the payload is UTF-8 Prometheus text
+//                     exposition of the process metric registry (catalog:
+//                     docs/OBSERVABILITY.md)
+//   TRACE (6)       (empty)
+//                   → OK: the rest of the payload is UTF-8 JSON in the
+//                     chrome://tracing Trace Event Format, draining the
+//                     in-process trace rings (empty traceEvents list when
+//                     capture is disabled server-side)
 #pragma once
 
 #include <cstdint>
@@ -54,6 +63,8 @@ enum class Verb : std::uint8_t {
   kQuery = 2,
   kStats = 3,
   kCheckpoint = 4,
+  kMetrics = 5,
+  kTrace = 6,
 };
 
 enum class Status : std::uint8_t { kOk = 0, kError = 1 };

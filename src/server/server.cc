@@ -18,6 +18,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace nyqmon::srv {
@@ -32,6 +34,47 @@ void set_nonblocking(int fd) {
 [[noreturn]] void throw_errno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
 }
+
+const char* verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kIngest: return "INGEST";
+    case Verb::kQuery: return "QUERY";
+    case Verb::kStats: return "STATS";
+    case Verb::kCheckpoint: return "CHECKPOINT";
+    case Verb::kMetrics: return "METRICS";
+    case Verb::kTrace: return "TRACE";
+  }
+  return "UNKNOWN";
+}
+
+#if !defined(NYQMON_OBS_NOOP)
+/// Per-verb request latency, dispatch-to-reply-queued. Registered eagerly
+/// per verb so every series is present in the exposition from the first
+/// frame of any kind.
+obs::Histogram* verb_latency_histogram(Verb verb) {
+  static obs::Histogram& ingest =
+      obs::Registry::instance().histogram("nyqmon_server_ingest_latency_ns");
+  static obs::Histogram& query =
+      obs::Registry::instance().histogram("nyqmon_server_query_latency_ns");
+  static obs::Histogram& stats =
+      obs::Registry::instance().histogram("nyqmon_server_stats_latency_ns");
+  static obs::Histogram& checkpoint = obs::Registry::instance().histogram(
+      "nyqmon_server_checkpoint_latency_ns");
+  static obs::Histogram& metrics =
+      obs::Registry::instance().histogram("nyqmon_server_metrics_latency_ns");
+  static obs::Histogram& trace =
+      obs::Registry::instance().histogram("nyqmon_server_trace_latency_ns");
+  switch (verb) {
+    case Verb::kIngest: return &ingest;
+    case Verb::kQuery: return &query;
+    case Verb::kStats: return &stats;
+    case Verb::kCheckpoint: return &checkpoint;
+    case Verb::kMetrics: return &metrics;
+    case Verb::kTrace: return &trace;
+  }
+  return nullptr;  // unknown verbs answer ERR untimed
+}
+#endif  // NYQMON_OBS_NOOP
 
 }  // namespace
 
@@ -48,6 +91,13 @@ NyqmondServer::~NyqmondServer() { stop(); }
 
 void NyqmondServer::start() {
   NYQMON_CHECK_MSG(!running_.load(), "server already started");
+
+#if !defined(NYQMON_OBS_NOOP)
+  // Touch the per-verb histograms now: the dispatch path only registers
+  // them after a frame completes, which would leave the very first
+  // METRICS exposition without the per-verb series.
+  verb_latency_histogram(Verb::kMetrics);
+#endif
 
   // Everything before the loop thread spawns can throw; close whatever was
   // opened so a failed (or retried) start never leaks descriptors.
@@ -140,8 +190,10 @@ void NyqmondServer::loop() {
     fds.clear();
     fds.push_back({listen_fd_, POLLIN, 0});
     fds.push_back({wake_pipe_[0], POLLIN, 0});
+    std::size_t reply_backlog = 0;
     for (const auto& conn : conns_) {
       const std::size_t backlog = conn->out.size() - conn->out_sent;
+      reply_backlog += backlog;
       short events = 0;
       // Backpressure: stop reading once a connection is closing or its
       // reply backlog is large — a client that pipelines requests without
@@ -151,6 +203,9 @@ void NyqmondServer::loop() {
       if (backlog > 0) events |= POLLOUT;
       fds.push_back({conn->fd, events, 0});
     }
+    // Undelivered reply bytes across all connections: a sustained non-zero
+    // value means clients aren't draining as fast as the loop serves.
+    NYQMON_OBS_GAUGE_SET("nyqmon_server_reply_queue_bytes", reply_backlog);
 
     if (::poll(fds.data(), fds.size(), 1000) < 0) {
       if (errno == EINTR) continue;
@@ -222,6 +277,7 @@ bool NyqmondServer::read_client(Connection& conn) {
         if (!drain_frames(conn)) return false;
         if (conn.in.size() > config_.max_frame_bytes + 5) {
           protocol_errors_.fetch_add(1);
+          NYQMON_OBS_COUNT("nyqmon_server_protocol_errors_total", 1);
           return false;
         }
       }
@@ -270,6 +326,7 @@ bool NyqmondServer::drain_frames(Connection& conn) {
     if (body_len == 0 || body_len > config_.max_frame_bytes) {
       // Unsynchronizable: answer and close once the error is flushed.
       protocol_errors_.fetch_add(1);
+      NYQMON_OBS_COUNT("nyqmon_server_protocol_errors_total", 1);
       const auto err = error_frame("bad frame length");
       conn.out.insert(conn.out.end(), err.begin(), err.end());
       conn.close_after_flush = true;
@@ -292,8 +349,11 @@ bool NyqmondServer::drain_frames(Connection& conn) {
 void NyqmondServer::dispatch(Connection& conn,
                              std::span<const std::uint8_t> body) {
   frames_.fetch_add(1);
+  NYQMON_OBS_COUNT("nyqmon_server_frames_total", 1);
   sto::ByteReader reader(body);
   const auto verb = static_cast<Verb>(reader.get_u8());
+  NYQMON_TRACE_SPAN(verb_name(verb), "server");
+  [[maybe_unused]] const auto t_dispatch = std::chrono::steady_clock::now();
 
   std::vector<std::uint8_t> reply;
   try {
@@ -314,15 +374,32 @@ void NyqmondServer::dispatch(Connection& conn,
         checkpoint_frames_.fetch_add(1);
         reply = handle_checkpoint();
         break;
+      case Verb::kMetrics:
+        metrics_frames_.fetch_add(1);
+        reply = handle_metrics();
+        break;
+      case Verb::kTrace:
+        trace_frames_.fetch_add(1);
+        reply = handle_trace();
+        break;
       default:
         protocol_errors_.fetch_add(1);
+        NYQMON_OBS_COUNT("nyqmon_server_protocol_errors_total", 1);
         reply = error_frame("unknown verb");
         break;
     }
   } catch (const std::exception& e) {
     protocol_errors_.fetch_add(1);
+    NYQMON_OBS_COUNT("nyqmon_server_protocol_errors_total", 1);
     reply = error_frame(e.what());
   }
+#if !defined(NYQMON_OBS_NOOP)
+  if (obs::Histogram* h = verb_latency_histogram(verb))
+    h->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t_dispatch)
+            .count()));
+#endif
   conn.out.insert(conn.out.end(), reply.begin(), reply.end());
 }
 
@@ -403,6 +480,24 @@ std::vector<std::uint8_t> NyqmondServer::handle_checkpoint() {
   return ok_frame(encode_checkpoint_reply(reply));
 }
 
+std::vector<std::uint8_t> NyqmondServer::handle_metrics() {
+  const std::string text = obs::Registry::instance().render_prometheus();
+  if (text.size() >= config_.max_frame_bytes)
+    return error_frame("metrics exposition exceeds the frame cap");
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(text.data());
+  return ok_frame(std::span<const std::uint8_t>(bytes, text.size()));
+}
+
+std::vector<std::uint8_t> NyqmondServer::handle_trace() {
+  // Draining consumes the buffered events: two TRACE frames in a row
+  // return disjoint windows of activity.
+  const std::string json = obs::TraceRecorder::instance().export_chrome_json();
+  if (json.size() >= config_.max_frame_bytes)
+    return error_frame("trace export exceeds the frame cap");
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(json.data());
+  return ok_frame(std::span<const std::uint8_t>(bytes, json.size()));
+}
+
 ServerStats NyqmondServer::stats() const {
   ServerStats s;
   s.connections_accepted = connections_accepted_.load();
@@ -412,6 +507,8 @@ ServerStats NyqmondServer::stats() const {
   s.query_frames = query_frames_.load();
   s.stats_frames = stats_frames_.load();
   s.checkpoint_frames = checkpoint_frames_.load();
+  s.metrics_frames = metrics_frames_.load();
+  s.trace_frames = trace_frames_.load();
   s.protocol_errors = protocol_errors_.load();
   s.samples_ingested = samples_ingested_.load();
   return s;

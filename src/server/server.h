@@ -4,7 +4,9 @@
 // protocol of server/protocol.h: INGEST appends batched samples to retained
 // streams (created on first ingest), QUERY runs a selector + spec through a
 // QueryEngine, STATS reports a JSON counter snapshot, CHECKPOINT seals the
-// durable tier. One event-loop thread owns every connection; commands
+// durable tier, METRICS exposes the process metric registry as Prometheus
+// text, and TRACE drains the in-process trace rings as chrome://tracing
+// JSON. One event-loop thread owns every connection; commands
 // execute inline on that thread (the query engine fans each query out over
 // its own workers), so wire-visible behavior is sequential and
 // deterministic while the *store* stays safely shared with a concurrently
@@ -57,6 +59,8 @@ struct ServerStats {
   std::uint64_t query_frames = 0;
   std::uint64_t stats_frames = 0;
   std::uint64_t checkpoint_frames = 0;
+  std::uint64_t metrics_frames = 0;
+  std::uint64_t trace_frames = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t samples_ingested = 0;
 };
@@ -110,6 +114,8 @@ class NyqmondServer {
   std::vector<std::uint8_t> handle_query(sto::ByteReader& reader);
   std::vector<std::uint8_t> handle_stats();
   std::vector<std::uint8_t> handle_checkpoint();
+  std::vector<std::uint8_t> handle_metrics();
+  std::vector<std::uint8_t> handle_trace();
 
   mon::StripedRetentionStore& store_;
   sto::StorageManager* storage_;
@@ -131,6 +137,8 @@ class NyqmondServer {
   std::atomic<std::uint64_t> query_frames_{0};
   std::atomic<std::uint64_t> stats_frames_{0};
   std::atomic<std::uint64_t> checkpoint_frames_{0};
+  std::atomic<std::uint64_t> metrics_frames_{0};
+  std::atomic<std::uint64_t> trace_frames_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> samples_ingested_{0};
 };

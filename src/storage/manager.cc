@@ -9,6 +9,8 @@
 #include <sstream>
 #include <system_error>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/segment.h"
 #include "util/check.h"
 
@@ -236,6 +238,7 @@ void StorageManager::record_geometry(const mon::StoreConfig& config) {
 
 template <typename Store>
 FlushStats StorageManager::flush_impl(const Store& store) {
+  NYQMON_TRACE_SPAN("flush", "storage");
   const auto t_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(manifest_mu_);
   NYQMON_CHECK_MSG(recovered_,
@@ -303,6 +306,8 @@ FlushStats StorageManager::flush_impl(const Store& store) {
   out.samples = writer.stats().samples;
   out.bytes_written = writer.bytes().size();
   out.seconds = elapsed_s(t_start);
+  NYQMON_OBS_RECORD("nyqmon_storage_flush_ns", out.seconds * 1e9);
+  NYQMON_OBS_COUNT("nyqmon_storage_flush_bytes_total", out.bytes_written);
 
   if (manifest_.segments.size() > config_.compact_min_segments) {
     if (config_.background_compaction) {
@@ -425,6 +430,8 @@ RecoveryStats StorageManager::recover(mon::StripedRetentionStore& store) {
 
 std::size_t StorageManager::compact_locked() {
   if (manifest_.segments.size() < 2) return 0;
+  NYQMON_OBS_TIMER("nyqmon_storage_compact_ns");
+  NYQMON_TRACE_SPAN("compact", "storage");
   std::map<std::string, mon::StreamSnapshot> streams;
   std::size_t skipped = 0;
   for (const auto& seg : manifest_.segments) {
@@ -456,6 +463,7 @@ std::size_t StorageManager::compact_locked() {
 
   segment_bytes_ = writer.bytes().size();
   ++counters_.compactions;
+  NYQMON_OBS_COUNT("nyqmon_storage_compactions_total", 1);
   counters_.crc_skipped_blocks += skipped;
   return old.size();
 }

@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/crc32.h"
 #include "util/check.h"
 
@@ -34,6 +36,7 @@ void WriteAheadLog::append_record(WalRecord::Type type,
   put_bytes(frame, payload);
   file_.write(frame);
   ++batches_;
+  NYQMON_OBS_COUNT("nyqmon_wal_records_total", 1);
   if (++unsynced_ >= sync_interval_) sync();
 }
 
@@ -58,7 +61,13 @@ void WriteAheadLog::append_batch(const std::string& stream,
 
 void WriteAheadLog::sync() {
   if (unsynced_ == 0) return;
-  file_.sync();
+  {
+    // ROADMAP item 3 (WAL at 44 MB/s vs flush at 447 MB/s): the fsync
+    // distribution is the durability tax, measured at its source.
+    NYQMON_OBS_TIMER("nyqmon_wal_fsync_ns");
+    NYQMON_TRACE_SPAN("wal_fsync", "storage");
+    file_.sync();
+  }
   unsynced_ = 0;
   ++syncs_;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "monitor/striped_store.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "runtime/clock.h"
 #include "runtime/runtime.h"
@@ -423,6 +424,88 @@ TEST(Server, CheckpointedShutdownRecoversServedState) {
     const auto meta = recovered.meta(name);
     EXPECT_GT(meta.ingested_samples, 0u) << name;
   }
+}
+
+// ------------------------------------------------------- self-telemetry ----
+
+TEST(Server, MetricsVerbReturnsPrometheusText) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+
+  // Drive one ingest and one query so the layer metrics have activity.
+  client.ingest("dev/metric", 2.0, 0.0, wave(600, 0.5));
+  qry::QuerySpec spec;
+  spec.selector = "dev/metric";
+  spec.t_begin = 0.0;
+  spec.t_end = 300.0;
+  spec.step_s = 10.0;
+  (void)client.query(spec);
+
+  const std::string text = client.metrics_text();
+  server.stop();
+
+  // Prometheus exposition shape, per-verb latency summaries, and the
+  // store's lock instrumentation (the ISSUE acceptance bar).
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+  EXPECT_NE(text.find("nyqmon_server_query_latency_ns{quantile=\"0.99\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nyqmon_server_ingest_latency_ns"), std::string::npos);
+  EXPECT_NE(text.find("nyqmon_server_metrics_latency_ns"), std::string::npos);
+  EXPECT_NE(text.find("nyqmon_store_lock_acquisitions_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("nyqmon_store_appends_total"), std::string::npos);
+  EXPECT_NE(text.find("nyqmon_query_latency_ns"), std::string::npos);
+  EXPECT_EQ(server.stats().metrics_frames, 1u);
+}
+
+TEST(Server, TraceVerbDrainsChromeJson) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::instance();
+  rec.drain();  // start from an empty capture window
+  rec.set_enabled(true);
+
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  client.ingest("dev/metric", 2.0, 0.0, wave(400, 1.5));
+  qry::QuerySpec spec;
+  spec.selector = "dev/metric";
+  spec.t_begin = 0.0;
+  spec.t_end = 200.0;
+  spec.step_s = 10.0;
+  (void)client.query(spec);
+
+  const std::string json = client.trace_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"server\""), std::string::npos) << json;
+
+  // TRACE is consuming: an immediately repeated drain returns a window
+  // holding at most the spans of the TRACE round-trip itself.
+  const std::string second = client.trace_json();
+  EXPECT_EQ(second.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(second.find("\"cat\":\"query\""), std::string::npos) << second;
+
+  rec.set_enabled(false);
+  server.stop();
+  EXPECT_EQ(server.stats().trace_frames, 2u);
+}
+
+TEST(Server, TraceVerbDisabledReturnsEmptyCapture) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::instance();
+  rec.set_enabled(false);
+  rec.drain();
+
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  const std::string json = client.trace_json();
+  server.stop();
+  EXPECT_EQ(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}") << json;
 }
 
 }  // namespace

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fail when the metric catalog in docs/OBSERVABILITY.md drifts from src/.
+
+The obs layer's naming convention makes the registered metric set
+greppable: every instrument name is a string literal matching
+`nyqmon_<layer>_<what>_<unit>` with unit in {_total, _ns, _bytes, _depth}.
+This tool extracts that set from the C++ sources and the backticked names
+from the catalog doc, and exits 1 on any difference in either direction —
+an undocumented metric or a documented ghost both fail CI.
+
+Usage:
+    python3 tools/check_metrics_doc.py [--src src] [--doc docs/OBSERVABILITY.md]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# A registered metric name: a double-quoted literal with the layered-name
+# shape and a recognised unit suffix. The unit whitelist keeps unrelated
+# identifiers (binary names, test fixtures) out of the extracted set.
+SRC_METRIC = re.compile(r'"(nyqmon_[a-z0-9_]+_(?:total|ns|bytes|depth))"')
+# The catalog documents each metric as a backticked name.
+DOC_METRIC = re.compile(r"`(nyqmon_[a-z0-9_]+_(?:total|ns|bytes|depth))`")
+
+
+def source_metrics(src: pathlib.Path):
+    found = {}
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        for name in SRC_METRIC.findall(path.read_text(encoding="utf-8")):
+            found.setdefault(name, path)
+    return found
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--src", type=pathlib.Path, default=pathlib.Path("src"))
+    parser.add_argument("--doc", type=pathlib.Path,
+                        default=pathlib.Path("docs/OBSERVABILITY.md"))
+    args = parser.parse_args()
+
+    if not args.src.is_dir():
+        print(f"error: no such source directory: {args.src}")
+        return 2
+    if not args.doc.is_file():
+        print(f"error: no such catalog doc: {args.doc}")
+        return 2
+
+    in_src = source_metrics(args.src)
+    in_doc = set(DOC_METRIC.findall(args.doc.read_text(encoding="utf-8")))
+
+    failures = 0
+    for name in sorted(set(in_src) - in_doc):
+        print(f"UNDOCUMENTED  {name}  (registered in {in_src[name]}, "
+              f"missing from {args.doc})")
+        failures += 1
+    for name in sorted(in_doc - set(in_src)):
+        print(f"GHOST         {name}  (documented in {args.doc}, "
+              f"not registered anywhere under {args.src})")
+        failures += 1
+
+    if failures:
+        print(f"\nFAIL: {failures} metric-catalog drift(s); update "
+              f"{args.doc} to match the source (or vice versa)")
+        return 1
+    print(f"metrics doc check passed: {len(in_src)} metric(s) in sync "
+          f"between {args.src} and {args.doc}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
