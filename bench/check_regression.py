@@ -29,6 +29,7 @@ import sys
 # per-worker-count sweep) are compared on their maximum.
 TRACKED = {
     "engine_throughput": ["pairs_per_sec", "scaling_efficiency"],
+    "fleet_scatter": ["router_qps"],
     "query_throughput": ["qps"],
     "scenario_frontier": ["sweep_pairs_per_sec"],
     "storage_throughput": ["ingest_wal_mb_s", "flush_mb_s", "recover_mb_s"],

@@ -8,6 +8,14 @@
 //   nyqmon_ctl <host> <port> checkpoint
 //   nyqmon_ctl <host> <port> metrics
 //   nyqmon_ctl <host> <port> trace [out.json]
+//   nyqmon_ctl <host> <port> handoff <selector> <dst_host> <dst_port>
+//
+// `handoff` moves every stream matching <selector> from <host>:<port> to
+// <dst_host>:<dst_port>: a HANDOFF EXPORT on the source ships a segment
+// image of the matched streams, a HANDOFF IMPORT restores them on the
+// destination and checkpoints them durable there. The source keeps its
+// copy (queries through a router dedupe mid-handoff duplicates); retire
+// the source node once the import reports persisted.
 //
 // `metrics` prints the server's Prometheus text exposition (metric catalog:
 // docs/OBSERVABILITY.md). `trace` drains the server's trace ring buffers to
@@ -38,7 +46,8 @@ int usage() {
                "usage: nyqmon_ctl <host> <port> "
                "stats | checkpoint | metrics | trace [out.json] | "
                "query <selector> <t0> <t1> <step> "
-               "[agg] [tf] | ingest <stream> <rate_hz> <t0> <v1,v2,...>\n");
+               "[agg] [tf] | ingest <stream> <rate_hz> <t0> <v1,v2,...> | "
+               "handoff <selector> <dst_host> <dst_port>\n");
   return 2;
 }
 
@@ -165,7 +174,41 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (verb == "handoff") {
+      if (argc < 7) return usage();
+      const std::string selector = argv[4];
+      const std::string dst_host = argv[5];
+      const auto dst_port = static_cast<std::uint16_t>(std::atoi(argv[6]));
+
+      const srv::HandoffExportReply exported =
+          client.handoff_export(selector);
+      if (exported.streams == 0) {
+        std::printf("handoff: no streams match '%s'\n", selector.c_str());
+        return 0;
+      }
+      std::printf("exported %u stream(s), %llu samples (%zu segment bytes)\n",
+                  exported.streams,
+                  static_cast<unsigned long long>(exported.samples),
+                  exported.segment.size());
+
+      srv::NyqmonClient dst(dst_host, dst_port);
+      const srv::HandoffImportReply imported =
+          dst.handoff_import(exported.segment);
+      std::printf("imported %u stream(s), %llu samples into %s:%u "
+                  "(persisted=%s)\n",
+                  imported.streams,
+                  static_cast<unsigned long long>(imported.samples),
+                  dst_host.c_str(), dst_port,
+                  imported.persisted ? "yes" : "no");
+      return 0;
+    }
+
     return usage();
+  } catch (const srv::ServerError& e) {
+    std::fprintf(stderr, "nyqmon_ctl: %s\n", e.what());
+    for (const auto& d : e.details())
+      std::fprintf(stderr, "  %s: %s\n", d.node.c_str(), d.error.c_str());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nyqmon_ctl: %s\n", e.what());
     return 1;

@@ -1,0 +1,308 @@
+#include "cluster/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace nyqmon::clu {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-backend gather latency, named at runtime (one series per backend
+/// index; documented as nyqmon_cluster_backend<i>_gather_ns).
+void record_backend_latency(std::size_t i, std::uint64_t ns) {
+  obs::Registry::instance()
+      .histogram("nyqmon_cluster_backend" + std::to_string(i) + "_gather_ns")
+      .record(ns);
+}
+
+}  // namespace
+
+ClusterClient::ClusterClient(ClusterConfig config)
+    : config_(std::move(config)),
+      ring_(config_.nodes, config_.vnodes),
+      conns_(config_.nodes.size()) {
+  // Keyspace ownership as a per-backend gauge (per-mille of the hash
+  // space; documented as nyqmon_cluster_backend<i>_share_permille).
+  for (std::size_t i = 0; i < config_.nodes.size(); ++i)
+    obs::Registry::instance()
+        .gauge("nyqmon_cluster_backend" + std::to_string(i) +
+               "_share_permille")
+        .set(static_cast<std::int64_t>(ring_.keyspace_share(i) * 1000.0));
+}
+
+ClusterClient::~ClusterClient() = default;
+
+srv::NyqmonClient& ClusterClient::node(std::size_t i) {
+  if (conns_[i] == nullptr) {
+    const NodeDesc& desc = config_.nodes[i];
+    conns_[i] = std::make_unique<srv::NyqmonClient>(
+        desc.host, desc.port,
+        srv::ClientOptions{config_.connect_timeout_ms, config_.io_timeout_ms,
+                           config_.max_frame_bytes});
+  }
+  return *conns_[i];
+}
+
+void ClusterClient::reset(std::size_t i) { conns_[i].reset(); }
+
+std::uint64_t ClusterClient::ingest(const std::string& stream, double rate_hz,
+                                    double t0,
+                                    std::span<const double> values) {
+  const std::size_t owner = ring_.owner(stream);
+  return srv::retry_with_backoff(config_.retry, [&] {
+    try {
+      return node(owner).ingest(stream, rate_hz, t0, values);
+    } catch (const srv::ServerError&) {
+      throw;  // the server answered; retrying cannot change it
+    } catch (const std::runtime_error&) {
+      reset(owner);  // unsynchronized stream: reconnect on retry
+      throw;
+    }
+  });
+}
+
+ScatterOutcome ClusterClient::scatter(srv::Verb verb,
+                                      std::span<const std::uint8_t> payload) {
+  const std::size_t n = config_.nodes.size();
+  const auto request = srv::frame(static_cast<std::uint8_t>(verb), payload);
+
+  ScatterOutcome out;
+  out.payloads.resize(n);
+  std::vector<bool> settled(n, false);  // answered, failed, or timed out
+
+  auto fail = [&](std::size_t i, const std::string& why) {
+    out.failures.push_back({config_.nodes[i].id, why});
+    settled[i] = true;
+    reset(i);
+  };
+
+  // Send phase: every backend gets the request before any reply is read,
+  // so the backends work concurrently while we gather.
+  const auto t_send = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      node(i).send_raw(request);
+    } catch (const std::exception& e) {
+      fail(i, e.what());
+    }
+  }
+
+  // Gather phase: poll the outstanding sockets, assembling each backend's
+  // length-prefixed reply from non-blocking reads, until every backend has
+  // answered or its deadline passed.
+  const bool bounded = config_.io_timeout_ms > 0;
+  const auto deadline =
+      t_send + std::chrono::milliseconds(config_.io_timeout_ms);
+  std::vector<std::vector<std::uint8_t>> bufs(n);
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> owner_of;  // fds index -> node index
+  while (true) {
+    fds.clear();
+    owner_of.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (settled[i]) continue;
+      fds.push_back({conns_[i]->fd(), POLLIN, 0});
+      owner_of.push_back(i);
+    }
+    if (fds.empty()) break;
+
+    int timeout_ms = 100;
+    if (bounded) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline - Clock::now()).count();
+      if (remaining <= 0) {
+        for (const std::size_t i : owner_of) fail(i, "backend timed out");
+        break;
+      }
+      timeout_ms = static_cast<int>(remaining);
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      for (const std::size_t i : owner_of)
+        fail(i, std::string("poll: ") + std::strerror(errno));
+      break;
+    }
+
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      const std::size_t i = owner_of[k];
+      if (!(fds[k].revents & (POLLIN | POLLERR | POLLHUP))) continue;
+      // Drain what the socket has without blocking the other backends.
+      bool failed = false;
+      while (true) {
+        std::uint8_t chunk[16384];
+        const ssize_t got =
+            ::recv(fds[k].fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+        if (got > 0) {
+          bufs[i].insert(bufs[i].end(), chunk, chunk + got);
+          continue;
+        }
+        if (got == 0) {
+          fail(i, "backend closed the connection");
+          failed = true;
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          fail(i, std::string("recv: ") + std::strerror(errno));
+          failed = true;
+        }
+        break;
+      }
+      if (failed || settled[i] || bufs[i].size() < 4) continue;
+
+      sto::ByteReader prefix{
+          std::span<const std::uint8_t>(bufs[i]).subspan(0, 4)};
+      const std::uint32_t body_len = prefix.get_u32();
+      if (body_len == 0 || body_len > config_.max_frame_bytes) {
+        fail(i, "bad response frame length");
+        continue;
+      }
+      if (bufs[i].size() < 4u + body_len) continue;  // partial reply
+      if (bufs[i].size() > 4u + body_len) {
+        fail(i, "trailing bytes after reply");  // protocol desync
+        continue;
+      }
+      sto::ByteReader body{
+          std::span<const std::uint8_t>(bufs[i]).subspan(4, body_len)};
+      const auto status = static_cast<srv::Status>(body.get_u8());
+      if (status == srv::Status::kOk) {
+        const auto rest = body.get_bytes(body.remaining());
+        out.payloads[i] = std::vector<std::uint8_t>(rest.begin(), rest.end());
+        settled[i] = true;
+      } else {
+        const std::string message = body.get_string();
+        // An ERR answer leaves the connection synchronized — no reset.
+        out.failures.push_back(
+            {config_.nodes[i].id,
+             message.empty() ? "(no message)" : message});
+        settled[i] = true;
+      }
+      record_backend_latency(
+          i, static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     Clock::now() - t_send)
+                     .count()));
+    }
+  }
+  return out;
+}
+
+FleetQuery ClusterClient::query(const qry::QuerySpec& spec) {
+  spec.validate();
+  // Shards return raw per-stream series (plus the matched IDs); the
+  // cross-stream aggregation runs centrally so FP accumulation order
+  // matches a single node's exactly.
+  qry::QuerySpec shard_spec = spec;
+  shard_spec.aggregate = qry::Aggregation::kNone;
+  ScatterOutcome scattered =
+      scatter(srv::Verb::kQuery,
+              srv::encode_query(shard_spec, srv::kQueryWantMatched));
+
+  FleetQuery fleet;
+  fleet.failures = std::move(scattered.failures);
+  std::vector<qry::ShardSlice> slices;
+  bool all_cached = true;
+  for (std::size_t i = 0; i < scattered.payloads.size(); ++i) {
+    if (!scattered.payloads[i].has_value()) continue;
+    sto::ByteReader reader(*scattered.payloads[i]);
+    auto reply = srv::decode_query_reply(reader);
+    if (!reply.has_value()) {
+      fleet.failures.push_back(
+          {config_.nodes[i].id, "malformed QUERY response"});
+      reset(i);
+      continue;
+    }
+    all_cached &= reply->cache_hit;
+    slices.push_back({std::move(reply->matched_labels),
+                      std::move(reply->series)});
+  }
+  fleet.cache_hit =
+      all_cached && fleet.failures.empty() && !scattered.payloads.empty();
+  fleet.merged = qry::merge_shard_slices(spec, std::move(slices));
+  return fleet;
+}
+
+std::vector<NodeText> ClusterClient::fleet_stats() {
+  ScatterOutcome scattered = scatter(srv::Verb::kStats, {});
+  std::vector<NodeText> out(config_.nodes.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].node = config_.nodes[i].id;
+    if (scattered.payloads[i].has_value())
+      out[i].text.assign(scattered.payloads[i]->begin(),
+                         scattered.payloads[i]->end());
+  }
+  for (const srv::ErrorDetail& f : scattered.failures)
+    for (NodeText& node : out)
+      if (node.node == f.node && node.text.empty()) node.error = f.error;
+  return out;
+}
+
+std::vector<NodeText> ClusterClient::fleet_metrics() {
+  ScatterOutcome scattered = scatter(srv::Verb::kMetrics, {});
+  std::vector<NodeText> out(config_.nodes.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].node = config_.nodes[i].id;
+    if (scattered.payloads[i].has_value())
+      out[i].text.assign(scattered.payloads[i]->begin(),
+                         scattered.payloads[i]->end());
+  }
+  for (const srv::ErrorDetail& f : scattered.failures)
+    for (NodeText& node : out)
+      if (node.node == f.node && node.text.empty()) node.error = f.error;
+  return out;
+}
+
+std::vector<std::optional<srv::CheckpointReply>> ClusterClient::checkpoint_all(
+    std::vector<srv::ErrorDetail>& failures) {
+  ScatterOutcome scattered = scatter(srv::Verb::kCheckpoint, {});
+  std::vector<std::optional<srv::CheckpointReply>> out(config_.nodes.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!scattered.payloads[i].has_value()) continue;
+    sto::ByteReader reader(*scattered.payloads[i]);
+    auto reply = srv::decode_checkpoint_reply(reader);
+    if (reply.has_value()) {
+      out[i] = *reply;
+    } else {
+      scattered.failures.push_back(
+          {config_.nodes[i].id, "malformed CHECKPOINT response"});
+      reset(i);
+    }
+  }
+  failures = std::move(scattered.failures);
+  return out;
+}
+
+srv::HandoffImportReply ClusterClient::handoff(const std::string& selector,
+                                               std::size_t from,
+                                               std::size_t to) {
+  if (from >= nodes() || to >= nodes() || from == to)
+    throw std::invalid_argument("handoff needs two distinct node indices");
+  srv::HandoffExportReply exported;
+  try {
+    exported = node(from).handoff_export(selector);
+  } catch (const srv::ServerError&) {
+    throw;
+  } catch (const std::runtime_error&) {
+    reset(from);
+    throw;
+  }
+  try {
+    return node(to).handoff_import(exported.segment);
+  } catch (const srv::ServerError&) {
+    throw;
+  } catch (const std::runtime_error&) {
+    reset(to);
+    throw;
+  }
+}
+
+}  // namespace nyqmon::clu

@@ -1,0 +1,139 @@
+// ClusterClient — the fleet-side library of the sharded nyqmond cluster.
+//
+// Wraps N nyqmond backends behind one API: INGEST routes to the stream's
+// ring owner (cluster/hash.h), while QUERY / STATS / CHECKPOINT scatter to
+// every node concurrently and gather with a per-backend deadline. Query
+// results are re-merged with the query engine's own reduction code
+// (query/merge.h), so a fleet of any size answers bit-identically to one
+// process holding all the streams.
+//
+// Scatter requests rewrite the client's QuerySpec to Aggregation::kNone
+// with kQueryWantMatched set: each shard returns its aligned, transformed
+// per-stream series plus the matched stream IDs, and the aggregation (and
+// matched/reconstructed dedup — two shards both hold a stream mid-handoff)
+// happens centrally. The ring is an INGEST placement function only; reads
+// never consult it, which is what keeps queries correct while a handoff
+// has moved streams off their ring owner.
+//
+// Failure model: scatter never throws for a backend failure — each failed
+// node becomes an ErrorDetail (node id + reason) in the result, and its
+// connection is reset so the next request reconnects. Callers (the router)
+// decide whether partial answers are acceptable. Ring-routed ingest
+// retries through retry_with_backoff instead, since it has exactly one
+// viable destination.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/hash.h"
+#include "query/merge.h"
+#include "server/client.h"
+
+namespace nyqmon::clu {
+
+struct ClusterConfig {
+  std::vector<NodeDesc> nodes;
+  std::size_t vnodes = 64;
+  /// Per-backend connection establishment bound. 0 = block forever.
+  std::uint32_t connect_timeout_ms = 1000;
+  /// Per-backend reply deadline for scatter-gather (and the I/O timeout on
+  /// routed single-node requests). 0 = wait forever.
+  std::uint32_t io_timeout_ms = 5000;
+  std::size_t max_frame_bytes = srv::kMaxFrameBytes;
+  /// Reconnect schedule for ring-routed ingest.
+  srv::RetryPolicy retry;
+};
+
+/// Per-node outcome of one scatter round: `payloads[i]` holds node i's OK
+/// payload (nullopt when it failed), and every failure — transport,
+/// timeout, or an ERR answer — is described in `failures`.
+struct ScatterOutcome {
+  std::vector<std::optional<std::vector<std::uint8_t>>> payloads;
+  std::vector<srv::ErrorDetail> failures;
+};
+
+/// A scattered + merged fleet query.
+struct FleetQuery {
+  qry::MergedQuery merged;
+  /// True only when every shard answered from its cache.
+  bool cache_hit = false;
+  /// Backends that contributed nothing (their streams are missing from
+  /// `merged`). Empty means the answer is complete.
+  std::vector<srv::ErrorDetail> failures;
+};
+
+/// One node's STATS (or METRICS) exposition, or why it is missing.
+struct NodeText {
+  std::string node;
+  std::string text;   ///< empty on error
+  std::string error;  ///< empty on success
+};
+
+class ClusterClient {
+ public:
+  /// Validates the node set (ring construction throws on duplicates) but
+  /// connects lazily: each backend connection is opened on first use and
+  /// re-opened after a failure.
+  explicit ClusterClient(ClusterConfig config);
+  ~ClusterClient();
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  const HashRing& ring() const { return ring_; }
+  std::size_t nodes() const { return config_.nodes.size(); }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Route one ingest batch to the stream's ring owner (reconnecting with
+  /// the retry policy). Returns the stream's total after the append.
+  std::uint64_t ingest(const std::string& stream, double rate_hz, double t0,
+                       std::span<const double> values);
+
+  /// Scatter `spec` to every node, gather within the per-backend deadline,
+  /// and merge centrally. Throws only when the merge itself fails (a shard
+  /// answered a different grid); backend failures land in `failures`.
+  FleetQuery query(const qry::QuerySpec& spec);
+
+  /// Every node's STATS JSON (or its error), index-aligned with nodes().
+  std::vector<NodeText> fleet_stats();
+
+  /// Every node's Prometheus exposition (or its error).
+  std::vector<NodeText> fleet_metrics();
+
+  /// Scatter CHECKPOINT to every node. Failures land in
+  /// `outcome.failures`; each OK payload is a decoded CheckpointReply.
+  std::vector<std::optional<srv::CheckpointReply>> checkpoint_all(
+      std::vector<srv::ErrorDetail>& failures);
+
+  /// Move every stream matching `selector` from node `from` to node `to`:
+  /// EXPORT on the source, IMPORT on the destination. Non-destructive on
+  /// the source (mid-handoff duplicates dedupe at query merge; the
+  /// operator retires the source copy afterwards). Throws ServerError when
+  /// either side refuses.
+  srv::HandoffImportReply handoff(const std::string& selector,
+                                  std::size_t from, std::size_t to);
+
+  /// Scatter one identical request to every node and gather the replies
+  /// within the per-backend deadline. The building block under query() and
+  /// checkpoint_all(), exposed for the router's pass-through verbs.
+  ScatterOutcome scatter(srv::Verb verb,
+                         std::span<const std::uint8_t> payload);
+
+ private:
+  /// Lazily connected backend client; throws when (re)connect fails.
+  srv::NyqmonClient& node(std::size_t i);
+  /// Drop node i's connection so the next use reconnects (a timed-out or
+  /// failed exchange leaves the byte stream unsynchronized).
+  void reset(std::size_t i);
+
+  ClusterConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<srv::NyqmonClient>> conns_;
+};
+
+}  // namespace nyqmon::clu

@@ -1,0 +1,142 @@
+#include "cluster/hash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace nyqmon::clu {
+
+namespace {
+
+/// Ring position of vnode `v` of node `id`: FNV-1a over "<id>#<v>". Text
+/// concatenation (not word mixing) keeps the layout greppable and makes
+/// the hash identical to what any other implementation of the documented
+/// format would compute.
+std::uint64_t point_hash(const std::string& id, std::size_t v) {
+  return fnv1a(id + "#" + std::to_string(v));
+}
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("ring description line " + std::to_string(line) +
+                              ": " + what);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::vector<NodeDesc> nodes, std::size_t vnodes)
+    : nodes_(std::move(nodes)), vnodes_(vnodes) {
+  if (nodes_.empty()) throw std::invalid_argument("ring needs >= 1 node");
+  if (vnodes_ == 0) throw std::invalid_argument("ring needs vnodes >= 1");
+  std::set<std::string> ids;
+  for (const NodeDesc& n : nodes_) {
+    if (n.id.empty()) throw std::invalid_argument("empty node id");
+    if (n.id.find_first_of(" \t\n") != std::string::npos)
+      throw std::invalid_argument("node id contains whitespace: " + n.id);
+    if (!ids.insert(n.id).second)
+      throw std::invalid_argument("duplicate node id: " + n.id);
+  }
+  points_.reserve(nodes_.size() * vnodes_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t v = 0; v < vnodes_; ++v)
+      points_.push_back({point_hash(nodes_[i].id, v),
+                         static_cast<std::uint32_t>(i)});
+  // Ties (two vnodes hashing equal) resolve by node index so the sorted
+  // order — and with it every placement — is independent of input order
+  // permutations of equal elements.
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+  });
+}
+
+std::size_t HashRing::owner(std::string_view stream_id) const {
+  const std::uint64_t h = fnv1a(stream_id);
+  // First point clockwise (>= h), wrapping to the first point.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  if (it == points_.end()) it = points_.begin();
+  return it->node;
+}
+
+double HashRing::keyspace_share(std::size_t i) const {
+  if (i >= nodes_.size()) return 0.0;
+  // Each point owns the arc (previous point, this point]; the first point
+  // also owns the wraparound arc past the last point.
+  std::uint64_t owned = 0;
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    if (points_[p].node != i) continue;
+    const std::uint64_t hi = points_[p].hash;
+    const std::uint64_t lo =
+        p == 0 ? points_.back().hash : points_[p - 1].hash;
+    owned += hi - lo;  // wraps correctly for p == 0 (mod 2^64 arithmetic)
+  }
+  constexpr double kKeyspace = 18446744073709551616.0;  // 2^64
+  return static_cast<double>(owned) / kKeyspace;
+}
+
+std::string HashRing::describe() const {
+  std::string out = "nyqring v1\n";
+  out += "vnodes " + std::to_string(vnodes_) + "\n";
+  for (const NodeDesc& n : nodes_) {
+    char line[320];
+    std::snprintf(line, sizeof(line), "node %s %s:%u\n", n.id.c_str(),
+                  n.host.c_str(), static_cast<unsigned>(n.port));
+    out += line;
+  }
+  return out;
+}
+
+HashRing HashRing::parse(const std::string& text) {
+  std::vector<NodeDesc> nodes;
+  std::size_t vnodes = 0;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  bool saw_header = false;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string line =
+        text.substr(start, nl == std::string::npos ? nl : nl - start);
+    start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != "nyqring v1") parse_error(line_no, "expected 'nyqring v1'");
+      saw_header = true;
+      continue;
+    }
+    if (line.rfind("vnodes ", 0) == 0) {
+      const long v = std::atol(line.c_str() + 7);
+      if (v <= 0) parse_error(line_no, "vnodes must be >= 1");
+      vnodes = static_cast<std::size_t>(v);
+      continue;
+    }
+    if (line.rfind("node ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 5);
+      if (sp == std::string::npos)
+        parse_error(line_no, "expected 'node <id> <host>:<port>'");
+      NodeDesc n;
+      n.id = line.substr(5, sp - 5);
+      const std::string addr = line.substr(sp + 1);
+      const std::size_t colon = addr.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= addr.size())
+        parse_error(line_no, "expected <host>:<port>, got '" + addr + "'");
+      n.host = addr.substr(0, colon);
+      const long port = std::atol(addr.c_str() + colon + 1);
+      if (port <= 0 || port > 65535) parse_error(line_no, "bad port");
+      n.port = static_cast<std::uint16_t>(port);
+      nodes.push_back(std::move(n));
+      continue;
+    }
+    parse_error(line_no, "unknown directive: '" + line + "'");
+  }
+  if (!saw_header) throw std::invalid_argument("empty ring description");
+  if (vnodes == 0) throw std::invalid_argument("ring description: no vnodes");
+  if (nodes.empty()) throw std::invalid_argument("ring description: no nodes");
+  return HashRing(std::move(nodes), vnodes);
+}
+
+}  // namespace nyqmon::clu

@@ -1,0 +1,79 @@
+// Consistent-hash ring over "device/metric" stream IDs.
+//
+// The cluster layer shards retained streams across N nyqmond nodes: a
+// stream lives on exactly one node (its *owner*), chosen by consistent
+// hashing so that adding or removing one node only moves ~1/N of the
+// keyspace instead of reshuffling everything. Each node contributes
+// `vnodes` points on a 64-bit ring (FNV-1a of "<node-id>#<vnode>", the
+// same stable cross-platform hash the store uses for striping); a stream
+// hashes to a ring position and is owned by the first point clockwise.
+//
+// Determinism contract: ownership depends only on (node IDs, vnodes,
+// stream ID) — never on insertion order, endpoints, or platform — so
+// every router, client and test that builds a ring from the same node
+// list computes identical placements. The ring serializes to a canonical
+// text description (format: docs/FORMATS.md) that parses back
+// bit-identically; fleets exchange topology as that text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nyqmon::clu {
+
+/// One nyqmond node as the ring sees it: a stable identity (used for
+/// hashing — renaming a node moves its keys) plus where to reach it.
+struct NodeDesc {
+  std::string id;    ///< stable node identity, e.g. "node0"
+  std::string host;  ///< numeric IPv4 host
+  std::uint16_t port = 0;
+};
+
+class HashRing {
+ public:
+  /// Build a ring over `nodes` with `vnodes` points per node. Node IDs
+  /// must be unique and non-empty; vnodes must be >= 1. Throws
+  /// std::invalid_argument otherwise.
+  HashRing(std::vector<NodeDesc> nodes, std::size_t vnodes = 64);
+
+  /// Index (into nodes()) of the node owning `stream_id`.
+  std::size_t owner(std::string_view stream_id) const;
+
+  /// The owning node itself.
+  const NodeDesc& owner_node(std::string_view stream_id) const {
+    return nodes_[owner(stream_id)];
+  }
+
+  const std::vector<NodeDesc>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+  std::size_t vnodes() const { return vnodes_; }
+
+  /// Fraction of the 64-bit keyspace owned by node `i` (arc lengths of
+  /// its ring points). The ring-ownership gauges read this.
+  double keyspace_share(std::size_t i) const;
+
+  /// Canonical text description (see docs/FORMATS.md):
+  ///   nyqring v1
+  ///   vnodes <k>
+  ///   node <id> <host>:<port>
+  /// Nodes in the order given at construction; parse() round-trips.
+  std::string describe() const;
+
+  /// Parse a ring description. Throws std::invalid_argument with a
+  /// line-numbered message on malformed input.
+  static HashRing parse(const std::string& text);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t node;  ///< index into nodes_
+  };
+
+  std::vector<NodeDesc> nodes_;
+  std::size_t vnodes_;
+  std::vector<Point> points_;  ///< sorted by hash (ties by node index)
+};
+
+}  // namespace nyqmon::clu

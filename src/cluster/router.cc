@@ -1,0 +1,199 @@
+#include "cluster/router.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace nyqmon::clu {
+
+namespace {
+
+/// "k of n backends failed" — the ERR message of a partial-failure reply;
+/// the detail block carries the per-node reasons.
+std::string partial_failure_message(std::size_t failed, std::size_t total) {
+  return "partial failure: " + std::to_string(failed) + " of " +
+         std::to_string(total) + " backends failed";
+}
+
+}  // namespace
+
+NyqmonRouter::NyqmonRouter(RouterConfig config)
+    : config_(std::move(config)), cluster_(config_.cluster) {}
+
+NyqmonRouter::~NyqmonRouter() { stop(); }
+
+void NyqmonRouter::start() {
+  srv::ServerConfig front;
+  front.bind_address = config_.bind_address;
+  front.port = config_.port;
+  front.max_frame_bytes = config_.max_frame_bytes;
+  front.max_reply_queue_bytes = config_.max_reply_queue_bytes;
+  front.max_reply_queue_frames = config_.max_reply_queue_frames;
+  front.slow_client_timeout_ms = config_.slow_client_timeout_ms;
+  front.intercept = [this](srv::Verb verb, sto::ByteReader& reader) {
+    return intercept(verb, reader);
+  };
+  front_ = std::make_unique<srv::NyqmondServer>(empty_store_, nullptr,
+                                                std::move(front));
+  front_->start();
+  NYQMON_OBS_GAUGE_SET("nyqmon_router_ring_nodes_depth", cluster_.nodes());
+}
+
+void NyqmonRouter::stop() {
+  if (front_ != nullptr) front_->stop();
+}
+
+void NyqmonRouter::count_failures(
+    const std::vector<srv::ErrorDetail>& failures) {
+  if (failures.empty()) return;
+  partial_failures_.fetch_add(1);
+  backend_errors_.fetch_add(failures.size());
+  NYQMON_OBS_COUNT("nyqmon_router_partial_failures_total", 1);
+  NYQMON_OBS_COUNT("nyqmon_router_backend_errors_total", failures.size());
+}
+
+std::optional<std::vector<std::uint8_t>> NyqmonRouter::intercept(
+    srv::Verb verb, sto::ByteReader& reader) {
+  frames_.fetch_add(1);
+  NYQMON_OBS_COUNT("nyqmon_router_frames_total", 1);
+  switch (verb) {
+    case srv::Verb::kIngest:
+      return route_ingest(reader);
+    case srv::Verb::kQuery:
+      return scatter_query(reader);
+    case srv::Verb::kStats:
+      return fleet_stats_json();
+    case srv::Verb::kCheckpoint:
+      return scatter_checkpoint();
+    case srv::Verb::kHandoff:
+      return srv::error_frame(
+          "HANDOFF addresses a backend node directly, not the router");
+    case srv::Verb::kMetrics:
+    case srv::Verb::kTrace:
+      // The router's own process registry / trace rings: the built-in
+      // handlers already serve exactly that.
+      return std::nullopt;
+  }
+  return std::nullopt;  // unknown verb: built-in ERR path
+}
+
+std::vector<std::uint8_t> NyqmonRouter::route_ingest(sto::ByteReader& reader) {
+  const auto req = srv::decode_ingest(reader);
+  if (!req.has_value()) return srv::error_frame("malformed INGEST payload");
+  ingests_routed_.fetch_add(1);
+  try {
+    const std::uint64_t total =
+        cluster_.ingest(req->stream, req->rate_hz, req->t0, req->values);
+    std::vector<std::uint8_t> payload;
+    sto::put_u64(payload, total);
+    return srv::ok_frame(payload);
+  } catch (const srv::ServerError& e) {
+    count_failures({{cluster_.ring().owner_node(req->stream).id, e.what()}});
+    return srv::error_frame_with_detail(
+        e.what(),
+        e.details().empty()
+            ? std::vector<srv::ErrorDetail>{
+                  {cluster_.ring().owner_node(req->stream).id, e.what()}}
+            : e.details());
+  } catch (const std::exception& e) {
+    const std::vector<srv::ErrorDetail> detail{
+        {cluster_.ring().owner_node(req->stream).id, e.what()}};
+    count_failures(detail);
+    return srv::error_frame_with_detail("ingest owner unreachable", detail);
+  }
+}
+
+std::vector<std::uint8_t> NyqmonRouter::scatter_query(
+    sto::ByteReader& reader) {
+  std::uint8_t flags = 0;
+  const auto spec = srv::decode_query(reader, flags);
+  if (!spec.has_value()) return srv::error_frame("malformed QUERY payload");
+  queries_scattered_.fetch_add(1);
+  NYQMON_OBS_TIMER("nyqmon_router_fanout_latency_ns");
+
+  FleetQuery fleet = cluster_.query(*spec);  // validate() throws -> ERR
+  if (!fleet.failures.empty()) {
+    count_failures(fleet.failures);
+    return srv::error_frame_with_detail(
+        partial_failure_message(fleet.failures.size(), cluster_.nodes()),
+        fleet.failures);
+  }
+  qry::QueryResult result;
+  result.spec = *spec;
+  result.matched = std::move(fleet.merged.matched);
+  result.reconstructed = std::move(fleet.merged.reconstructed);
+  result.series = std::move(fleet.merged.series);
+  auto payload = srv::encode_query_reply(
+      result, fleet.cache_hit, (flags & srv::kQueryWantMatched) != 0);
+  if (payload.size() >= config_.max_frame_bytes)
+    return srv::error_frame(
+        "query result exceeds the frame cap; narrow the selector/range or "
+        "coarsen step_s");
+  return srv::ok_frame(payload);
+}
+
+std::vector<std::uint8_t> NyqmonRouter::fleet_stats_json() {
+  const std::vector<NodeText> backends = cluster_.fleet_stats();
+  char head[256];
+  std::snprintf(
+      head, sizeof(head),
+      "{\"router\":{\"nodes\":%zu,\"frames\":%llu,\"ingests_routed\":%llu,"
+      "\"queries_scattered\":%llu,\"partial_failures\":%llu,"
+      "\"backend_errors\":%llu},\"backends\":[",
+      cluster_.nodes(), static_cast<unsigned long long>(frames_.load()),
+      static_cast<unsigned long long>(ingests_routed_.load()),
+      static_cast<unsigned long long>(queries_scattered_.load()),
+      static_cast<unsigned long long>(partial_failures_.load()),
+      static_cast<unsigned long long>(backend_errors_.load()));
+  std::string json(head);
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    if (i > 0) json += ',';
+    json += "{\"node\":\"" + backends[i].node + "\",";
+    if (backends[i].error.empty()) {
+      json += "\"stats\":" +
+              (backends[i].text.empty() ? std::string("{}")
+                                        : backends[i].text);
+    } else {
+      json += "\"error\":\"" + backends[i].error + "\"";
+    }
+    json += '}';
+  }
+  json += "]}";
+  if (json.size() >= config_.max_frame_bytes)
+    return srv::error_frame("fleet stats exceed the frame cap");
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(json.data());
+  return srv::ok_frame(std::span<const std::uint8_t>(bytes, json.size()));
+}
+
+std::vector<std::uint8_t> NyqmonRouter::scatter_checkpoint() {
+  std::vector<srv::ErrorDetail> failures;
+  const auto replies = cluster_.checkpoint_all(failures);
+  if (!failures.empty()) {
+    count_failures(failures);
+    return srv::error_frame_with_detail(
+        partial_failure_message(failures.size(), cluster_.nodes()), failures);
+  }
+  srv::CheckpointReply merged;
+  merged.persisted = true;
+  for (const auto& reply : replies) {
+    if (!reply.has_value()) continue;
+    merged.persisted = merged.persisted && reply->persisted;
+    merged.chunks += reply->chunks;
+    merged.bytes_written += reply->bytes_written;
+  }
+  return srv::ok_frame(srv::encode_checkpoint_reply(merged));
+}
+
+RouterStats NyqmonRouter::stats() const {
+  RouterStats s;
+  s.frames = frames_.load();
+  s.ingests_routed = ingests_routed_.load();
+  s.queries_scattered = queries_scattered_.load();
+  s.partial_failures = partial_failures_.load();
+  s.backend_errors = backend_errors_.load();
+  return s;
+}
+
+}  // namespace nyqmon::clu

@@ -1,0 +1,108 @@
+// NyqmonRouter — the scatter-gather front of a sharded nyqmond fleet.
+//
+// Speaks the ordinary nyqmond wire protocol to clients (a router is
+// indistinguishable from a big nyqmond) and fans out to N backends through
+// a ClusterClient:
+//
+//   INGEST      → routed to the stream's consistent-hash ring owner
+//   QUERY       → scattered to every backend (aggregation stripped),
+//                 gathered within the per-backend deadline, merged with
+//                 the query engine's own reduction (query/merge.h) so the
+//                 answer is bit-identical to a single node holding all
+//                 streams. Any backend failure answers ERR-with-detail —
+//                 which backends failed and why — rather than silently
+//                 serving a partial fleet.
+//   STATS       → router counters + every backend's STATS JSON, one object
+//   CHECKPOINT  → scattered; chunks/bytes summed, persisted = all
+//   METRICS     → the router process's own registry (includes the
+//                 nyqmon_router_* and per-backend cluster series)
+//   TRACE       → the router process's own trace rings
+//   HANDOFF     → refused: topology moves address a backend node directly
+//                 (nyqmon_ctl handoff), not the fleet front
+//
+// Implementation: a NyqmondServer over an empty store with the intercept
+// hook — the router inherits the event loop, framing robustness, and
+// bounded reply queues, and replaces the data path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/client.h"
+#include "monitor/striped_store.h"
+#include "server/server.h"
+
+namespace nyqmon::clu {
+
+struct RouterConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read back with port().
+  std::uint16_t port = 0;
+  std::size_t max_frame_bytes = srv::kMaxFrameBytes;
+  /// Reply-queue bounds for front-side clients (see ServerConfig).
+  std::size_t max_reply_queue_bytes = 0;
+  std::size_t max_reply_queue_frames = 64;
+  std::uint32_t slow_client_timeout_ms = 0;
+  ClusterConfig cluster;
+};
+
+/// Monotonic router counters (readable from any thread).
+struct RouterStats {
+  std::uint64_t frames = 0;
+  std::uint64_t ingests_routed = 0;
+  std::uint64_t queries_scattered = 0;
+  /// Scatter rounds where at least one backend failed (ERR-with-detail).
+  std::uint64_t partial_failures = 0;
+  /// Individual backend failures across all scatter rounds.
+  std::uint64_t backend_errors = 0;
+};
+
+class NyqmonRouter {
+ public:
+  explicit NyqmonRouter(RouterConfig config);
+  ~NyqmonRouter();
+
+  NyqmonRouter(const NyqmonRouter&) = delete;
+  NyqmonRouter& operator=(const NyqmonRouter&) = delete;
+
+  /// Bind, listen, and spawn the front event loop. Backend connections
+  /// open lazily on first use.
+  void start();
+  void stop();
+  bool running() const { return front_ != nullptr && front_->running(); }
+
+  /// The bound front port (valid after start()).
+  std::uint16_t port() const { return front_->port(); }
+
+  const HashRing& ring() const { return cluster_.ring(); }
+  ClusterClient& cluster() { return cluster_; }
+
+  RouterStats stats() const;
+
+ private:
+  std::optional<std::vector<std::uint8_t>> intercept(srv::Verb verb,
+                                                     sto::ByteReader& reader);
+  std::vector<std::uint8_t> route_ingest(sto::ByteReader& reader);
+  std::vector<std::uint8_t> scatter_query(sto::ByteReader& reader);
+  std::vector<std::uint8_t> fleet_stats_json();
+  std::vector<std::uint8_t> scatter_checkpoint();
+  void count_failures(const std::vector<srv::ErrorDetail>& failures);
+
+  RouterConfig config_;
+  ClusterClient cluster_;
+  /// Empty store backing the front NyqmondServer; the intercept hook keeps
+  /// every data verb away from it.
+  mon::StripedRetentionStore empty_store_;
+  std::unique_ptr<srv::NyqmondServer> front_;
+
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> ingests_routed_{0};
+  std::atomic<std::uint64_t> queries_scattered_{0};
+  std::atomic<std::uint64_t> partial_failures_{0};
+  std::atomic<std::uint64_t> backend_errors_{0};
+};
+
+}  // namespace nyqmon::clu

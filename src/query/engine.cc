@@ -6,73 +6,19 @@
 #include <string>
 #include <utility>
 
-#include "analysis/cdf.h"
 #include "dsp/resample.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/merge.h"
 #include "query/selector.h"
-#include "signal/stats.h"
 #include "util/hash.h"
 #include "util/parallel.h"
 
+// The per-stream transform and the cross-stream column reduction live in
+// query/merge.cc — shared with the cluster layer's scatter-gather merge so
+// a sharded fleet reduces with byte-identical FP semantics.
+
 namespace nyqmon::qry {
-
-namespace {
-
-/// In-place per-stream transform on the aligned output grid.
-void apply_transform(Transform transform, double step_s,
-                     std::vector<double>& v) {
-  switch (transform) {
-    case Transform::kRaw:
-      return;
-    case Transform::kRate:
-      // Backward difference per second; the first point has no left
-      // neighbour and is defined as 0.
-      for (std::size_t i = v.size(); i-- > 1;)
-        v[i] = (v[i] - v[i - 1]) / step_s;
-      if (!v.empty()) v[0] = 0.0;
-      return;
-    case Transform::kZScore: {
-      if (v.empty()) return;
-      const double m = sig::mean(v);
-      const double s = sig::stddev(v);
-      if (s > 0.0) {
-        for (double& x : v) x = (x - m) / s;
-      } else {
-        std::fill(v.begin(), v.end(), 0.0);  // flat window: zero by definition
-      }
-      return;
-    }
-  }
-}
-
-double aggregate_column(Aggregation agg, const std::vector<double>& column) {
-  switch (agg) {
-    case Aggregation::kNone:
-      break;  // unreachable: kNone never reduces
-    case Aggregation::kSum:
-    case Aggregation::kAvg: {
-      double sum = 0.0;
-      for (const double x : column) sum += x;
-      return agg == Aggregation::kSum
-                 ? sum
-                 : sum / static_cast<double>(column.size());
-    }
-    case Aggregation::kMin:
-      return *std::min_element(column.begin(), column.end());
-    case Aggregation::kMax:
-      return *std::max_element(column.begin(), column.end());
-    case Aggregation::kP50:
-      return ana::Cdf(column).quantile(0.50);
-    case Aggregation::kP95:
-      return ana::Cdf(column).quantile(0.95);
-    case Aggregation::kP99:
-      return ana::Cdf(column).quantile(0.99);
-  }
-  return 0.0;
-}
-
-}  // namespace
 
 QueryEngine::QueryEngine(const mon::StripedRetentionStore& store,
                          QueryEngineConfig config)

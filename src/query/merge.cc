@@ -1,0 +1,81 @@
+#include "query/merge.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nyqmon::qry {
+
+namespace {
+
+/// Sorted, deduped union of one string-vector member across all slices.
+void sorted_union(std::vector<ShardSlice>& slices,
+                  std::vector<std::string> ShardSlice::*member,
+                  std::vector<std::string>& out) {
+  for (const ShardSlice& s : slices)
+    out.insert(out.end(), (s.*member).begin(), (s.*member).end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace
+
+MergedQuery merge_shard_slices(const QuerySpec& spec,
+                               std::vector<ShardSlice> slices) {
+  MergedQuery merged;
+  sorted_union(slices, &ShardSlice::matched, merged.matched);
+
+  // Per-stream series: first copy in slice order wins (see header), then
+  // lexicographic by label — the order QueryEngine::execute emits.
+  std::vector<QuerySeries> streams;
+  for (ShardSlice& s : slices) {
+    for (QuerySeries& qs : s.series) {
+      const bool seen =
+          std::any_of(streams.begin(), streams.end(),
+                      [&](const QuerySeries& have) {
+                        return have.label == qs.label;
+                      });
+      if (seen) {
+        ++merged.duplicate_streams;
+        continue;
+      }
+      streams.push_back(std::move(qs));
+    }
+  }
+  std::stable_sort(streams.begin(), streams.end(),
+                   [](const QuerySeries& a, const QuerySeries& b) {
+                     return a.label < b.label;
+                   });
+  merged.reconstructed.reserve(streams.size());
+  for (const QuerySeries& qs : streams) merged.reconstructed.push_back(qs.label);
+
+  const std::size_t n_out = spec.grid_points();
+  for (const QuerySeries& qs : streams)
+    if (qs.series.size() != n_out)
+      throw std::runtime_error(
+          "shard series '" + qs.label + "' has " +
+          std::to_string(qs.series.size()) + " points, spec grid has " +
+          std::to_string(n_out) + " — shards answered different specs");
+
+  if (streams.empty()) return merged;  // series stays empty, like the engine
+
+  if (spec.aggregate == Aggregation::kNone) {
+    merged.series = std::move(streams);
+    return merged;
+  }
+
+  // Cross-stream reduction per output timestamp, streams in lexicographic
+  // order — byte-for-byte the engine's own reduction loop.
+  std::vector<double> reduced(n_out, 0.0);
+  std::vector<double> column(streams.size());
+  for (std::size_t t = 0; t < n_out; ++t) {
+    for (std::size_t i = 0; i < streams.size(); ++i)
+      column[i] = streams[i].series[t];
+    reduced[t] = aggregate_column(spec.aggregate, column);
+  }
+  merged.series.push_back(
+      {std::string(to_string(spec.aggregate)) + "(" + spec.selector + ")",
+       sig::RegularSeries(spec.t_begin, spec.step_s, std::move(reduced))});
+  return merged;
+}
+
+}  // namespace nyqmon::qry

@@ -1,0 +1,122 @@
+// Cross-shard query merging — the entry point that lets a sharded
+// nyqmond fleet answer exactly like one process.
+//
+// The cluster router scatters a QUERY to every node with the aggregation
+// stripped (Aggregation::kNone), so each shard returns its own streams'
+// aligned, transformed per-stream series. This module gathers those
+// slices back into the single-node answer: per-stream series are merged
+// in lexicographic stream-ID order (the same order QueryEngine::execute
+// processes them), duplicates from a segment handoff are dropped
+// deterministically, and the cross-stream aggregation runs here with the
+// *same* column-reduction code the engine uses — so a 1-node and an
+// N-node fleet produce bit-identical QueryResult bytes, whatever the
+// sharding.
+//
+// The transform/aggregation primitives live here (not in engine.cc) for
+// exactly that reason: one definition, two call sites, no drift.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/cdf.h"
+#include "query/spec.h"
+#include "signal/stats.h"
+
+namespace nyqmon::qry {
+
+/// In-place per-stream transform on the aligned output grid. Applied by
+/// the shard that reconstructed the stream (transforms are per-stream, so
+/// they commute with sharding). Inline: this sits in the engine's
+/// per-stream hot loop.
+inline void apply_transform(Transform transform, double step_s,
+                            std::vector<double>& v) {
+  switch (transform) {
+    case Transform::kRaw:
+      return;
+    case Transform::kRate:
+      // Backward difference per second; the first point has no left
+      // neighbour and is defined as 0.
+      for (std::size_t i = v.size(); i-- > 1;)
+        v[i] = (v[i] - v[i - 1]) / step_s;
+      if (!v.empty()) v[0] = 0.0;
+      return;
+    case Transform::kZScore: {
+      if (v.empty()) return;
+      const double m = sig::mean(v);
+      const double s = sig::stddev(v);
+      if (s > 0.0) {
+        for (double& x : v) x = (x - m) / s;
+      } else {
+        std::fill(v.begin(), v.end(), 0.0);  // flat window: zero by definition
+      }
+      return;
+    }
+  }
+}
+
+/// One cross-stream reduction over the per-stream values at a single
+/// output timestamp. `column` holds one value per stream, in
+/// lexicographic stream-ID order — FP accumulation order is part of the
+/// determinism contract. kNone is not a reduction and returns 0. Inline:
+/// called once per output grid point.
+inline double aggregate_column(Aggregation agg,
+                               const std::vector<double>& column) {
+  switch (agg) {
+    case Aggregation::kNone:
+      break;  // unreachable: kNone never reduces
+    case Aggregation::kSum:
+    case Aggregation::kAvg: {
+      double sum = 0.0;
+      for (const double x : column) sum += x;
+      return agg == Aggregation::kSum
+                 ? sum
+                 : sum / static_cast<double>(column.size());
+    }
+    case Aggregation::kMin:
+      return *std::min_element(column.begin(), column.end());
+    case Aggregation::kMax:
+      return *std::max_element(column.begin(), column.end());
+    case Aggregation::kP50:
+      return ana::Cdf(column).quantile(0.50);
+    case Aggregation::kP95:
+      return ana::Cdf(column).quantile(0.95);
+    case Aggregation::kP99:
+      return ana::Cdf(column).quantile(0.99);
+  }
+  return 0.0;
+}
+
+/// What one shard contributed to a scattered query: its matched stream
+/// IDs (lexicographic) and its per-stream series (Aggregation::kNone,
+/// lexicographic by label; only reconstructed streams carry a series).
+struct ShardSlice {
+  std::vector<std::string> matched;
+  std::vector<QuerySeries> series;
+};
+
+/// The fleet-level answer assembled from shard slices.
+struct MergedQuery {
+  std::vector<std::string> matched;        ///< deduped union, lexicographic
+  std::vector<std::string> reconstructed;  ///< deduped union, lexicographic
+  /// Final client-facing series: per-stream for kNone, a single
+  /// aggregate series otherwise (empty when nothing was reconstructed —
+  /// matching QueryEngine::execute).
+  std::vector<QuerySeries> series;
+  /// Streams contributed by more than one shard (a handoff in progress:
+  /// source and destination both still serve the copy). The first copy in
+  /// slice order wins; copies are bit-identical reconstructions of the
+  /// same data, so the choice never changes the answer.
+  std::size_t duplicate_streams = 0;
+};
+
+/// Merge shard slices into the single-node answer for `spec` (the
+/// *original* client spec, with its aggregation). Slices must all be
+/// grids of the same spec: series of differing lengths throw
+/// std::runtime_error (a shard answered a different query).
+MergedQuery merge_shard_slices(const QuerySpec& spec,
+                               std::vector<ShardSlice> slices);
+
+}  // namespace nyqmon::qry

@@ -1,9 +1,12 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -18,11 +21,47 @@ namespace {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
 }
 
+void set_io_timeout(int fd, std::uint32_t timeout_ms) {
+  if (timeout_ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// connect(2) bounded by timeout_ms: flip non-blocking, start the connect,
+/// poll for writability, read SO_ERROR, flip back to blocking.
+void connect_with_timeout(int fd, const sockaddr_in& addr,
+                          std::uint32_t timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) throw_errno("fcntl");
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc < 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready < 0) throw_errno("poll");
+    if (ready == 0) throw std::runtime_error("connect timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+      throw_errno("getsockopt");
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect");
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) throw_errno("fcntl");
+}
+
 }  // namespace
 
 NyqmonClient::NyqmonClient(const std::string& host, std::uint16_t port,
-                           std::size_t max_frame_bytes)
-    : max_frame_bytes_(max_frame_bytes) {
+                           ClientOptions options)
+    : max_frame_bytes_(options.max_frame_bytes) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");
   sockaddr_in addr{};
@@ -33,15 +72,21 @@ NyqmonClient::NyqmonClient(const std::string& host, std::uint16_t port,
     fd_ = -1;
     throw std::runtime_error("bad host address: " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const int saved = errno;
+  try {
+    if (options.connect_timeout_ms > 0) {
+      connect_with_timeout(fd_, addr, options.connect_timeout_ms);
+    } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) < 0) {
+      throw_errno("connect");
+    }
+  } catch (...) {
     ::close(fd_);
     fd_ = -1;
-    errno = saved;
-    throw_errno("connect");
+    throw;
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_io_timeout(fd_, options.io_timeout_ms);
 }
 
 NyqmonClient::~NyqmonClient() { close(); }
@@ -60,6 +105,8 @@ void NyqmonClient::send_raw(std::span<const std::uint8_t> bytes) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("send timed out");
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -74,6 +121,8 @@ std::vector<std::uint8_t> NyqmonClient::read_response_body() {
       if (r == 0) throw std::runtime_error("server closed the connection");
       if (r < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+          throw std::runtime_error("recv timed out");
         throw_errno("recv");
       }
       got += static_cast<std::size_t>(r);
@@ -105,8 +154,8 @@ std::vector<std::uint8_t> NyqmonClient::request_ok(
   if (status == Status::kOk)
     return {body.begin() + 1, body.end()};
   const std::string message = reader.get_string();
-  throw std::runtime_error("server error: " +
-                           (message.empty() ? "(no message)" : message));
+  throw ServerError(message.empty() ? "(no message)" : message,
+                    decode_error_detail(reader));
 }
 
 std::uint64_t NyqmonClient::ingest(const std::string& stream, double rate_hz,
@@ -123,8 +172,9 @@ std::uint64_t NyqmonClient::ingest(const std::string& stream, double rate_hz,
   return total;
 }
 
-QueryReply NyqmonClient::query(const qry::QuerySpec& spec) {
-  const auto payload = request_ok(Verb::kQuery, encode_query(spec));
+QueryReply NyqmonClient::query(const qry::QuerySpec& spec, bool want_matched) {
+  const auto payload = request_ok(
+      Verb::kQuery, encode_query(spec, want_matched ? kQueryWantMatched : 0));
   sto::ByteReader reader(payload);
   auto reply = decode_query_reply(reader);
   if (!reply.has_value()) throw std::runtime_error("malformed QUERY response");
@@ -152,6 +202,27 @@ CheckpointReply NyqmonClient::checkpoint() {
   auto reply = decode_checkpoint_reply(reader);
   if (!reply.has_value())
     throw std::runtime_error("malformed CHECKPOINT response");
+  return *reply;
+}
+
+HandoffExportReply NyqmonClient::handoff_export(const std::string& selector) {
+  const auto payload =
+      request_ok(Verb::kHandoff, encode_handoff_export(selector));
+  sto::ByteReader reader(payload);
+  auto reply = decode_handoff_export_reply(reader);
+  if (!reply.has_value())
+    throw std::runtime_error("malformed HANDOFF response");
+  return std::move(*reply);
+}
+
+HandoffImportReply NyqmonClient::handoff_import(
+    std::span<const std::uint8_t> segment) {
+  const auto payload =
+      request_ok(Verb::kHandoff, encode_handoff_import(segment));
+  sto::ByteReader reader(payload);
+  auto reply = decode_handoff_import_reply(reader);
+  if (!reply.has_value())
+    throw std::runtime_error("malformed HANDOFF response");
   return *reply;
 }
 

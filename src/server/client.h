@@ -2,17 +2,29 @@
 //
 // One instance owns one TCP connection and issues one command at a time
 // (the protocol is strictly request/response per connection; concurrency
-// comes from multiple clients). Command methods throw std::runtime_error
-// when the transport fails or the server answers ERR — the server's
-// message is carried through verbatim.
+// comes from multiple clients). Command methods throw ServerError when the
+// server answers ERR — the server's message (and any per-node detail from
+// a router's partial-failure report) is carried through — and
+// std::runtime_error when the transport fails.
+//
+// ClientOptions adds bounded waiting: a connect timeout (non-blocking
+// connect + poll) and an I/O timeout on every send/recv (SO_SNDTIMEO /
+// SO_RCVTIMEO). Both default to 0 = block forever, the pre-cluster
+// behavior. retry_with_backoff() wraps any callable in the standard
+// reconnect loop: transport errors retry with exponential backoff,
+// ServerError (the server *answered*) never retries.
 //
 // The raw escape hatches (send_raw / request_raw) exist for protocol
 // tests: truncated frames, oversized length prefixes, unknown verbs.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "query/spec.h"
@@ -20,13 +32,43 @@
 
 namespace nyqmon::srv {
 
+/// The server answered ERR. `details` is non-empty only for ERR-with-detail
+/// payloads (the router's per-backend failure report).
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(const std::string& message, std::vector<ErrorDetail> details)
+      : std::runtime_error("server error: " + message),
+        details_(std::move(details)) {}
+
+  const std::vector<ErrorDetail>& details() const { return details_; }
+
+ private:
+  std::vector<ErrorDetail> details_;
+};
+
+struct ClientOptions {
+  /// Bound on establishing the TCP connection. 0 = block forever.
+  std::uint32_t connect_timeout_ms = 0;
+  /// Bound on each send/recv syscall of a request. 0 = block forever.
+  std::uint32_t io_timeout_ms = 0;
+  /// Must match the server's frame cap when that was raised from the
+  /// default — response frames beyond it are rejected.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+};
+
 class NyqmonClient {
  public:
-  /// Connect to host:port (numeric IPv4 host). Throws on failure.
-  /// `max_frame_bytes` must match the server's frame cap when that was
-  /// raised from the default — response frames beyond it are rejected.
+  /// Connect to host:port (numeric IPv4 host). Throws on failure (a
+  /// connect timeout throws std::runtime_error mentioning "timed out").
   NyqmonClient(const std::string& host, std::uint16_t port,
-               std::size_t max_frame_bytes = kMaxFrameBytes);
+               ClientOptions options);
+
+  /// Untimed connect (back-compat convenience).
+  NyqmonClient(const std::string& host, std::uint16_t port,
+               std::size_t max_frame_bytes = kMaxFrameBytes)
+      : NyqmonClient(host, port,
+                     ClientOptions{0, 0, max_frame_bytes}) {}
+
   ~NyqmonClient();
 
   NyqmonClient(const NyqmonClient&) = delete;
@@ -38,7 +80,9 @@ class NyqmonClient {
   std::uint64_t ingest(const std::string& stream, double rate_hz, double t0,
                        std::span<const double> values);
 
-  QueryReply query(const qry::QuerySpec& spec);
+  /// `want_matched` sets kQueryWantMatched so the reply carries the matched
+  /// stream IDs (QueryReply::matched_labels) — the cluster merge needs them.
+  QueryReply query(const qry::QuerySpec& spec, bool want_matched = false);
 
   /// The server's JSON counter snapshot, verbatim.
   std::string stats_json();
@@ -53,8 +97,19 @@ class NyqmonClient {
 
   CheckpointReply checkpoint();
 
+  /// Snapshot every stream matching `selector` into a wire segment image
+  /// (non-destructive; the server keeps serving its copy).
+  HandoffExportReply handoff_export(const std::string& selector);
+
+  /// Restore a wire segment image into the server. The server refuses
+  /// (ServerError with per-stream details) when any stream already exists.
+  HandoffImportReply handoff_import(std::span<const std::uint8_t> segment);
+
   /// Close the socket early (tests: disconnect mid-exchange). Idempotent.
   void close();
+
+  /// The connection's fd, -1 after close() (cluster fan-out polls it).
+  int fd() const { return fd_; }
 
   // ---- protocol-test escape hatches ----
 
@@ -75,5 +130,35 @@ class NyqmonClient {
   int fd_ = -1;
   std::size_t max_frame_bytes_;
 };
+
+/// Reconnect/retry schedule for retry_with_backoff.
+struct RetryPolicy {
+  std::size_t attempts = 3;
+  std::chrono::milliseconds initial_backoff{50};
+  double multiplier = 2.0;
+};
+
+/// Run `fn` up to policy.attempts times, sleeping an exponentially growing
+/// backoff between failures. Retries on transport-level failures
+/// (std::runtime_error) only: a ServerError means the request *reached* the
+/// server and was refused — retrying cannot change the answer — so it
+/// propagates immediately, as does the last transport error.
+template <typename Fn>
+auto retry_with_backoff(const RetryPolicy& policy, Fn&& fn)
+    -> decltype(fn()) {
+  auto backoff = policy.initial_backoff;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const ServerError&) {
+      throw;
+    } catch (const std::runtime_error&) {
+      if (attempt >= policy.attempts || policy.attempts == 0) throw;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::chrono::milliseconds(static_cast<std::int64_t>(
+        static_cast<double>(backoff.count()) * policy.multiplier));
+  }
+}
 
 }  // namespace nyqmon::srv

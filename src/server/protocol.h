@@ -41,6 +41,30 @@
 //                     chrome://tracing Trace Event Format, draining the
 //                     in-process trace rings (empty traceEvents list when
 //                     capture is disabled server-side)
+//   HANDOFF (7)     u8 direction, then
+//                     direction 0 (EXPORT): u16 sel_len|selector
+//                     → OK: u32 n_streams, u64 n_samples, segment-format
+//                       bytes (storage/segment.h, "NYQSEG1\n" magic) for
+//                       every stream matching the selector
+//                     direction 1 (IMPORT): segment-format bytes
+//                     → OK: u32 n_streams, u64 n_samples, u8 persisted
+//                     The cluster topology-change path: a leaving node's
+//                     sealed state ships to its new owner as a segment
+//                     image; import restores the streams and (when a
+//                     durable tier is attached) checkpoints them through
+//                     the manifest's atomic commit, so the handoff is
+//                     WAL/segment-recoverable the moment OK is answered.
+//
+// Extensions (all optional, absent bytes mean "off" — a pre-cluster peer
+// interoperates unchanged):
+//   * QUERY requests may append u8 flags. Bit 0 (kQueryWantMatched) asks
+//     the reply to append, after the series block: u32 n_matched, then
+//     n_matched × u16 len|stream_id (the matched set, lexicographic).
+//     The cluster router needs the labels — not just the count — to
+//     dedupe streams that two shards both hold mid-handoff.
+//   * An ERR payload may append detail entries after the message:
+//     u8 n_details, then per entry u16 len|node_id, u16 len|error. The
+//     router's partial-failure report: which backends failed and why.
 #pragma once
 
 #include <cstdint>
@@ -65,9 +89,16 @@ enum class Verb : std::uint8_t {
   kCheckpoint = 4,
   kMetrics = 5,
   kTrace = 6,
+  kHandoff = 7,
 };
 
 enum class Status : std::uint8_t { kOk = 0, kError = 1 };
+
+/// QUERY request flag bits (the optional trailing u8).
+inline constexpr std::uint8_t kQueryWantMatched = 0x01;
+
+/// HANDOFF direction byte.
+enum class HandoffDirection : std::uint8_t { kExport = 0, kImport = 1 };
 
 struct IngestRequest {
   std::string stream;
@@ -82,6 +113,32 @@ struct QueryReply {
   std::uint32_t matched = 0;
   std::uint32_t reconstructed = 0;
   std::vector<qry::QuerySeries> series;
+  /// Present only when the request set kQueryWantMatched: the matched
+  /// stream IDs themselves, lexicographic.
+  std::vector<std::string> matched_labels;
+};
+
+/// One (node, error) entry of an ERR-with-detail payload.
+struct ErrorDetail {
+  std::string node;
+  std::string error;
+};
+
+/// Decoded HANDOFF IMPORT response.
+struct HandoffImportReply {
+  std::uint32_t streams = 0;
+  std::uint64_t samples = 0;
+  /// True when the import was checkpointed into the durable tier before
+  /// OK was answered (the node runs with storage attached).
+  bool persisted = false;
+};
+
+/// Decoded HANDOFF EXPORT response.
+struct HandoffExportReply {
+  std::uint32_t streams = 0;
+  std::uint64_t samples = 0;
+  /// Segment-format image (storage/segment.h) of the exported streams.
+  std::vector<std::uint8_t> segment;
 };
 
 /// Decoded CHECKPOINT response.
@@ -124,6 +181,37 @@ inline std::vector<std::uint8_t> error_frame(const std::string& message) {
   return frame(static_cast<std::uint8_t>(Status::kError), payload);
 }
 
+/// ERR carrying per-node failure detail (the router's partial-failure
+/// report). Old clients read the message and ignore the trailing block.
+inline std::vector<std::uint8_t> error_frame_with_detail(
+    const std::string& message, const std::vector<ErrorDetail>& details) {
+  std::vector<std::uint8_t> payload;
+  sto::put_string(payload, message);
+  sto::put_u8(payload, static_cast<std::uint8_t>(details.size()));
+  for (const ErrorDetail& d : details) {
+    sto::put_string(payload, d.node);
+    sto::put_string(payload, d.error);
+  }
+  return frame(static_cast<std::uint8_t>(Status::kError), payload);
+}
+
+/// Parse the optional detail block after an ERR message. The reader must
+/// be positioned just past the message string; absent or malformed
+/// trailing bytes yield an empty list (detail is best-effort).
+inline std::vector<ErrorDetail> decode_error_detail(sto::ByteReader& r) {
+  std::vector<ErrorDetail> details;
+  if (r.remaining() == 0) return details;
+  const std::uint8_t n = r.get_u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    ErrorDetail d;
+    d.node = r.get_string();
+    d.error = r.get_string();
+    if (!r.ok()) return {};
+    details.push_back(std::move(d));
+  }
+  return details;
+}
+
 // ------------------------------------------------------------- payloads ---
 
 inline std::vector<std::uint8_t> encode_ingest(const IngestRequest& req) {
@@ -152,7 +240,8 @@ inline std::optional<IngestRequest> decode_ingest(sto::ByteReader& r) {
   return req;
 }
 
-inline std::vector<std::uint8_t> encode_query(const qry::QuerySpec& spec) {
+inline std::vector<std::uint8_t> encode_query(const qry::QuerySpec& spec,
+                                              std::uint8_t flags = 0) {
   std::vector<std::uint8_t> p;
   sto::put_string(p, spec.selector);
   sto::put_f64(p, spec.t_begin);
@@ -160,18 +249,23 @@ inline std::vector<std::uint8_t> encode_query(const qry::QuerySpec& spec) {
   sto::put_f64(p, spec.step_s);
   sto::put_u8(p, static_cast<std::uint8_t>(spec.transform));
   sto::put_u8(p, static_cast<std::uint8_t>(spec.aggregate));
+  if (flags != 0) sto::put_u8(p, flags);  // absent byte == no flags
   return p;
 }
 
-inline std::optional<qry::QuerySpec> decode_query(sto::ByteReader& r) {
+inline std::optional<qry::QuerySpec> decode_query(sto::ByteReader& r,
+                                                  std::uint8_t& flags) {
   qry::QuerySpec spec;
+  flags = 0;
   spec.selector = r.get_string();
   spec.t_begin = r.get_f64();
   spec.t_end = r.get_f64();
   spec.step_s = r.get_f64();
   const std::uint8_t transform = r.get_u8();
   const std::uint8_t aggregate = r.get_u8();
-  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  if (!r.ok()) return std::nullopt;
+  if (r.remaining() == 1) flags = r.get_u8();
+  if (r.remaining() != 0) return std::nullopt;
   if (transform > static_cast<std::uint8_t>(qry::Transform::kZScore) ||
       aggregate > static_cast<std::uint8_t>(qry::Aggregation::kP99))
     return std::nullopt;
@@ -180,8 +274,14 @@ inline std::optional<qry::QuerySpec> decode_query(sto::ByteReader& r) {
   return spec;
 }
 
+inline std::optional<qry::QuerySpec> decode_query(sto::ByteReader& r) {
+  std::uint8_t flags = 0;
+  return decode_query(r, flags);
+}
+
 inline std::vector<std::uint8_t> encode_query_reply(
-    const qry::QueryResult& result, bool cache_hit) {
+    const qry::QueryResult& result, bool cache_hit,
+    bool with_matched_labels = false) {
   std::vector<std::uint8_t> p;
   sto::put_u8(p, cache_hit ? 1 : 0);
   sto::put_u32(p, static_cast<std::uint32_t>(result.matched.size()));
@@ -193,6 +293,10 @@ inline std::vector<std::uint8_t> encode_query_reply(
     sto::put_f64(p, s.series.dt());
     sto::put_u32(p, static_cast<std::uint32_t>(s.series.size()));
     for (const double v : s.series.values()) sto::put_f64(p, v);
+  }
+  if (with_matched_labels) {
+    sto::put_u32(p, static_cast<std::uint32_t>(result.matched.size()));
+    for (const auto& name : result.matched) sto::put_string(p, name);
   }
   return p;
 }
@@ -218,6 +322,16 @@ inline std::optional<QueryReply> decode_query_reply(sto::ByteReader& r) {
     s.series = sig::RegularSeries(t0, dt, std::move(values));
     reply.series.push_back(std::move(s));
   }
+  if (!r.ok()) return std::nullopt;
+  if (r.remaining() > 0) {  // optional matched-labels block
+    const std::uint32_t n_matched = r.get_u32();
+    if (!r.ok()) return std::nullopt;
+    reply.matched_labels.reserve(n_matched);
+    for (std::uint32_t i = 0; i < n_matched; ++i) {
+      reply.matched_labels.push_back(r.get_string());
+      if (!r.ok()) return std::nullopt;
+    }
+  }
   if (!r.ok() || r.remaining() != 0) return std::nullopt;
   return reply;
 }
@@ -237,6 +351,61 @@ inline std::optional<CheckpointReply> decode_checkpoint_reply(
   reply.persisted = r.get_u8() != 0;
   reply.chunks = r.get_u64();
   reply.bytes_written = r.get_u64();
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return reply;
+}
+
+inline std::vector<std::uint8_t> encode_handoff_export(
+    const std::string& selector) {
+  std::vector<std::uint8_t> p;
+  sto::put_u8(p, static_cast<std::uint8_t>(HandoffDirection::kExport));
+  sto::put_string(p, selector);
+  return p;
+}
+
+inline std::vector<std::uint8_t> encode_handoff_import(
+    std::span<const std::uint8_t> segment) {
+  std::vector<std::uint8_t> p;
+  sto::put_u8(p, static_cast<std::uint8_t>(HandoffDirection::kImport));
+  sto::put_bytes(p, segment);
+  return p;
+}
+
+inline std::vector<std::uint8_t> encode_handoff_export_reply(
+    const HandoffExportReply& reply) {
+  std::vector<std::uint8_t> p;
+  sto::put_u32(p, reply.streams);
+  sto::put_u64(p, reply.samples);
+  sto::put_bytes(p, reply.segment);
+  return p;
+}
+
+inline std::optional<HandoffExportReply> decode_handoff_export_reply(
+    sto::ByteReader& r) {
+  HandoffExportReply reply;
+  reply.streams = r.get_u32();
+  reply.samples = r.get_u64();
+  if (!r.ok()) return std::nullopt;
+  const auto rest = r.get_bytes(r.remaining());
+  reply.segment.assign(rest.begin(), rest.end());
+  return reply;
+}
+
+inline std::vector<std::uint8_t> encode_handoff_import_reply(
+    const HandoffImportReply& reply) {
+  std::vector<std::uint8_t> p;
+  sto::put_u32(p, reply.streams);
+  sto::put_u64(p, reply.samples);
+  sto::put_u8(p, reply.persisted ? 1 : 0);
+  return p;
+}
+
+inline std::optional<HandoffImportReply> decode_handoff_import_reply(
+    sto::ByteReader& r) {
+  HandoffImportReply reply;
+  reply.streams = r.get_u32();
+  reply.samples = r.get_u64();
+  reply.persisted = r.get_u8() != 0;
   if (!r.ok() || r.remaining() != 0) return std::nullopt;
   return reply;
 }

@@ -10,16 +10,20 @@
 
 #include <sys/time.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/selector.h"
+#include "storage/segment.h"
 #include "util/check.h"
 
 namespace nyqmon::srv {
@@ -43,6 +47,7 @@ const char* verb_name(Verb verb) {
     case Verb::kCheckpoint: return "CHECKPOINT";
     case Verb::kMetrics: return "METRICS";
     case Verb::kTrace: return "TRACE";
+    case Verb::kHandoff: return "HANDOFF";
   }
   return "UNKNOWN";
 }
@@ -64,6 +69,8 @@ obs::Histogram* verb_latency_histogram(Verb verb) {
       obs::Registry::instance().histogram("nyqmon_server_metrics_latency_ns");
   static obs::Histogram& trace =
       obs::Registry::instance().histogram("nyqmon_server_trace_latency_ns");
+  static obs::Histogram& handoff =
+      obs::Registry::instance().histogram("nyqmon_server_handoff_latency_ns");
   switch (verb) {
     case Verb::kIngest: return &ingest;
     case Verb::kQuery: return &query;
@@ -71,6 +78,7 @@ obs::Histogram* verb_latency_histogram(Verb verb) {
     case Verb::kCheckpoint: return &checkpoint;
     case Verb::kMetrics: return &metrics;
     case Verb::kTrace: return &trace;
+    case Verb::kHandoff: return &handoff;
   }
   return nullptr;  // unknown verbs answer ERR untimed
 }
@@ -191,23 +199,37 @@ void NyqmondServer::loop() {
     fds.push_back({listen_fd_, POLLIN, 0});
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     std::size_t reply_backlog = 0;
+    std::size_t reply_frames = 0;
+    bool any_stalled = false;
     for (const auto& conn : conns_) {
       const std::size_t backlog = conn->out.size() - conn->out_sent;
       reply_backlog += backlog;
+      reply_frames += conn->out_frames;
+      any_stalled |= conn->stalled;
       short events = 0;
       // Backpressure: stop reading once a connection is closing or its
-      // reply backlog is large — a client that pipelines requests without
-      // draining replies must not grow server memory without bound.
-      if (!conn->close_after_flush && backlog < config_.max_frame_bytes)
+      // reply queue is at its bound — a client that pipelines requests
+      // without draining replies must not grow server memory without bound.
+      if (!conn->close_after_flush && !reply_queue_full(*conn))
         events |= POLLIN;
       if (backlog > 0) events |= POLLOUT;
       fds.push_back({conn->fd, events, 0});
     }
-    // Undelivered reply bytes across all connections: a sustained non-zero
-    // value means clients aren't draining as fast as the loop serves.
+    // Undelivered reply bytes/frames across all connections: a sustained
+    // non-zero value means clients aren't draining as fast as the loop
+    // serves.
     NYQMON_OBS_GAUGE_SET("nyqmon_server_reply_queue_bytes", reply_backlog);
+    NYQMON_OBS_GAUGE_SET("nyqmon_server_reply_queue_frames_depth",
+                         reply_frames);
 
-    if (::poll(fds.data(), fds.size(), 1000) < 0) {
+    // A stalled connection makes no socket events until the client drains,
+    // so its drop deadline must be enforced on a timeout tick.
+    int poll_timeout_ms = 1000;
+    if (any_stalled && config_.slow_client_timeout_ms > 0)
+      poll_timeout_ms =
+          std::min(poll_timeout_ms,
+                   static_cast<int>(config_.slow_client_timeout_ms));
+    if (::poll(fds.data(), fds.size(), poll_timeout_ms) < 0) {
       if (errno == EINTR) continue;
       break;
     }
@@ -220,6 +242,7 @@ void NyqmondServer::loop() {
     if (fds[0].revents & POLLIN) accept_clients();
 
     // Serve clients; reap the dead ones after the scan.
+    const auto now = std::chrono::steady_clock::now();
     std::vector<std::size_t> dead;
     for (std::size_t i = 0; i < polled; ++i) {
       Connection& conn = *conns_[i];
@@ -228,8 +251,37 @@ void NyqmondServer::loop() {
       if (revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
       if (alive && (revents & POLLIN)) alive = read_client(conn);
       if (alive && conn.out_sent < conn.out.size()) alive = write_client(conn);
+      // Requests buffered past an earlier backpressure break generate no
+      // further socket events — re-dispatch them as the reply queue
+      // drains. Each pass consumes at least one whole frame; a pass that
+      // consumes nothing (partial frame, or the queue refilled) is done.
+      while (alive && !conn.in.empty() && !reply_queue_full(conn)) {
+        const std::size_t before = conn.in.size();
+        alive = drain_frames(conn);
+        if (conn.in.size() == before) break;
+      }
       if (alive && conn.close_after_flush && conn.out_sent == conn.out.size())
         alive = false;
+      // Slow-client tracking: a connection whose bounded reply queue is
+      // still full after this round's send attempt is stalled; one that
+      // stays stalled past the timeout is dropped (its replies are the
+      // only thing pinning server memory).
+      if (alive && reply_queue_full(conn)) {
+        if (!conn.stalled) {
+          conn.stalled = true;
+          conn.stall_since = now;
+          backpressure_stalls_.fetch_add(1);
+          NYQMON_OBS_COUNT("nyqmon_server_backpressure_stalls_total", 1);
+        } else if (config_.slow_client_timeout_ms > 0 &&
+                   now - conn.stall_since >= std::chrono::milliseconds(
+                                                 config_.slow_client_timeout_ms)) {
+          slow_clients_dropped_.fetch_add(1);
+          NYQMON_OBS_COUNT("nyqmon_server_slow_clients_dropped_total", 1);
+          alive = false;
+        }
+      } else {
+        conn.stalled = false;
+      }
       if (!alive) dead.push_back(i);
     }
     for (std::size_t k = dead.size(); k-- > 0;) {
@@ -264,9 +316,9 @@ bool NyqmondServer::read_client(Connection& conn) {
   std::uint8_t buf[16384];
   while (true) {
     // Backpressure inside the read burst too: once this client's reply
-    // backlog hits the cap, stop pulling bytes (the kernel buffer and the
+    // queue hits its bound, stop pulling bytes (the kernel buffer and the
     // peer's send window hold the rest until the client drains replies).
-    if (conn.out.size() - conn.out_sent >= config_.max_frame_bytes) break;
+    if (reply_queue_full(conn)) break;
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn.in.insert(conn.in.end(), buf, buf + n);
@@ -306,6 +358,7 @@ bool NyqmondServer::write_client(Connection& conn) {
   if (conn.out_sent == conn.out.size()) {
     conn.out.clear();
     conn.out_sent = 0;
+    conn.out_frames = 0;
   }
   return true;
 }
@@ -316,10 +369,10 @@ bool NyqmondServer::drain_frames(Connection& conn) {
   if (conn.close_after_flush) return write_client(conn);
   std::size_t consumed = 0;
   while (conn.in.size() - consumed >= 4) {
-    // Stop dispatching once the reply backlog hits the cap; the remaining
+    // Stop dispatching once the reply queue hits its bound; the remaining
     // input stays buffered and POLLIN stays suppressed until the client
-    // reads its replies. Bounds conn.out at cap + one reply.
-    if (conn.out.size() - conn.out_sent >= config_.max_frame_bytes) break;
+    // reads its replies. Bounds conn.out at the byte bound + one reply.
+    if (reply_queue_full(conn)) break;
     sto::ByteReader prefix(
         std::span<const std::uint8_t>(conn.in).subspan(consumed, 4));
     const std::uint32_t body_len = prefix.get_u32();
@@ -356,8 +409,15 @@ void NyqmondServer::dispatch(Connection& conn,
   [[maybe_unused]] const auto t_dispatch = std::chrono::steady_clock::now();
 
   std::vector<std::uint8_t> reply;
+  bool intercepted = false;
   try {
-    switch (verb) {
+    if (config_.intercept) {
+      if (auto hooked = config_.intercept(verb, reader)) {
+        reply = std::move(*hooked);
+        intercepted = true;
+      }
+    }
+    if (!intercepted) switch (verb) {
       case Verb::kIngest:
         ingest_frames_.fetch_add(1);
         reply = handle_ingest(reader);
@@ -382,6 +442,10 @@ void NyqmondServer::dispatch(Connection& conn,
         trace_frames_.fetch_add(1);
         reply = handle_trace();
         break;
+      case Verb::kHandoff:
+        handoff_frames_.fetch_add(1);
+        reply = handle_handoff(reader);
+        break;
       default:
         protocol_errors_.fetch_add(1);
         NYQMON_OBS_COUNT("nyqmon_server_protocol_errors_total", 1);
@@ -401,6 +465,7 @@ void NyqmondServer::dispatch(Connection& conn,
             .count()));
 #endif
   conn.out.insert(conn.out.end(), reply.begin(), reply.end());
+  ++conn.out_frames;
 }
 
 std::vector<std::uint8_t> NyqmondServer::handle_ingest(
@@ -420,11 +485,13 @@ std::vector<std::uint8_t> NyqmondServer::handle_ingest(
 }
 
 std::vector<std::uint8_t> NyqmondServer::handle_query(sto::ByteReader& reader) {
-  const auto spec = decode_query(reader);
+  std::uint8_t flags = 0;
+  const auto spec = decode_query(reader, flags);
   if (!spec.has_value()) return error_frame("malformed QUERY payload");
   spec->validate();  // throws -> ERR via dispatch
   const qry::QueryResponse response = query_.run(*spec);
-  auto payload = encode_query_reply(*response.result, response.cache_hit);
+  auto payload = encode_query_reply(*response.result, response.cache_hit,
+                                    (flags & kQueryWantMatched) != 0);
   // A reply must fit one frame: clients reject bodies over their cap, and
   // past 4 GiB the u32 length prefix would wrap. Refuse rather than emit
   // an undeliverable frame.
@@ -498,6 +565,75 @@ std::vector<std::uint8_t> NyqmondServer::handle_trace() {
   return ok_frame(std::span<const std::uint8_t>(bytes, json.size()));
 }
 
+std::vector<std::uint8_t> NyqmondServer::handle_handoff(
+    sto::ByteReader& reader) {
+  const auto direction = static_cast<HandoffDirection>(reader.get_u8());
+  if (!reader.ok()) return error_frame("malformed HANDOFF payload");
+
+  if (direction == HandoffDirection::kExport) {
+    const std::string selector = reader.get_string();
+    if (!reader.ok() || reader.remaining() != 0 || selector.empty())
+      return error_frame("malformed HANDOFF payload");
+    std::vector<std::string> names;
+    if (qry::is_exact(selector)) {
+      if (store_.find_meta(selector).has_value()) names.push_back(selector);
+    } else {
+      for (auto& name : store_.stream_names())
+        if (qry::match_glob(selector, name)) names.push_back(std::move(name));
+    }
+    // Non-destructive: the exporter keeps serving its copy until the
+    // operator retires it; mid-handoff duplicates are deduped at query
+    // merge time (query/merge.h).
+    sto::SegmentWriter writer;
+    for (const std::string& name : names)
+      writer.add_stream(store_.snapshot_stream(name));
+    HandoffExportReply reply;
+    reply.streams = static_cast<std::uint32_t>(writer.stats().streams);
+    reply.samples = writer.stats().samples;
+    if (4 + 8 + writer.bytes().size() + 1 >= config_.max_frame_bytes)
+      return error_frame(
+          "handoff export exceeds the frame cap; narrow the selector");
+    reply.segment = writer.bytes();
+    return ok_frame(encode_handoff_export_reply(reply));
+  }
+
+  if (direction == HandoffDirection::kImport) {
+    const auto segment = reader.get_bytes(reader.remaining());
+    std::map<std::string, mon::StreamSnapshot> streams;
+    sto::read_segment_bytes(segment, streams);  // throws -> ERR via dispatch
+    // Refuse before restoring anything: an import must not silently merge
+    // into streams this node already owns (that would double-count on a
+    // repeated handoff). The detail block names every conflict.
+    std::vector<ErrorDetail> conflicts;
+    for (const auto& [name, snap] : streams)
+      if (store_.find_meta(name).has_value())
+        conflicts.push_back({name, "stream already exists"});
+    if (!conflicts.empty())
+      return error_frame_with_detail("handoff import refused", conflicts);
+    HandoffImportReply reply;
+    for (auto& [name, snap] : streams) {
+      for (const auto& chunk : snap.chunks) reply.samples += chunk.values.size();
+      reply.samples += snap.hot.size();
+      store_.restore_stream(std::move(snap));
+      ++reply.streams;
+    }
+    // restore_stream bypasses the ingest sink (it is the recovery path and
+    // must not re-log), so durability comes from checkpointing through the
+    // manifest's atomic commit before OK is answered: after this, a crash
+    // recovers the imported streams.
+    if (config_.checkpoint_fn) {
+      reply.persisted = !config_.checkpoint_fn().skipped;
+    } else if (storage_ != nullptr) {
+      storage_->sync();
+      storage_->flush(store_);
+      reply.persisted = true;
+    }
+    return ok_frame(encode_handoff_import_reply(reply));
+  }
+
+  return error_frame("unknown HANDOFF direction");
+}
+
 ServerStats NyqmondServer::stats() const {
   ServerStats s;
   s.connections_accepted = connections_accepted_.load();
@@ -509,8 +645,11 @@ ServerStats NyqmondServer::stats() const {
   s.checkpoint_frames = checkpoint_frames_.load();
   s.metrics_frames = metrics_frames_.load();
   s.trace_frames = trace_frames_.load();
+  s.handoff_frames = handoff_frames_.load();
   s.protocol_errors = protocol_errors_.load();
   s.samples_ingested = samples_ingested_.load();
+  s.backpressure_stalls = backpressure_stalls_.load();
+  s.slow_clients_dropped = slow_clients_dropped_.load();
   return s;
 }
 

@@ -22,9 +22,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,12 +44,33 @@ struct ServerConfig {
   std::uint16_t port = 0;
   std::size_t max_frame_bytes = kMaxFrameBytes;
   std::size_t listen_backlog = 64;
+  /// Per-connection reply queue bound in bytes; once a client's undelivered
+  /// replies reach the bound, the server stops reading (and dispatching)
+  /// that connection until it drains. 0 = default to max_frame_bytes.
+  std::size_t max_reply_queue_bytes = 0;
+  /// Same bound in whole queued reply frames — catches a pipelining client
+  /// whose tiny replies would never trip the byte bound.
+  std::size_t max_reply_queue_frames = 64;
+  /// Drop (close) a connection whose bounded reply queue makes no send
+  /// progress for this long — a stuck client must not hold its replies in
+  /// server memory forever. 0 = stall indefinitely, never drop.
+  std::uint32_t slow_client_timeout_ms = 0;
   qry::QueryEngineConfig query;
   /// CHECKPOINT delegate. Servers fronting a StreamingRuntime must point
   /// this at StreamingRuntime::checkpoint() so the flush is quiesced
   /// against the scheduler; when unset, the server flushes `storage`
   /// directly (safe: the loop thread is then the only ingest path).
   std::function<sto::FlushStats()> checkpoint_fn;
+  /// Cluster hook: when set, every decoded request verb is offered to this
+  /// function before the built-in handlers. A returned frame (OK or ERR)
+  /// becomes the reply; nullopt falls through to the built-in handler, in
+  /// which case the hook must not have consumed any payload bytes from the
+  /// reader. Runs on the loop thread; a thrown exception answers ERR. The
+  /// scatter-gather router fronts a fleet with this — it gets the socket
+  /// loop, framing robustness, and reply-queue bounds for free.
+  std::function<std::optional<std::vector<std::uint8_t>>(Verb,
+                                                         sto::ByteReader&)>
+      intercept;
 };
 
 /// Monotonic wire counters (readable from any thread).
@@ -61,8 +84,13 @@ struct ServerStats {
   std::uint64_t checkpoint_frames = 0;
   std::uint64_t metrics_frames = 0;
   std::uint64_t trace_frames = 0;
+  std::uint64_t handoff_frames = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t samples_ingested = 0;
+  /// Connections that entered reply-queue backpressure (reads suspended).
+  std::uint64_t backpressure_stalls = 0;
+  /// Connections dropped for exceeding slow_client_timeout_ms while stalled.
+  std::uint64_t slow_clients_dropped = 0;
 };
 
 class NyqmondServer {
@@ -99,7 +127,13 @@ class NyqmondServer {
     std::vector<std::uint8_t> in;
     std::vector<std::uint8_t> out;
     std::size_t out_sent = 0;
+    /// Whole reply frames queued since `out` last drained empty.
+    std::size_t out_frames = 0;
     bool close_after_flush = false;
+    /// Reply queue at its bound with reads suspended; stall_since marks
+    /// when the current stall episode began (slow-client drop clock).
+    bool stalled = false;
+    std::chrono::steady_clock::time_point stall_since{};
   };
 
   void loop();
@@ -116,6 +150,18 @@ class NyqmondServer {
   std::vector<std::uint8_t> handle_checkpoint();
   std::vector<std::uint8_t> handle_metrics();
   std::vector<std::uint8_t> handle_trace();
+  std::vector<std::uint8_t> handle_handoff(sto::ByteReader& reader);
+
+  /// Effective reply-queue byte bound (config default resolution).
+  std::size_t reply_queue_bytes_limit() const {
+    return config_.max_reply_queue_bytes != 0 ? config_.max_reply_queue_bytes
+                                              : config_.max_frame_bytes;
+  }
+  /// True when this connection's undelivered replies are at their bound.
+  bool reply_queue_full(const Connection& conn) const {
+    return conn.out.size() - conn.out_sent >= reply_queue_bytes_limit() ||
+           conn.out_frames >= config_.max_reply_queue_frames;
+  }
 
   mon::StripedRetentionStore& store_;
   sto::StorageManager* storage_;
@@ -139,8 +185,11 @@ class NyqmondServer {
   std::atomic<std::uint64_t> checkpoint_frames_{0};
   std::atomic<std::uint64_t> metrics_frames_{0};
   std::atomic<std::uint64_t> trace_frames_{0};
+  std::atomic<std::uint64_t> handoff_frames_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> samples_ingested_{0};
+  std::atomic<std::uint64_t> backpressure_stalls_{0};
+  std::atomic<std::uint64_t> slow_clients_dropped_{0};
 };
 
 }  // namespace nyqmon::srv

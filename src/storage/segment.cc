@@ -80,6 +80,15 @@ SegmentReadStats read_segment(
   if (bytes.size() < sizeof(kSegmentMagic) ||
       std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0)
     throw std::runtime_error("not a segment file: " + path);
+  return read_segment_bytes(bytes, streams);
+}
+
+SegmentReadStats read_segment_bytes(
+    std::span<const std::uint8_t> bytes,
+    std::map<std::string, mon::StreamSnapshot>& streams) {
+  if (bytes.size() < sizeof(kSegmentMagic) ||
+      std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0)
+    throw std::runtime_error("not a segment image");
 
   SegmentReadStats stats;
   mon::StreamSnapshot* current = nullptr;  // owner of chunk/tail blocks

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,5 +86,12 @@ struct SegmentReadStats {
 /// a segment; corrupt blocks inside are skipped and counted.
 SegmentReadStats read_segment(const std::string& path,
                               std::map<std::string, mon::StreamSnapshot>& streams);
+
+/// Same merge over an in-memory segment image — the cluster HANDOFF path,
+/// where a segment ships over the wire instead of through a file. Throws
+/// std::runtime_error when the image lacks the segment magic.
+SegmentReadStats read_segment_bytes(
+    std::span<const std::uint8_t> bytes,
+    std::map<std::string, mon::StreamSnapshot>& streams);
 
 }  // namespace nyqmon::sto

@@ -1,0 +1,509 @@
+// Cluster layer: consistent-hash ring determinism/serialization/stability,
+// cross-shard merge semantics, and fleet-level end-to-end checks — the same
+// data behind a 1-node and a 4-node router answers every selector
+// bit-identically (including after a segment handoff duplicated streams
+// across nodes), and a killed backend turns into a prompt ERR-with-detail
+// partial-failure report instead of a hang.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/client.h"
+#include "cluster/hash.h"
+#include "cluster/router.h"
+#include "monitor/striped_store.h"
+#include "query/merge.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace nyqmon;
+
+std::vector<clu::NodeDesc> test_nodes(std::size_t n) {
+  std::vector<clu::NodeDesc> nodes;
+  for (std::size_t i = 0; i < n; ++i)
+    nodes.push_back({"node" + std::to_string(i), "127.0.0.1",
+                     static_cast<std::uint16_t>(9000 + i)});
+  return nodes;
+}
+
+std::vector<std::string> test_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys.push_back("dev" + std::to_string(i % 97) + "/metric" +
+                   std::to_string(i));
+  return keys;
+}
+
+bool same_values(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), 8 * a.size()) == 0);
+}
+
+/// Deterministic per-stream test signal.
+std::vector<double> wave(std::size_t n, double phase) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = std::sin(phase + 0.1 * static_cast<double>(i)) +
+           0.01 * static_cast<double>(i);
+  return v;
+}
+
+// -------------------------------------------------------------------- ring --
+
+TEST(HashRing, OwnershipIsDeterministicAndComplete) {
+  const clu::HashRing a(test_nodes(4), 64);
+  const clu::HashRing b(test_nodes(4), 64);
+  for (const std::string& key : test_keys(500)) {
+    const std::size_t owner = a.owner(key);
+    ASSERT_LT(owner, 4u);
+    EXPECT_EQ(owner, b.owner(key)) << key;  // same inputs, same placement
+  }
+  // Every node owns a non-degenerate share, and shares cover the keyspace.
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GT(a.keyspace_share(i), 0.01);
+    total += a.keyspace_share(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HashRing, DescribeParsesBackIdentically) {
+  const clu::HashRing ring(test_nodes(3), 16);
+  const std::string text = ring.describe();
+  EXPECT_NE(text.find("nyqring v1"), std::string::npos);
+  EXPECT_NE(text.find("vnodes 16"), std::string::npos);
+
+  const clu::HashRing parsed = clu::HashRing::parse(text);
+  ASSERT_EQ(parsed.size(), ring.size());
+  EXPECT_EQ(parsed.vnodes(), ring.vnodes());
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(parsed.nodes()[i].id, ring.nodes()[i].id);
+    EXPECT_EQ(parsed.nodes()[i].host, ring.nodes()[i].host);
+    EXPECT_EQ(parsed.nodes()[i].port, ring.nodes()[i].port);
+  }
+  for (const std::string& key : test_keys(500))
+    EXPECT_EQ(parsed.owner(key), ring.owner(key)) << key;
+  EXPECT_EQ(parsed.describe(), text);  // canonical: round-trips bit-identically
+}
+
+TEST(HashRing, RejectsMalformedInput) {
+  EXPECT_THROW(clu::HashRing(test_nodes(2), 0), std::invalid_argument);
+  EXPECT_THROW(clu::HashRing({}, 8), std::invalid_argument);
+  auto dup = test_nodes(2);
+  dup[1].id = dup[0].id;
+  EXPECT_THROW(clu::HashRing(dup, 8), std::invalid_argument);
+  EXPECT_THROW(clu::HashRing::parse("not a ring\n"), std::invalid_argument);
+  EXPECT_THROW(clu::HashRing::parse("nyqring v1\nvnodes 0\nnode a h:1\n"),
+               std::invalid_argument);
+}
+
+TEST(HashRing, AddingANodeMovesOnlyItsShare) {
+  const clu::HashRing before(test_nodes(4), 64);
+  const clu::HashRing after(test_nodes(5), 64);  // node4 joins
+  const auto keys = test_keys(2000);
+
+  std::size_t moved = 0;
+  for (const std::string& key : keys) {
+    const std::size_t old_owner = before.owner(key);
+    const std::size_t new_owner = after.owner(key);
+    if (old_owner != new_owner) {
+      // Consistent hashing's contract: a key only ever moves TO the
+      // joining node — never gets reshuffled between surviving nodes.
+      EXPECT_EQ(after.nodes()[new_owner].id, "node4") << key;
+      ++moved;
+    }
+  }
+  // Expected ~1/5 of keys move (the joiner's share); allow generous slack
+  // for vnode placement variance.
+  const double fraction =
+      static_cast<double>(moved) / static_cast<double>(keys.size());
+  EXPECT_GT(fraction, 0.05);
+  EXPECT_LT(fraction, 0.40);
+  EXPECT_NEAR(fraction, after.keyspace_share(4), 0.10);
+}
+
+// ------------------------------------------------------------------- merge --
+
+qry::QuerySpec merge_spec(qry::Aggregation agg) {
+  qry::QuerySpec spec;
+  spec.selector = "*";
+  spec.t_begin = 0.0;
+  spec.t_end = 8.0;
+  spec.step_s = 1.0;
+  spec.aggregate = agg;
+  return spec;
+}
+
+qry::QuerySeries series_of(const std::string& label, double seed,
+                           std::size_t n) {
+  return {label, sig::RegularSeries(0.0, 1.0, wave(n, seed))};
+}
+
+TEST(ShardMerge, DedupesAndOrdersLikeOneEngine) {
+  const auto spec = merge_spec(qry::Aggregation::kNone);
+  const std::size_t n = spec.grid_points();
+  // Shard 0 holds {a, c}; shard 1 holds {b, c} — c is mid-handoff, both
+  // copies bit-identical.
+  std::vector<qry::ShardSlice> slices(2);
+  slices[0].matched = {"s/a", "s/c"};
+  slices[0].series = {series_of("s/a", 0.1, n), series_of("s/c", 0.3, n)};
+  slices[1].matched = {"s/b", "s/c"};
+  slices[1].series = {series_of("s/b", 0.2, n), series_of("s/c", 0.3, n)};
+
+  const qry::MergedQuery merged = qry::merge_shard_slices(spec, slices);
+  EXPECT_EQ(merged.matched,
+            (std::vector<std::string>{"s/a", "s/b", "s/c"}));
+  EXPECT_EQ(merged.reconstructed, merged.matched);
+  EXPECT_EQ(merged.duplicate_streams, 1u);
+  ASSERT_EQ(merged.series.size(), 3u);
+  EXPECT_EQ(merged.series[0].label, "s/a");
+  EXPECT_EQ(merged.series[1].label, "s/b");
+  EXPECT_EQ(merged.series[2].label, "s/c");
+  EXPECT_TRUE(same_values(merged.series[2].series.span(),
+                          series_of("s/c", 0.3, n).series.span()));
+}
+
+TEST(ShardMerge, AggregatesWithTheEnginesReduction) {
+  const auto spec = merge_spec(qry::Aggregation::kP95);
+  const std::size_t n = spec.grid_points();
+  std::vector<qry::ShardSlice> slices(2);
+  slices[0].matched = {"s/a"};
+  slices[0].series = {series_of("s/a", 0.1, n)};
+  slices[1].matched = {"s/b", "s/z"};
+  slices[1].series = {series_of("s/b", 0.2, n), series_of("s/z", 0.9, n)};
+
+  const qry::MergedQuery merged = qry::merge_shard_slices(spec, slices);
+  ASSERT_EQ(merged.series.size(), 1u);
+  EXPECT_EQ(merged.series[0].label, "p95(*)");
+
+  // Reference: the engine's own column reduction in lexicographic order.
+  const std::vector<qry::QuerySeries> ordered = {
+      series_of("s/a", 0.1, n), series_of("s/b", 0.2, n),
+      series_of("s/z", 0.9, n)};
+  for (std::size_t t = 0; t < n; ++t) {
+    std::vector<double> column(ordered.size());
+    for (std::size_t i = 0; i < ordered.size(); ++i)
+      column[i] = ordered[i].series[t];
+    const double expect =
+        qry::aggregate_column(qry::Aggregation::kP95, column);
+    EXPECT_EQ(merged.series[0].series[t], expect) << t;  // bit-identical
+  }
+}
+
+TEST(ShardMerge, RejectsMismatchedGrids) {
+  const auto spec = merge_spec(qry::Aggregation::kNone);
+  std::vector<qry::ShardSlice> slices(1);
+  slices[0].matched = {"s/a"};
+  slices[0].series = {series_of("s/a", 0.1, spec.grid_points() + 3)};
+  EXPECT_THROW(qry::merge_shard_slices(spec, slices), std::runtime_error);
+}
+
+// ------------------------------------------------- fleet (router) fixtures --
+
+/// N empty in-process nyqmond backends behind one router.
+struct MiniFleet {
+  std::vector<std::unique_ptr<mon::StripedRetentionStore>> stores;
+  std::vector<std::unique_ptr<srv::NyqmondServer>> backends;
+  std::unique_ptr<clu::NyqmonRouter> router;
+
+  explicit MiniFleet(std::size_t n, std::uint32_t io_timeout_ms = 5000) {
+    clu::RouterConfig cfg;
+    for (std::size_t i = 0; i < n; ++i) {
+      stores.push_back(std::make_unique<mon::StripedRetentionStore>());
+      backends.push_back(std::make_unique<srv::NyqmondServer>(
+          *stores.back(), nullptr, srv::ServerConfig{}));
+      backends.back()->start();
+      cfg.cluster.nodes.push_back({"node" + std::to_string(i), "127.0.0.1",
+                                   backends.back()->port()});
+    }
+    cfg.cluster.connect_timeout_ms = 2000;
+    cfg.cluster.io_timeout_ms = io_timeout_ms;
+    router = std::make_unique<clu::NyqmonRouter>(cfg);
+    router->start();
+  }
+
+  ~MiniFleet() {
+    if (router != nullptr) router->stop();
+    for (auto& backend : backends) backend->stop();
+  }
+};
+
+const char* kStreams[] = {"podA/cpu", "podA/mem", "podB/cpu", "podB/mem",
+                          "podC/cpu", "podC/mem", "podD/cpu", "podD/mem",
+                          "rack1-tor/drops", "rack2-tor/drops"};
+
+void ingest_fixture(srv::NyqmonClient& client) {
+  double phase = 0.0;
+  for (const char* name : kStreams) {
+    const auto values = wave(256, phase += 0.7);
+    client.ingest(name, 1.0, 0.0, values);
+  }
+}
+
+std::vector<qry::QuerySpec> selector_suite() {
+  std::vector<qry::QuerySpec> suite;
+  const char* selectors[] = {"podA/cpu", "rack1-tor/drops", "*/cpu",
+                             "podB/*",   "rack?-tor/drops", "*",
+                             "none/such"};
+  const qry::Transform transforms[] = {qry::Transform::kRaw,
+                                       qry::Transform::kRate,
+                                       qry::Transform::kZScore};
+  const qry::Aggregation aggs[] = {
+      qry::Aggregation::kNone, qry::Aggregation::kSum,
+      qry::Aggregation::kAvg,  qry::Aggregation::kMin,
+      qry::Aggregation::kMax,  qry::Aggregation::kP50,
+      qry::Aggregation::kP95,  qry::Aggregation::kP99};
+  std::size_t v = 0;
+  for (const char* sel : selectors) {
+    for (const auto agg : aggs) {
+      qry::QuerySpec spec;
+      spec.selector = sel;
+      spec.t_begin = 8.0;
+      spec.t_end = 200.0;
+      spec.step_s = 4.0;
+      spec.transform = transforms[v++ % 3];
+      spec.aggregate = agg;
+      suite.push_back(spec);
+    }
+  }
+  return suite;
+}
+
+void expect_identical_answers(srv::NyqmonClient& one, srv::NyqmonClient& many,
+                              const char* when) {
+  for (const qry::QuerySpec& spec : selector_suite()) {
+    const srv::QueryReply a = one.query(spec, true);
+    const srv::QueryReply b = many.query(spec, true);
+    SCOPED_TRACE(std::string(when) + ": " + spec.selector + " agg=" +
+                 std::to_string(static_cast<int>(spec.aggregate)));
+    EXPECT_EQ(a.matched, b.matched);
+    EXPECT_EQ(a.reconstructed, b.reconstructed);
+    EXPECT_EQ(a.matched_labels, b.matched_labels);
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (std::size_t i = 0; i < a.series.size(); ++i) {
+      EXPECT_EQ(a.series[i].label, b.series[i].label);
+      EXPECT_EQ(a.series[i].series.t0(), b.series[i].series.t0());
+      EXPECT_EQ(a.series[i].series.dt(), b.series[i].series.dt());
+      EXPECT_TRUE(same_values(a.series[i].series.span(),
+                              b.series[i].series.span()))
+          << a.series[i].label;
+    }
+  }
+}
+
+// ------------------------------------------------------ fleet determinism --
+
+TEST(Fleet, OneNodeAndFourNodesAnswerBitIdentically) {
+  MiniFleet one(1);
+  MiniFleet four(4);
+  srv::NyqmonClient c1("127.0.0.1", one.router->port());
+  srv::NyqmonClient c4("127.0.0.1", four.router->port());
+  ingest_fixture(c1);
+  ingest_fixture(c4);
+
+  // The 4-node fleet actually sharded the streams (no node holds all).
+  std::size_t populated = 0;
+  for (const auto& store : four.stores) {
+    EXPECT_LT(store->streams(), std::size(kStreams));
+    populated += store->streams() > 0 ? 1 : 0;
+  }
+  EXPECT_GE(populated, 2u);
+
+  expect_identical_answers(c1, c4, "sharded");
+  EXPECT_EQ(four.router->stats().partial_failures, 0u);
+}
+
+TEST(Fleet, HandoffKeepsAnswersBitIdentical) {
+  MiniFleet one(1);
+  MiniFleet four(4);
+  srv::NyqmonClient c1("127.0.0.1", one.router->port());
+  srv::NyqmonClient c4("127.0.0.1", four.router->port());
+  ingest_fixture(c1);
+  ingest_fixture(c4);
+
+  // Move podA/cpu off its ring owner onto another node, driving the
+  // handoff through a standalone ClusterClient (the router's own cluster
+  // handle belongs to its event-loop thread). The source keeps its copy
+  // (mid-handoff state): queries must dedupe, not double-count.
+  clu::ClusterConfig side;
+  side.nodes = four.router->ring().nodes();
+  clu::ClusterClient mover(side);
+  const std::size_t from = four.router->ring().owner("podA/cpu");
+  const std::size_t to = (from + 1) % 4;
+  const srv::HandoffImportReply imported =
+      mover.handoff("podA/cpu", from, to);
+  EXPECT_EQ(imported.streams, 1u);
+  EXPECT_GT(imported.samples, 0u);
+  EXPECT_TRUE(four.stores[to]->find_meta("podA/cpu").has_value());
+  EXPECT_TRUE(four.stores[from]->find_meta("podA/cpu").has_value());
+
+  expect_identical_answers(c1, c4, "mid-handoff duplicate");
+
+  // Importing the same streams again is refused with per-stream detail.
+  try {
+    mover.handoff("podA/cpu", from, to);
+    FAIL() << "duplicate import must be refused";
+  } catch (const srv::ServerError& e) {
+    ASSERT_EQ(e.details().size(), 1u);
+    EXPECT_EQ(e.details()[0].node, "podA/cpu");
+  }
+}
+
+// ------------------------------------------------------- partial failures --
+
+TEST(Fleet, KilledBackendAnswersErrWithDetailPromptly) {
+  MiniFleet fleet(3, /*io_timeout_ms=*/500);
+  srv::NyqmonClient client("127.0.0.1", fleet.router->port());
+  ingest_fixture(client);
+
+  fleet.backends[1]->stop();  // kill node1
+
+  qry::QuerySpec spec;
+  spec.selector = "*";
+  spec.t_begin = 0.0;
+  spec.t_end = 128.0;
+  spec.step_s = 2.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)client.query(spec);
+    FAIL() << "expected a partial-failure ERR";
+  } catch (const srv::ServerError& e) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    // Bounded by the per-backend deadline, not a hang: the healthy
+    // backends answered and only the dead node is reported.
+    EXPECT_LT(elapsed, 5.0);
+    EXPECT_NE(std::string(e.what()).find("partial failure"),
+              std::string::npos)
+        << e.what();
+    ASSERT_EQ(e.details().size(), 1u);
+    EXPECT_EQ(e.details()[0].node, "node1");
+  }
+  EXPECT_GE(fleet.router->stats().partial_failures, 1u);
+  EXPECT_GE(fleet.router->stats().backend_errors, 1u);
+
+  // Streams owned by surviving nodes still ingest through the router.
+  for (const char* name : kStreams) {
+    if (fleet.router->ring().owner(name) == 1) continue;
+    const auto values = wave(16, 3.3);
+    EXPECT_EQ(client.ingest(name, 1.0, 0.0, values), 256u + 16u) << name;
+    break;
+  }
+}
+
+// ------------------------------------------------------- client timeouts --
+
+TEST(ClusterClient, TimeoutsAreBounded) {
+  // A listener that never accepts: the connect completes via the kernel
+  // backlog, but no request is ever answered — the io timeout bounds the
+  // wait instead of hanging forever.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  srv::ClientOptions options;
+  options.connect_timeout_ms = 500;
+  options.io_timeout_ms = 300;
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    srv::NyqmonClient client("127.0.0.1", port, options);
+    EXPECT_THROW(client.stats_json(), std::runtime_error);
+  }
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+
+  // Saturate the backlog (listen(…, 0) = one pending connection on Linux)
+  // so further SYNs are dropped: the connect timeout bounds the attempt.
+  const int full = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(full, 0);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(full, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(full, 0), 0);
+  len = sizeof(addr);
+  ASSERT_EQ(::getsockname(full, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  std::vector<int> fillers;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    fillers.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(srv::NyqmonClient("127.0.0.1", ntohs(addr.sin_port), options),
+               std::runtime_error);
+  elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+
+  for (const int fd : fillers) ::close(fd);
+  ::close(full);
+  ::close(listener);
+}
+
+TEST(ClusterClient, RetryWithBackoffRetriesTransportOnly) {
+  int calls = 0;
+  srv::RetryPolicy policy;
+  policy.attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  const int result = srv::retry_with_backoff(policy, [&] {
+    if (++calls < 3) throw std::runtime_error("transient");
+    return 42;
+  });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+
+  // A ServerError is a definitive answer: no retry.
+  calls = 0;
+  EXPECT_THROW(srv::retry_with_backoff(policy, [&]() -> int {
+                 ++calls;
+                 throw srv::ServerError("refused", {});
+               }),
+               srv::ServerError);
+  EXPECT_EQ(calls, 1);
+
+  // Exhausted attempts rethrow the last transport error.
+  calls = 0;
+  EXPECT_THROW(srv::retry_with_backoff(policy, [&]() -> int {
+                 ++calls;
+                 throw std::runtime_error("down");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 3);
+}
+
+}  // namespace

@@ -5,6 +5,11 @@
 // WAL/segments recover to the served state.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstring>
 #include <filesystem>
@@ -492,6 +497,189 @@ TEST(Server, TraceVerbDrainsChromeJson) {
   rec.set_enabled(false);
   server.stop();
   EXPECT_EQ(server.stats().trace_frames, 2u);
+}
+
+// ------------------------------------------------------------- handoff ----
+
+TEST(Server, HandoffExportImportRoundTrip) {
+  mon::StripedRetentionStore src_store;
+  srv::NyqmondServer src(src_store, nullptr);
+  src.start();
+  srv::NyqmonClient src_client("127.0.0.1", src.port());
+  src_client.ingest("podA/cpu", 2.0, 0.0, wave(700, 0.1));
+  src_client.ingest("podA/mem", 2.0, 0.0, wave(700, 0.2));
+  src_client.ingest("podB/cpu", 2.0, 0.0, wave(700, 0.3));
+
+  // Nothing matches: an empty (but well-formed) export.
+  EXPECT_EQ(src_client.handoff_export("no/such").streams, 0u);
+
+  const srv::HandoffExportReply exported =
+      src_client.handoff_export("podA/*");
+  EXPECT_EQ(exported.streams, 2u);
+  // The snapshot carries the retained window (not lifetime ingest).
+  EXPECT_GT(exported.samples, 0u);
+  ASSERT_FALSE(exported.segment.empty());
+  // Non-destructive: the source still serves its copy.
+  EXPECT_EQ(src_store.streams(), 3u);
+
+  mon::StripedRetentionStore dst_store;
+  srv::NyqmondServer dst(dst_store, nullptr);
+  dst.start();
+  srv::NyqmonClient dst_client("127.0.0.1", dst.port());
+  const srv::HandoffImportReply imported =
+      dst_client.handoff_import(exported.segment);
+  EXPECT_EQ(imported.streams, 2u);
+  EXPECT_EQ(imported.samples, exported.samples);
+  EXPECT_FALSE(imported.persisted);  // no durable tier attached
+
+  // The destination answers the moved streams bit-identically.
+  qry::QuerySpec spec;
+  spec.selector = "podA/*";
+  spec.t_begin = 0.0;
+  spec.t_end = 350.0;
+  spec.step_s = 0.5;
+  const srv::QueryReply a = src_client.query(spec);
+  const srv::QueryReply b = dst_client.query(spec);
+  ASSERT_EQ(a.series.size(), 2u);
+  ASSERT_EQ(b.series.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a.series[i].label, b.series[i].label);
+    EXPECT_TRUE(same_values(a.series[i].series.span(),
+                            b.series[i].series.span()));
+  }
+
+  // A second import collides and is refused, naming every conflict.
+  try {
+    dst_client.handoff_import(exported.segment);
+    FAIL() << "duplicate import must be refused";
+  } catch (const srv::ServerError& e) {
+    EXPECT_NE(std::string(e.what()).find("refused"), std::string::npos);
+    ASSERT_EQ(e.details().size(), 2u);
+    EXPECT_EQ(e.details()[0].node, "podA/cpu");
+    EXPECT_EQ(e.details()[1].node, "podA/mem");
+  }
+  EXPECT_EQ(dst_store.streams(), 2u);  // the refusal restored nothing new
+  EXPECT_GE(dst.stats().handoff_frames, 2u);
+  src.stop();
+  dst.stop();
+}
+
+TEST(Server, HandoffImportIsDurableWithStorage) {
+  TempDir dir("handoff");
+  mon::StripedRetentionStore src_store;
+  srv::NyqmondServer src(src_store, nullptr);
+  src.start();
+  srv::NyqmonClient src_client("127.0.0.1", src.port());
+  src_client.ingest("dev0/metric", 2.0, 0.0, wave(600, 0.7));
+  const auto exported = src_client.handoff_export("dev0/metric");
+  ASSERT_EQ(exported.streams, 1u);
+  src.stop();
+
+  {
+    sto::StorageConfig storage_cfg;
+    storage_cfg.dir = dir.path;
+    storage_cfg.truncate_existing = true;
+    sto::StorageManager storage(storage_cfg);
+    mon::StripedRetentionStore dst_store;
+    storage.record_geometry(mon::StoreConfig{});
+    dst_store.set_ingest_sink(&storage);
+    srv::NyqmondServer dst(dst_store, &storage);
+    dst.start();
+    srv::NyqmonClient dst_client("127.0.0.1", dst.port());
+    const auto imported = dst_client.handoff_import(exported.segment);
+    EXPECT_EQ(imported.streams, 1u);
+    EXPECT_TRUE(imported.persisted);
+    dst.stop();
+  }
+
+  // Cold start: the imported stream survives recovery.
+  sto::StorageConfig attach;
+  attach.dir = dir.path;
+  sto::StorageManager manager(attach);
+  mon::StripedRetentionStore recovered;
+  manager.recover(recovered);
+  ASSERT_TRUE(recovered.find_meta("dev0/metric").has_value());
+  EXPECT_GT(recovered.meta("dev0/metric").ingested_samples, 0u);
+}
+
+// ------------------------------------------------------ query flags -------
+
+TEST(Server, QueryWantMatchedReturnsLabels) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  client.ingest("b/metric", 1.0, 0.0, wave(64, 0.1));
+  client.ingest("a/metric", 1.0, 0.0, wave(64, 0.2));
+
+  qry::QuerySpec spec;
+  spec.selector = "*";
+  spec.t_begin = 0.0;
+  spec.t_end = 64.0;
+  spec.step_s = 1.0;
+
+  // Default: the flag is off and the reply stays in the pre-flag shape.
+  EXPECT_TRUE(client.query(spec).matched_labels.empty());
+
+  const srv::QueryReply with = client.query(spec, /*want_matched=*/true);
+  EXPECT_EQ(with.matched, 2u);
+  EXPECT_EQ(with.matched_labels,
+            (std::vector<std::string>{"a/metric", "b/metric"}));
+  server.stop();
+}
+
+// ------------------------------------------------------- backpressure -----
+
+TEST(Server, SlowClientIsBoundedAndEventuallyDropped) {
+  mon::StripedRetentionStore store;
+  srv::ServerConfig cfg;
+  cfg.max_reply_queue_frames = 2;
+  cfg.slow_client_timeout_ms = 100;
+  srv::NyqmondServer server(store, nullptr, cfg);
+  server.start();
+
+  srv::NyqmonClient feeder("127.0.0.1", server.port());
+  feeder.ingest("big/stream", 10.0, 0.0, wave(20000, 0.0));
+
+  // A raw client with a tiny receive buffer pipelines queries with
+  // ~160 KB answers and never reads. Enough of them (10 MB of replies)
+  // outgrow even an autotuned kernel send buffer: the reply queue hits its
+  // frame bound, the connection stalls (POLLIN suppressed — bounded
+  // memory), and after slow_client_timeout_ms with no drain the client is
+  // dropped.
+  qry::QuerySpec spec;
+  spec.selector = "big/*";
+  spec.t_begin = 0.0;
+  spec.t_end = 2000.0;
+  spec.step_s = 0.1;
+  const auto request =
+      srv::request_frame(srv::Verb::kQuery, srv::encode_query(spec));
+  std::vector<std::uint8_t> burst;
+  for (int i = 0; i < 64; ++i)
+    burst.insert(burst.end(), request.begin(), request.end());
+
+  const int slow = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(slow, 0);
+  const int rcvbuf = 4096;
+  ::setsockopt(slow, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(slow, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_EQ(::send(slow, burst.data(), burst.size(), 0),
+            static_cast<ssize_t>(burst.size()));
+
+  wait_closed(server, 1);
+  EXPECT_EQ(server.stats().slow_clients_dropped, 1u);
+  EXPECT_GE(server.stats().backpressure_stalls, 1u);
+  ::close(slow);
+
+  // The drop is surgical: other clients were never blocked.
+  EXPECT_NE(feeder.stats_json().find("\"streams\":1"), std::string::npos);
+  server.stop();
 }
 
 TEST(Server, TraceVerbDisabledReturnsEmptyCapture) {
