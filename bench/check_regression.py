@@ -42,6 +42,23 @@ TRACKED_LOWER = {
     "streaming_throughput": ["query_p99"],
 }
 
+# Each gated metric's unit, printed with every gate line so a reader can
+# tell a 35.95 ms latency tail from a 35.95 qps throughput at a glance.
+# (query_p99 is the obs histogram quantile the streaming bench reports in
+# milliseconds.) Metrics absent here print without a unit.
+UNITS = {
+    "pairs_per_sec": "pairs/s",
+    "scaling_efficiency": "ratio",
+    "router_qps": "qps",
+    "qps": "qps",
+    "sweep_pairs_per_sec": "pairs/s",
+    "ingest_wal_mb_s": "MB/s",
+    "flush_mb_s": "MB/s",
+    "recover_mb_s": "MB/s",
+    "samples_per_sec": "samples/s",
+    "query_p99": "ms",
+}
+
 
 def load(path: pathlib.Path):
     try:
@@ -101,12 +118,15 @@ def main() -> int:
                          else ratio < 1.0 - args.threshold)
             status = "REGRESSION" if regressed else "OK"
             arrow = "v" if lower_is_better else "^"
+            unit = UNITS.get(key, "")
+            unit_sfx = f" {unit}" if unit else ""
             if regressed:
                 failures.append((bench, key,
-                                 f"baseline {base:.3f} -> current {cur:.3f} "
-                                 f"({ratio:.2%})"))
+                                 f"baseline {base:.3f} -> current "
+                                 f"{cur:.3f}{unit_sfx} ({ratio:.2%})"))
             print(f"{status:>10}  [{arrow}] {bench}.{key}: "
-                  f"baseline {base:.3f} -> current {cur:.3f}  ({ratio:.2%})")
+                  f"baseline {base:.3f} -> current {cur:.3f}{unit_sfx}  "
+                  f"({ratio:.2%})")
 
     if failures:
         print(f"\nFAIL: {len(failures)} gate violation(s) at threshold "

@@ -5,13 +5,16 @@
 // instantiations of the same engine-shaped workload in one binary:
 // `run_pass<true>` records exactly what one pipeline window records (one
 // ScopedTimer histogram sample, an FFT-stage timer, and two counter
-// bumps), `run_pass<false>` elides all of it behind `if constexpr` — the
-// same compiled-to-no-op shape a -DNYQMON_OBS_NOOP build produces, without
-// needing a second build tree. The workload itself is a real 1024-point
-// windowed periodogram per event, matching the work-per-instrumentation
-// ratio of the engine's window loop (an adaptive window costs tens of
-// microseconds; its obs footprint is two clock reads and a few relaxed
-// atomics).
+// bumps) plus one structured log record (obs/log.h is always armed) and
+// one TraceContext wire round-trip (append + strip, the per-hop cost of
+// distributed-tracing propagation); `run_pass<false>` elides all of it
+// behind `if constexpr` — the same compiled-to-no-op shape a
+// -DNYQMON_OBS_NOOP build produces, without needing a second build tree.
+// The workload itself is a real 1024-point windowed periodogram per event,
+// matching the work-per-instrumentation ratio of the engine's window loop
+// (an adaptive window costs tens of microseconds; its obs footprint is two
+// clock reads, a few relaxed atomics, one ring write, and 21 trailer
+// bytes).
 //
 // The two variants alternate within every repetition and the ratio is
 // taken over each variant's best time, so slow machine-state drift
@@ -26,7 +29,9 @@
 
 #include "common.h"
 #include "dsp/psd.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "server/protocol.h"
 
 using namespace nyqmon;
 
@@ -55,6 +60,17 @@ double run_pass(std::vector<double>& buf, double& checksum) {
       NYQMON_OBS_TIMER("nyqmon_bench_overhead_window_ns");
       NYQMON_OBS_COUNT("nyqmon_bench_overhead_windows_total", 1);
       NYQMON_OBS_COUNT("nyqmon_bench_overhead_samples_total", kWindowSamples);
+      // One structured log record per window (detail string built exactly
+      // like a real call site's) ...
+      NYQMON_LOG_INFO("bench.obs_overhead_window",
+                      "w=" + std::to_string(w));
+      // ... and one TraceContext wire round-trip: what the cluster client
+      // pays to stamp a request and a server pays to peel it.
+      std::vector<std::uint8_t> wire{1};  // stand-in verb byte
+      srv::append_trace_context(wire, srv::TraceContext{w + 1, w + 2, 1});
+      std::span<const std::uint8_t> view(wire);
+      const srv::TraceContext ctx = srv::strip_trace_context(view);
+      checksum += static_cast<double>(ctx.trace_id & 1);  // defeats elision
       checksum += window_work(buf, w);
     } else {
       checksum += window_work(buf, w);

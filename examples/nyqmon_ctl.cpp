@@ -4,10 +4,12 @@
 //   nyqmon_ctl <host> <port> stats
 //   nyqmon_ctl <host> <port> query <selector> <t_begin> <t_end> <step_s>
 //              [agg: none|sum|avg|min|max|p50|p95|p99] [tf: raw|rate|zscore]
+//              [--explain]
 //   nyqmon_ctl <host> <port> ingest <stream> <rate_hz> <t0> <v1,v2,...>
 //   nyqmon_ctl <host> <port> checkpoint
-//   nyqmon_ctl <host> <port> metrics
-//   nyqmon_ctl <host> <port> trace [out.json]
+//   nyqmon_ctl <host> <port> metrics [--fleet]
+//   nyqmon_ctl <host> <port> trace [out.json] [--fleet]
+//   nyqmon_ctl <host> <port> logs
 //   nyqmon_ctl <host> <port> handoff <selector> <dst_host> <dst_port>
 //
 // `handoff` moves every stream matching <selector> from <host>:<port> to
@@ -21,6 +23,12 @@
 // docs/OBSERVABILITY.md). `trace` drains the server's trace ring buffers to
 // chrome://tracing JSON — load the file via chrome://tracing or
 // https://ui.perfetto.dev; without an output path the JSON goes to stdout.
+// Against a router, `--fleet` widens both to the whole fleet: metrics come
+// back as one `# == node <name> ==` section per node, and trace stitches
+// every node's spans into a single timeline sharing the propagated trace
+// ids. `logs` drains the server's structured log rings (consuming, like
+// trace). `query --explain` appends the server's own per-stage latency
+// breakdown; a router reports scatter/merge plus per-backend gather rows.
 //
 // Examples against the default nyqmond demo:
 //   nyqmon_ctl 127.0.0.1 7411 stats
@@ -44,11 +52,36 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: nyqmon_ctl <host> <port> "
-               "stats | checkpoint | metrics | trace [out.json] | "
+               "stats | checkpoint | metrics [--fleet] | "
+               "trace [out.json] [--fleet] | logs | "
                "query <selector> <t0> <t1> <step> "
-               "[agg] [tf] | ingest <stream> <rate_hz> <t0> <v1,v2,...> | "
+               "[agg] [tf] [--explain] | "
+               "ingest <stream> <rate_hz> <t0> <v1,v2,...> | "
                "handoff <selector> <dst_host> <dst_port>\n");
   return 2;
+}
+
+/// The EXPLAIN stage table: primary stages partition the total (rendered
+/// with their share); `backend/<node>` rows overlap the scatter stage and
+/// are bracketed instead of summed.
+void print_explain(const srv::QueryExplainBlock& explain) {
+  std::printf("explain: total %.3f ms\n",
+              static_cast<double>(explain.total_ns) / 1e6);
+  for (const auto& entry : explain.stages) {
+    const double ms = static_cast<double>(entry.ns) / 1e6;
+    if (entry.stage.rfind("backend/", 0) == 0) {
+      std::printf("  [%-18s %9.3f ms]  (overlaps scatter)\n",
+                  entry.stage.c_str(), ms);
+    } else {
+      const double pct =
+          explain.total_ns == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(entry.ns) /
+                    static_cast<double>(explain.total_ns);
+      std::printf("  %-20s %9.3f ms  %5.1f%%\n", entry.stage.c_str(), ms,
+                  pct);
+    }
+  }
 }
 
 bool parse_aggregation(const std::string& s, qry::Aggregation& out) {
@@ -105,22 +138,36 @@ int main(int argc, char** argv) {
     }
 
     if (verb == "metrics") {
-      std::printf("%s", client.metrics_text().c_str());
+      const bool fleet = argc > 4 && std::strcmp(argv[4], "--fleet") == 0;
+      std::printf("%s", client.metrics_text(fleet).c_str());
+      return 0;
+    }
+
+    if (verb == "logs") {
+      std::printf("%s", client.logs_text().c_str());
       return 0;
     }
 
     if (verb == "trace") {
-      const std::string json = client.trace_json();
-      if (argc > 4) {
-        std::FILE* f = std::fopen(argv[4], "w");
+      bool fleet = false;
+      const char* out_path = nullptr;
+      for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fleet") == 0)
+          fleet = true;
+        else
+          out_path = argv[i];
+      }
+      const std::string json = client.trace_json(fleet);
+      if (out_path != nullptr) {
+        std::FILE* f = std::fopen(out_path, "w");
         if (f == nullptr) {
-          std::fprintf(stderr, "cannot open %s for writing\n", argv[4]);
+          std::fprintf(stderr, "cannot open %s for writing\n", out_path);
           return 1;
         }
         std::fwrite(json.data(), 1, json.size(), f);
         std::fclose(f);
         std::printf("wrote %zu bytes to %s (open via chrome://tracing)\n",
-                    json.size(), argv[4]);
+                    json.size(), out_path);
       } else {
         std::printf("%s\n", json.c_str());
       }
@@ -137,18 +184,27 @@ int main(int argc, char** argv) {
     }
 
     if (verb == "query") {
-      if (argc < 8) return usage();
+      bool explain = false;
+      std::vector<std::string> args;  // positional args, flags peeled off
+      for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--explain") == 0)
+          explain = true;
+        else
+          args.emplace_back(argv[i]);
+      }
+      if (args.size() < 4) return usage();
       qry::QuerySpec spec;
-      spec.selector = argv[4];
-      spec.t_begin = std::atof(argv[5]);
-      spec.t_end = std::atof(argv[6]);
-      spec.step_s = std::atof(argv[7]);
-      if (argc > 8 && !parse_aggregation(argv[8], spec.aggregate))
+      spec.selector = args[0];
+      spec.t_begin = std::atof(args[1].c_str());
+      spec.t_end = std::atof(args[2].c_str());
+      spec.step_s = std::atof(args[3].c_str());
+      if (args.size() > 4 && !parse_aggregation(args[4], spec.aggregate))
         return usage();
-      if (argc > 9 && !parse_transform(argv[9], spec.transform))
+      if (args.size() > 5 && !parse_transform(args[5], spec.transform))
         return usage();
 
-      const srv::QueryReply reply = client.query(spec);
+      const srv::QueryReply reply =
+          client.query(spec, /*want_matched=*/false, explain);
       std::printf("matched %u stream(s), reconstructed %u%s\n", reply.matched,
                   reply.reconstructed,
                   reply.cache_hit ? " (served from cache)" : "");
@@ -159,6 +215,12 @@ int main(int argc, char** argv) {
           std::printf(" %.4g", s.series[i]);
         if (s.series.size() > shown) std::printf(" ...");
         std::printf("\n");
+      }
+      if (explain) {
+        if (reply.explain.has_value())
+          print_explain(*reply.explain);
+        else
+          std::printf("explain: not supported by this server\n");
       }
       return 0;
     }

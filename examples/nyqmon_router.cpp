@@ -29,6 +29,7 @@
 
 #include "cluster/router.h"
 #include "monitor/striped_store.h"
+#include "obs/trace.h"
 #include "server/server.h"
 
 using namespace nyqmon;
@@ -76,8 +77,10 @@ int main(int argc, char** argv) {
     serve_seconds = argc > 5 ? std::atof(argv[5]) : 60.0;
     for (int i = 0; i < n; ++i) {
       stores.push_back(std::make_unique<mon::StripedRetentionStore>());
+      srv::ServerConfig backend_cfg;
+      backend_cfg.node_name = "node" + std::to_string(i);
       backends.push_back(std::make_unique<srv::NyqmondServer>(
-          *stores.back(), nullptr, srv::ServerConfig{}));
+          *stores.back(), nullptr, backend_cfg));
       backends.back()->start();
       cfg.cluster.nodes.push_back({"node" + std::to_string(i), "127.0.0.1",
                                    backends.back()->port()});
@@ -93,6 +96,10 @@ int main(int argc, char** argv) {
       cfg.cluster.nodes.push_back(std::move(node));
     }
   }
+
+  // Arm trace capture so `nyqmon_ctl trace --fleet` stitches a live
+  // timeline; in --spawn mode the in-process backends share this recorder.
+  obs::TraceRecorder::instance().set_enabled(true);
 
   try {
     clu::NyqmonRouter router(cfg);

@@ -9,7 +9,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nyqmon::clu {
 
@@ -25,6 +27,12 @@ void record_backend_latency(std::size_t i, std::uint64_t ns) {
       .record(ns);
 }
 
+std::uint64_t elapsed_ns(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 ClusterClient::ClusterClient(ClusterConfig config)
@@ -38,6 +46,11 @@ ClusterClient::ClusterClient(ClusterConfig config)
         .gauge("nyqmon_cluster_backend" + std::to_string(i) +
                "_share_permille")
         .set(static_cast<std::int64_t>(ring_.keyspace_share(i) * 1000.0));
+  // Fan-out span names are recorded by pointer; intern once up front so
+  // scatter() never allocates a name on the hot path.
+  fanout_names_.reserve(config_.nodes.size());
+  for (const NodeDesc& node : config_.nodes)
+    fanout_names_.push_back(obs::intern_node_name("fanout/" + node.id));
 }
 
 ClusterClient::~ClusterClient() = default;
@@ -59,9 +72,32 @@ std::uint64_t ClusterClient::ingest(const std::string& stream, double rate_hz,
                                     double t0,
                                     std::span<const double> values) {
   const std::size_t owner = ring_.owner(stream);
+  // Encode once; with an active trace the owner's dispatch span joins the
+  // caller's trace, parented under the caller's current span.
+  srv::IngestRequest req;
+  req.stream = stream;
+  req.rate_hz = rate_hz;
+  req.t0 = t0;
+  req.values.assign(values.begin(), values.end());
+  std::vector<std::uint8_t> payload = srv::encode_ingest(req);
+  const obs::ThreadTraceContext& tctx = obs::thread_trace_context();
+  if (obs::TraceRecorder::instance().enabled() && tctx.trace_id != 0)
+    srv::append_trace_context(
+        payload, srv::TraceContext{tctx.trace_id, tctx.span_id, 1});
   return srv::retry_with_backoff(config_.retry, [&] {
     try {
-      return node(owner).ingest(stream, rate_hz, t0, values);
+      const auto body = node(owner).request_raw(
+          static_cast<std::uint8_t>(srv::Verb::kIngest), payload);
+      sto::ByteReader reader(body);
+      const auto status = static_cast<srv::Status>(reader.get_u8());
+      if (status != srv::Status::kOk) {
+        const std::string message = reader.get_string();
+        throw srv::ServerError(message.empty() ? "(no message)" : message,
+                               srv::decode_error_detail(reader));
+      }
+      const std::uint64_t total = reader.get_u64();
+      if (!reader.ok()) throw std::runtime_error("malformed INGEST response");
+      return total;
     } catch (const srv::ServerError&) {
       throw;  // the server answered; retrying cannot change it
     } catch (const std::runtime_error&) {
@@ -74,16 +110,52 @@ std::uint64_t ClusterClient::ingest(const std::string& stream, double rate_hz,
 ScatterOutcome ClusterClient::scatter(srv::Verb verb,
                                       std::span<const std::uint8_t> payload) {
   const std::size_t n = config_.nodes.size();
-  const auto request = srv::frame(static_cast<std::uint8_t>(verb), payload);
+
+  // With an active thread trace context each backend gets its own frame
+  // carrying a TraceContext trailer whose parent is a per-backend fan-out
+  // span (recorded below at settle time); otherwise one shared frame is
+  // byte-identical to the untraced wire.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  const obs::ThreadTraceContext& tctx = obs::thread_trace_context();
+  const bool tracing = recorder.enabled() && tctx.trace_id != 0;
+  const std::uint64_t trace_t0 = tracing ? recorder.now_ns() : 0;
+  std::vector<std::uint64_t> fanout_span(tracing ? n : 0, 0);
+  std::vector<std::vector<std::uint8_t>> traced_requests;
+  std::vector<std::uint8_t> shared_request;
+  if (tracing) {
+    traced_requests.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      fanout_span[i] = obs::next_span_id();
+      std::vector<std::uint8_t> body(payload.begin(), payload.end());
+      srv::append_trace_context(
+          body, srv::TraceContext{tctx.trace_id, fanout_span[i], 1});
+      traced_requests[i] = srv::frame(static_cast<std::uint8_t>(verb), body);
+    }
+  } else {
+    shared_request = srv::frame(static_cast<std::uint8_t>(verb), payload);
+  }
 
   ScatterOutcome out;
   out.payloads.resize(n);
+  out.gather_ns.assign(n, 0);
   std::vector<bool> settled(n, false);  // answered, failed, or timed out
 
+  // One fan-out span per backend, closed when that backend settles (for
+  // failures the span covers send → failure detection).
+  auto record_fanout = [&](std::size_t i) {
+    if (!tracing) return;
+    recorder.record(fanout_names_[i], "cluster", trace_t0,
+                    recorder.now_ns() - trace_t0, tctx.trace_id,
+                    fanout_span[i], tctx.span_id, tctx.node);
+  };
+
   auto fail = [&](std::size_t i, const std::string& why) {
+    NYQMON_LOG_WARN("cluster.backend_failed",
+                    "node=" + config_.nodes[i].id + " why=" + why);
     out.failures.push_back({config_.nodes[i].id, why});
     settled[i] = true;
     reset(i);
+    record_fanout(i);
   };
 
   // Send phase: every backend gets the request before any reply is read,
@@ -91,7 +163,7 @@ ScatterOutcome ClusterClient::scatter(srv::Verb verb,
   const auto t_send = Clock::now();
   for (std::size_t i = 0; i < n; ++i) {
     try {
-      node(i).send_raw(request);
+      node(i).send_raw(tracing ? traced_requests[i] : shared_request);
     } catch (const std::exception& e) {
       fail(i, e.what());
     }
@@ -186,11 +258,10 @@ ScatterOutcome ClusterClient::scatter(srv::Verb verb,
              message.empty() ? "(no message)" : message});
         settled[i] = true;
       }
-      record_backend_latency(
-          i, static_cast<std::uint64_t>(
-                 std::chrono::duration_cast<std::chrono::nanoseconds>(
-                     Clock::now() - t_send)
-                     .count()));
+      const std::uint64_t gather = elapsed_ns(t_send);
+      record_backend_latency(i, gather);
+      out.gather_ns[i] = gather;
+      record_fanout(i);
     }
   }
   return out;
@@ -203,12 +274,16 @@ FleetQuery ClusterClient::query(const qry::QuerySpec& spec) {
   // matches a single node's exactly.
   qry::QuerySpec shard_spec = spec;
   shard_spec.aggregate = qry::Aggregation::kNone;
+  const auto t_scatter = Clock::now();
   ScatterOutcome scattered =
       scatter(srv::Verb::kQuery,
               srv::encode_query(shard_spec, srv::kQueryWantMatched));
 
   FleetQuery fleet;
+  fleet.scatter_ns = elapsed_ns(t_scatter);
+  fleet.gather_ns = std::move(scattered.gather_ns);
   fleet.failures = std::move(scattered.failures);
+  const auto t_merge = Clock::now();
   std::vector<qry::ShardSlice> slices;
   bool all_cached = true;
   for (std::size_t i = 0; i < scattered.payloads.size(); ++i) {
@@ -228,6 +303,7 @@ FleetQuery ClusterClient::query(const qry::QuerySpec& spec) {
   fleet.cache_hit =
       all_cached && fleet.failures.empty() && !scattered.payloads.empty();
   fleet.merged = qry::merge_shard_slices(spec, std::move(slices));
+  fleet.merge_ns = elapsed_ns(t_merge);  // shard decode + central merge
   return fleet;
 }
 

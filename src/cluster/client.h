@@ -21,6 +21,16 @@
 // decide whether partial answers are acceptable. Ring-routed ingest
 // retries through retry_with_backoff instead, since it has exactly one
 // viable destination.
+//
+// Distributed tracing: when the calling thread carries an active trace
+// context (obs/trace.h) and the recorder is armed, scatter() sends each
+// backend its own frame with a TraceContext trailer whose parent is a
+// per-backend "fanout/<node>" span — recorded here with the measured
+// send→settle duration — so the backend's dispatch span parents under the
+// fan-out arm that carried it and a fleet query stitches into one
+// timeline. Ring-routed ingest propagates the caller's current span the
+// same way. With tracing disarmed the wire bytes are identical to the
+// pre-tracing protocol.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +65,9 @@ struct ClusterConfig {
 struct ScatterOutcome {
   std::vector<std::optional<std::vector<std::uint8_t>>> payloads;
   std::vector<srv::ErrorDetail> failures;
+  /// Per-node send→settle latency, index-aligned with `payloads`; 0 for
+  /// nodes that never settled with an answer (transport failure/timeout).
+  std::vector<std::uint64_t> gather_ns;
 };
 
 /// A scattered + merged fleet query.
@@ -65,6 +78,13 @@ struct FleetQuery {
   /// Backends that contributed nothing (their streams are missing from
   /// `merged`). Empty means the answer is complete.
   std::vector<srv::ErrorDetail> failures;
+  /// Wall time of the scatter-gather round (send through last settle).
+  std::uint64_t scatter_ns = 0;
+  /// Wall time of the central decode + cross-shard merge.
+  std::uint64_t merge_ns = 0;
+  /// Per-backend gather latency, index-aligned with the node set (see
+  /// ScatterOutcome::gather_ns) — the router's EXPLAIN fan-out rows.
+  std::vector<std::uint64_t> gather_ns;
 };
 
 /// One node's STATS (or METRICS) exposition, or why it is missing.
@@ -134,6 +154,9 @@ class ClusterClient {
   ClusterConfig config_;
   HashRing ring_;
   std::vector<std::unique_ptr<srv::NyqmonClient>> conns_;
+  /// Interned "fanout/<node id>" span names, index-aligned with nodes
+  /// (trace event names must outlive the recorder — see obs/trace.h).
+  std::vector<const char*> fanout_names_;
 };
 
 }  // namespace nyqmon::clu

@@ -1,10 +1,12 @@
 #include "cluster/router.h"
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nyqmon::clu {
 
@@ -15,6 +17,22 @@ namespace {
 std::string partial_failure_message(std::size_t failed, std::size_t total) {
   return "partial failure: " + std::to_string(failed) + " of " +
          std::to_string(total) + " backends failed";
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+std::vector<std::uint8_t> text_frame(const std::string& text,
+                                     std::size_t max_frame_bytes,
+                                     const char* what) {
+  if (text.size() >= max_frame_bytes)
+    return srv::error_frame(std::string(what) + " exceeds the frame cap");
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(text.data());
+  return srv::ok_frame(std::span<const std::uint8_t>(bytes, text.size()));
 }
 
 }  // namespace
@@ -32,6 +50,7 @@ void NyqmonRouter::start() {
   front.max_reply_queue_bytes = config_.max_reply_queue_bytes;
   front.max_reply_queue_frames = config_.max_reply_queue_frames;
   front.slow_client_timeout_ms = config_.slow_client_timeout_ms;
+  front.node_name = config_.node_name;
   front.intercept = [this](srv::Verb verb, sto::ByteReader& reader) {
     return intercept(verb, reader);
   };
@@ -70,11 +89,31 @@ std::optional<std::vector<std::uint8_t>> NyqmonRouter::intercept(
     case srv::Verb::kHandoff:
       return srv::error_frame(
           "HANDOFF addresses a backend node directly, not the router");
-    case srv::Verb::kMetrics:
-    case srv::Verb::kTrace:
-      // The router's own process registry / trace rings: the built-in
-      // handlers already serve exactly that.
+    case srv::Verb::kLogs:
+      // The router's own structured-log rings: built-in handler.
       return std::nullopt;
+    case srv::Verb::kMetrics: {
+      if (reader.remaining() == 0)
+        return std::nullopt;  // router's own registry: built-in handler
+      const std::uint8_t flags = reader.get_u8();
+      if (!reader.ok() || reader.remaining() != 0)
+        return srv::error_frame("malformed METRICS payload");
+      if ((flags & srv::kMetricsFleet) != 0) return fleet_metrics_text();
+      // Flags byte consumed, so serve the local exposition here instead of
+      // falling through (nullopt promises an untouched reader).
+      return text_frame(obs::Registry::instance().render_prometheus(),
+                        config_.max_frame_bytes, "metrics exposition");
+    }
+    case srv::Verb::kTrace: {
+      if (reader.remaining() == 0)
+        return std::nullopt;  // router's own rings: built-in handler
+      const std::uint8_t flags = reader.get_u8();
+      if (!reader.ok() || reader.remaining() != 0)
+        return srv::error_frame("malformed TRACE payload");
+      if ((flags & srv::kTraceFleet) != 0) return fleet_trace_json();
+      return text_frame(obs::TraceRecorder::instance().export_chrome_json(),
+                        config_.max_frame_bytes, "trace export");
+    }
   }
   return std::nullopt;  // unknown verb: built-in ERR path
 }
@@ -113,6 +152,7 @@ std::vector<std::uint8_t> NyqmonRouter::scatter_query(
   queries_scattered_.fetch_add(1);
   NYQMON_OBS_TIMER("nyqmon_router_fanout_latency_ns");
 
+  const auto t0 = std::chrono::steady_clock::now();
   FleetQuery fleet = cluster_.query(*spec);  // validate() throws -> ERR
   if (!fleet.failures.empty()) {
     count_failures(fleet.failures);
@@ -125,8 +165,22 @@ std::vector<std::uint8_t> NyqmonRouter::scatter_query(
   result.matched = std::move(fleet.merged.matched);
   result.reconstructed = std::move(fleet.merged.reconstructed);
   result.series = std::move(fleet.merged.series);
+  // The router's EXPLAIN: scatter + merge partition the measured total;
+  // the per-backend gather rows overlap scatter (informational, see
+  // protocol.h), so renderers exclude backend/* from percentage sums.
+  srv::QueryExplainBlock explain;
+  if ((flags & srv::kQueryWantExplain) != 0) {
+    explain.stages.push_back({"scatter", fleet.scatter_ns});
+    explain.stages.push_back({"merge", fleet.merge_ns});
+    for (std::size_t i = 0; i < fleet.gather_ns.size(); ++i)
+      if (fleet.gather_ns[i] != 0)
+        explain.stages.push_back(
+            {"backend/" + config_.cluster.nodes[i].id, fleet.gather_ns[i]});
+    explain.total_ns = elapsed_ns(t0);
+  }
   auto payload = srv::encode_query_reply(
-      result, fleet.cache_hit, (flags & srv::kQueryWantMatched) != 0);
+      result, fleet.cache_hit, (flags & srv::kQueryWantMatched) != 0,
+      (flags & srv::kQueryWantExplain) != 0 ? &explain : nullptr);
   if (payload.size() >= config_.max_frame_bytes)
     return srv::error_frame(
         "query result exceeds the frame cap; narrow the selector/range or "
@@ -184,6 +238,37 @@ std::vector<std::uint8_t> NyqmonRouter::scatter_checkpoint() {
     merged.bytes_written += reply->bytes_written;
   }
   return srv::ok_frame(srv::encode_checkpoint_reply(merged));
+}
+
+std::vector<std::uint8_t> NyqmonRouter::fleet_trace_json() {
+  // Scatter first: the fan-out spans of this very TRACE round settle
+  // before the router drains its own rings, so they make the stitch too.
+  // Stitching is best-effort — an unreachable backend just contributes no
+  // spans (its failure is still counted) rather than failing the drain.
+  ScatterOutcome scattered = cluster_.scatter(srv::Verb::kTrace, {});
+  count_failures(scattered.failures);
+  std::vector<std::string> parts;
+  parts.reserve(scattered.payloads.size() + 1);
+  for (const auto& payload : scattered.payloads)
+    if (payload.has_value())
+      parts.emplace_back(payload->begin(), payload->end());
+  parts.push_back(obs::TraceRecorder::instance().export_chrome_json());
+  return text_frame(obs::merge_chrome_json(parts), config_.max_frame_bytes,
+                    "stitched trace export");
+}
+
+std::vector<std::uint8_t> NyqmonRouter::fleet_metrics_text() {
+  const std::vector<NodeText> backends = cluster_.fleet_metrics();
+  std::string text = "# == node " + config_.node_name + " ==\n" +
+                     obs::Registry::instance().render_prometheus();
+  for (const NodeText& backend : backends) {
+    text += "# == node " + backend.node + " ==\n";
+    if (backend.error.empty())
+      text += backend.text;
+    else
+      text += "# error: " + backend.error + "\n";
+  }
+  return text_frame(text, config_.max_frame_bytes, "fleet metrics");
 }
 
 RouterStats NyqmonRouter::stats() const {

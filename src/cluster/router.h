@@ -15,10 +15,22 @@
 //   STATS       → router counters + every backend's STATS JSON, one object
 //   CHECKPOINT  → scattered; chunks/bytes summed, persisted = all
 //   METRICS     → the router process's own registry (includes the
-//                 nyqmon_router_* and per-backend cluster series)
-//   TRACE       → the router process's own trace rings
+//                 nyqmon_router_* and per-backend cluster series); with
+//                 the kMetricsFleet flag, every backend's exposition too,
+//                 concatenated as `# == node <name> ==` sections
+//   TRACE       → the router process's own trace rings; with the
+//                 kTraceFleet flag, every backend's rings are drained too
+//                 and stitched (merge_chrome_json) into one fleet-wide
+//                 chrome://tracing timeline sharing the propagated
+//                 trace ids
 //   HANDOFF     → refused: topology moves address a backend node directly
 //                 (nyqmon_ctl handoff), not the fleet front
+//
+// With the kQueryWantExplain flag, the scattered QUERY's reply carries the
+// router's own stage breakdown — scatter, merge (decode + central
+// reduction), plus informational per-backend `backend/<node>` gather rows
+// that overlap the scatter stage — appended to whatever the wire already
+// carried.
 //
 // Implementation: a NyqmondServer over an empty store with the intercept
 // hook — the router inherits the event loop, framing robustness, and
@@ -46,6 +58,9 @@ struct RouterConfig {
   std::size_t max_reply_queue_bytes = 0;
   std::size_t max_reply_queue_frames = 64;
   std::uint32_t slow_client_timeout_ms = 0;
+  /// The router's fleet identity: tags its spans and log records, and
+  /// names its section in stitched timelines / fleet metrics.
+  std::string node_name = "router";
   ClusterConfig cluster;
 };
 
@@ -89,6 +104,11 @@ class NyqmonRouter {
   std::vector<std::uint8_t> scatter_query(sto::ByteReader& reader);
   std::vector<std::uint8_t> fleet_stats_json();
   std::vector<std::uint8_t> scatter_checkpoint();
+  /// kTraceFleet: drain + stitch every node's rings (router's included).
+  std::vector<std::uint8_t> fleet_trace_json();
+  /// kMetricsFleet: every node's exposition as `# == node <name> ==`
+  /// sections (router's first).
+  std::vector<std::uint8_t> fleet_metrics_text();
   void count_failures(const std::vector<srv::ErrorDetail>& failures);
 
   RouterConfig config_;

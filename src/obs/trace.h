@@ -1,4 +1,5 @@
-// Bounded in-process trace capture with a chrome://tracing exporter.
+// Bounded in-process trace capture with a chrome://tracing exporter and
+// distributed-tracing context propagation.
 //
 // A TraceRecorder keeps one fixed-capacity ring of TraceEvents per writing
 // thread. Writers append complete spans ('X' phase in the Trace Event
@@ -7,20 +8,36 @@
 // oldest event is overwritten and a drop is counted — tracing is a bounded
 // window onto recent activity, never a memory hazard on long runs.
 //
+// Distributed tracing: every thread carries a ThreadTraceContext
+// {trace_id, span_id, node}. ScopedSpan draws a fresh span id, parents
+// itself under the thread's current span, and installs itself as the
+// current span for its scope — so nested spans form a tree, and spans on
+// different nodes that adopted the same wire-propagated trace_id stitch
+// into one timeline. NyqmondServer dispatch adopts the TraceContext
+// carried as optional trailing bytes on request frames (see
+// src/server/protocol.h) via ScopedThreadTraceContext; server event-loop
+// threads tag their spans with the node's name via set_thread_node().
+// Node names are interned (never freed) so TraceEvent stays a POD of
+// pointers.
+//
 // Capture is off by default; set_enabled(true) arms it (nyqmond does this
 // at startup). Disarmed spans cost one relaxed atomic load. Each ring has
 // its own mutex so a writer and a drain() from another thread never race
 // on the slots; writers almost always find their ring uncontended.
 //
 // drain() snapshots and clears every ring, returning events merged in
-// timestamp order; export_chrome_json() wraps that in the JSON object
-// format ({"traceEvents":[...]}) that chrome://tracing and Perfetto load
-// directly. Timestamps are nanoseconds on the recorder's steady-clock
-// epoch, exported as fractional microseconds (the format's native unit).
+// timestamp order. Draining is *consuming* and serialized: concurrent
+// drains queue on a dedicated mutex, so two `nyqmon_ctl trace` calls each
+// get a complete, disjoint batch instead of interleaved partial drains.
+// export_chrome_json() wraps a drain in the JSON object format
+// ({"traceEvents":[...]}) that chrome://tracing and Perfetto load
+// directly; events carry their trace/span/parent ids as args and are
+// grouped into per-node pids. merge_chrome_json() splices several such
+// exports (one per fleet node) into a single timeline.
 //
 // Event names/categories are `const char*` by design: recording does not
 // allocate, so callers must pass string literals (or otherwise
-// recorder-outliving storage).
+// recorder-outliving storage, e.g. intern_node_name()).
 #pragma once
 
 #include <atomic>
@@ -39,7 +56,35 @@ struct TraceEvent {
   std::uint64_t ts_ns = 0;         ///< span start, recorder-epoch-relative
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;  ///< dense per-recorder writer-thread id, from 1
+  std::uint64_t trace_id = 0;        ///< 0 = not part of a distributed trace
+  std::uint64_t span_id = 0;         ///< 0 = recorded before span ids existed
+  std::uint64_t parent_span_id = 0;  ///< 0 = root span of its trace/thread
+  const char* node = nullptr;  ///< interned node name; nullptr = unnamed
 };
+
+/// Per-thread distributed-tracing state. `span_id` is the innermost live
+/// ScopedSpan on this thread (what a new child parents under); `node` tags
+/// every span the thread records.
+struct ThreadTraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  const char* node = nullptr;
+};
+
+/// The calling thread's mutable context (thread_local storage).
+ThreadTraceContext& thread_trace_context() noexcept;
+
+/// Copy `name` into the process-lifetime intern table and return the
+/// stable pointer (empty string interns to nullptr). Idempotent per name.
+const char* intern_node_name(const std::string& name);
+
+/// Tag every span subsequently recorded by the calling thread with `node`
+/// (interned). Empty clears the tag.
+void set_thread_node(const std::string& node);
+
+/// Process-unique, never-zero span/trace id. Mixed (splitmix64) so ids
+/// drawn on different nodes of a fleet collide only by 2^-64 chance.
+std::uint64_t next_span_id() noexcept;
 
 class TraceRecorder {
  public:
@@ -62,12 +107,17 @@ class TraceRecorder {
 
   /// Append one complete span to the calling thread's ring (overwriting
   /// the oldest event, counted as a drop, when full). No-op when disabled.
+  /// The trailing id/node fields default to "not distributed".
   void record(const char* name, const char* category, std::uint64_t ts_ns,
-              std::uint64_t dur_ns);
+              std::uint64_t dur_ns, std::uint64_t trace_id = 0,
+              std::uint64_t span_id = 0, std::uint64_t parent_span_id = 0,
+              const char* node = nullptr);
 
   /// Move every buffered event out (rings empty afterwards), merged in
-  /// start-timestamp order. Safe concurrently with writers: events recorded
-  /// during the drain land in the next one.
+  /// start-timestamp order. Consuming and serialized: concurrent drains
+  /// are mutually exclusive, each returning a complete disjoint batch.
+  /// Safe concurrently with writers: events recorded during the drain
+  /// land in the next one.
   std::vector<TraceEvent> drain();
 
   /// Events overwritten before any drain could see them.
@@ -76,7 +126,9 @@ class TraceRecorder {
   }
 
   /// drain() + Trace Event Format (JSON object form). Loads directly in
-  /// chrome://tracing / Perfetto.
+  /// chrome://tracing / Perfetto. Events are grouped into one pid per
+  /// node name (process_name metadata emitted per pid); distributed ids
+  /// ride along as hex-string args {trace_id, span_id, parent_span_id}.
   std::string export_chrome_json();
 
  private:
@@ -103,10 +155,19 @@ class TraceRecorder {
 
   mutable std::mutex rings_mu_;
   std::vector<std::unique_ptr<Ring>> rings_;  ///< one per writer thread
+  std::mutex drain_mu_;  ///< serializes the consuming drains
 };
 
+/// Splice several export_chrome_json() outputs (e.g. one per fleet node)
+/// into one timeline. Inputs that don't match the exporter's fixed shell
+/// are skipped. Per-node pids are stable name hashes, so spans keep their
+/// process grouping across the merge.
+std::string merge_chrome_json(const std::vector<std::string>& parts);
+
 /// RAII span against TraceRecorder::instance(). Costs one atomic load when
-/// tracing is disabled. `name`/`category` must be string literals.
+/// tracing is disabled. `name`/`category` must be string literals. While
+/// alive, the span is the calling thread's current span (children parent
+/// under it); the previous current span is restored on destruction.
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* category) noexcept {
@@ -114,6 +175,11 @@ class ScopedSpan {
     if (rec.enabled()) {
       name_ = name;
       category_ = category;
+      ThreadTraceContext& ctx = thread_trace_context();
+      trace_id_ = ctx.trace_id;
+      parent_span_id_ = ctx.span_id;
+      span_id_ = next_span_id();
+      ctx.span_id = span_id_;
       t0_ns_ = rec.now_ns();
     }
   }
@@ -122,13 +188,55 @@ class ScopedSpan {
   ~ScopedSpan() {
     if (name_ == nullptr) return;
     TraceRecorder& rec = TraceRecorder::instance();
-    rec.record(name_, category_, t0_ns_, rec.now_ns() - t0_ns_);
+    ThreadTraceContext& ctx = thread_trace_context();
+    const std::uint64_t t1 = rec.now_ns();
+    rec.record(name_, category_, t0_ns_, t1 - t0_ns_, trace_id_, span_id_,
+               parent_span_id_, ctx.node);
+    // Restore the enclosing span as current (even if an intervening
+    // adoption changed trace_id, the span stack must unwind).
+    ctx.span_id = parent_span_id_;
   }
 
  private:
   const char* name_ = nullptr;  ///< nullptr = tracing was off at entry
   const char* category_ = nullptr;
   std::uint64_t t0_ns_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
+};
+
+/// RAII adoption of a wire-propagated trace context: installs
+/// {trace_id, parent_span_id} as the calling thread's current context so
+/// spans opened inside the scope join the remote caller's trace, and
+/// restores the previous context on destruction. A zero trace_id adopts
+/// nothing (no-op), so callers can pass an absent wire context through.
+class ScopedThreadTraceContext {
+ public:
+  ScopedThreadTraceContext(std::uint64_t trace_id,
+                           std::uint64_t parent_span_id) noexcept {
+    if (trace_id == 0) return;
+    ThreadTraceContext& ctx = thread_trace_context();
+    saved_trace_id_ = ctx.trace_id;
+    saved_span_id_ = ctx.span_id;
+    ctx.trace_id = trace_id;
+    ctx.span_id = parent_span_id;
+    adopted_ = true;
+  }
+  ScopedThreadTraceContext(const ScopedThreadTraceContext&) = delete;
+  ScopedThreadTraceContext& operator=(const ScopedThreadTraceContext&) =
+      delete;
+  ~ScopedThreadTraceContext() {
+    if (!adopted_) return;
+    ThreadTraceContext& ctx = thread_trace_context();
+    ctx.trace_id = saved_trace_id_;
+    ctx.span_id = saved_span_id_;
+  }
+
+ private:
+  bool adopted_ = false;
+  std::uint64_t saved_trace_id_ = 0;
+  std::uint64_t saved_span_id_ = 0;
 };
 
 }  // namespace nyqmon::obs

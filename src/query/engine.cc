@@ -1,6 +1,7 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -20,6 +21,40 @@
 
 namespace nyqmon::qry {
 
+namespace {
+
+// Contiguous stage marks for the EXPLAIN breakdown: every mark() closes
+// the stage that started at the previous mark, so stage durations
+// partition the elapsed time with only call-overhead gaps between them.
+class StageClock {
+ public:
+  explicit StageClock(std::vector<QueryStageTiming>& stages)
+      : stages_(stages), last_(std::chrono::steady_clock::now()) {}
+
+  void mark(const char* stage) {
+    const auto now = std::chrono::steady_clock::now();
+    stages_.push_back(
+        {stage, static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        now - last_)
+                        .count())});
+    last_ = now;
+  }
+
+ private:
+  std::vector<QueryStageTiming>& stages_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const mon::StripedRetentionStore& store,
                          QueryEngineConfig config)
     : store_(store),
@@ -33,6 +68,10 @@ QueryResponse QueryEngine::run(const QuerySpec& spec) {
   NYQMON_OBS_TIMER("nyqmon_query_latency_ns");
   NYQMON_TRACE_SPAN("query", "query");
   queries_.fetch_add(1, std::memory_order_relaxed);
+
+  QueryResponse resp;
+  const auto t_start = std::chrono::steady_clock::now();
+  StageClock clock(resp.stages);
 
   // Metadata pass: selector match + invalidation fingerprint, no
   // reconstruction. A wildcard-free selector names at most one stream, so
@@ -55,25 +94,37 @@ QueryResponse QueryEngine::run(const QuerySpec& spec) {
   Fnv1a fp;
   for (const auto& [name, m] : matched_meta)
     fp.mix(fnv1a(name)).mix(m.generation);
+  clock.mark("match");
 
   const std::string key = spec.canonical_key();
   if (config_.cache_enabled) {
     if (auto hit = cache_.lookup(key, fp.value())) {
       NYQMON_OBS_COUNT("nyqmon_query_cache_hits_total", 1);
-      return {std::move(hit), true};
+      clock.mark("cache");
+      resp.result = std::move(hit);
+      resp.cache_hit = true;
+      resp.total_ns = ns_since(t_start);
+      return resp;
     }
     NYQMON_OBS_COUNT("nyqmon_query_cache_misses_total", 1);
   }
+  clock.mark("cache");
 
   streams_considered_.fetch_add(considered, std::memory_order_relaxed);
-  auto result = execute(spec, matched_meta);
+  auto result = execute(spec, matched_meta, resp.stages);
+  StageClock store_clock(resp.stages);
   if (config_.cache_enabled) cache_.insert(key, fp.value(), result);
-  return {std::move(result), false};
+  store_clock.mark("cache_store");
+  resp.result = std::move(result);
+  resp.total_ns = ns_since(t_start);
+  return resp;
 }
 
 std::shared_ptr<const QueryResult> QueryEngine::execute(
     const QuerySpec& spec,
-    const std::vector<std::pair<std::string, mon::StreamMeta>>& matched_meta) {
+    const std::vector<std::pair<std::string, mon::StreamMeta>>& matched_meta,
+    std::vector<QueryStageTiming>& stages) {
+  StageClock clock(stages);
   auto result = std::make_shared<QueryResult>();
   result->spec = spec;
 
@@ -96,6 +147,7 @@ std::shared_ptr<const QueryResult> QueryEngine::execute(
                                    std::memory_order_relaxed);
   NYQMON_OBS_COUNT("nyqmon_query_streams_reconstructed_total",
                    result->reconstructed.size());
+  clock.mark("prune");
   if (result->reconstructed.empty()) return result;
 
   // Output grid timestamps, relative to t_begin (which is also where the
@@ -129,6 +181,7 @@ std::shared_ptr<const QueryResult> QueryEngine::execute(
                                             base.sample_rate_hz(), rel_times);
         apply_transform(spec.transform, spec.step_s, slots[i]);
       });
+  clock.mark("reconstruct");
 
   if (spec.aggregate == Aggregation::kNone) {
     result->series.reserve(slots.size());
@@ -137,6 +190,7 @@ std::shared_ptr<const QueryResult> QueryEngine::execute(
           {result->reconstructed[i],
            sig::RegularSeries(spec.t_begin, spec.step_s,
                               std::move(slots[i]))});
+    clock.mark("aggregate");
     return result;
   }
 
@@ -151,6 +205,7 @@ std::shared_ptr<const QueryResult> QueryEngine::execute(
   result->series.push_back(
       {std::string(to_string(spec.aggregate)) + "(" + spec.selector + ")",
        sig::RegularSeries(spec.t_begin, spec.step_s, std::move(reduced))});
+  clock.mark("aggregate");
   return result;
 }
 

@@ -71,8 +71,8 @@ class QueryEngine {
  private:
   std::shared_ptr<const QueryResult> execute(
       const QuerySpec& spec,
-      const std::vector<std::pair<std::string, mon::StreamMeta>>&
-          matched_meta);
+      const std::vector<std::pair<std::string, mon::StreamMeta>>& matched_meta,
+      std::vector<QueryStageTiming>& stages);
 
   const mon::StripedRetentionStore& store_;
   QueryEngineConfig config_;

@@ -8,6 +8,7 @@
 // cache entry.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -85,11 +86,23 @@ struct QueryResult {
   std::vector<QuerySeries> series;
 };
 
+/// One named, contiguously-timed stage of a query execution (EXPLAIN).
+struct QueryStageTiming {
+  const char* stage = nullptr;  ///< literal stage name
+  std::uint64_t ns = 0;
+};
+
 /// What QueryEngine::run() hands back: the (possibly cached) result plus
-/// whether this call was served from the cache.
+/// whether this call was served from the cache, and the per-call stage
+/// breakdown backing the wire-level query EXPLAIN. Stages are timed with
+/// contiguous clock marks, so their sum accounts for ~all of total_ns;
+/// they describe *this call* (a cache hit reports just match + cache),
+/// never the cached result's original execution.
 struct QueryResponse {
   std::shared_ptr<const QueryResult> result;
   bool cache_hit = false;
+  std::uint64_t total_ns = 0;
+  std::vector<QueryStageTiming> stages;
 };
 
 }  // namespace nyqmon::qry

@@ -172,11 +172,14 @@ std::uint64_t NyqmonClient::ingest(const std::string& stream, double rate_hz,
   return total;
 }
 
-QueryReply NyqmonClient::query(const qry::QuerySpec& spec, bool want_matched) {
-  const auto payload = request_ok(
-      Verb::kQuery, encode_query(spec, want_matched ? kQueryWantMatched : 0));
+QueryReply NyqmonClient::query(const qry::QuerySpec& spec, bool want_matched,
+                               bool want_explain) {
+  std::uint8_t flags = 0;
+  if (want_matched) flags |= kQueryWantMatched;
+  if (want_explain) flags |= kQueryWantExplain;
+  const auto payload = request_ok(Verb::kQuery, encode_query(spec, flags));
   sto::ByteReader reader(payload);
-  auto reply = decode_query_reply(reader);
+  auto reply = decode_query_reply(reader, flags);
   if (!reply.has_value()) throw std::runtime_error("malformed QUERY response");
   return std::move(*reply);
 }
@@ -186,13 +189,22 @@ std::string NyqmonClient::stats_json() {
   return std::string(payload.begin(), payload.end());
 }
 
-std::string NyqmonClient::metrics_text() {
-  const auto payload = request_ok(Verb::kMetrics, {});
+std::string NyqmonClient::metrics_text(bool fleet) {
+  std::vector<std::uint8_t> req;
+  if (fleet) sto::put_u8(req, kMetricsFleet);
+  const auto payload = request_ok(Verb::kMetrics, req);
   return std::string(payload.begin(), payload.end());
 }
 
-std::string NyqmonClient::trace_json() {
-  const auto payload = request_ok(Verb::kTrace, {});
+std::string NyqmonClient::trace_json(bool fleet) {
+  std::vector<std::uint8_t> req;
+  if (fleet) sto::put_u8(req, kTraceFleet);
+  const auto payload = request_ok(Verb::kTrace, req);
+  return std::string(payload.begin(), payload.end());
+}
+
+std::string NyqmonClient::logs_text() {
+  const auto payload = request_ok(Verb::kLogs, {});
   return std::string(payload.begin(), payload.end());
 }
 

@@ -82,18 +82,31 @@ class NyqmonClient {
 
   /// `want_matched` sets kQueryWantMatched so the reply carries the matched
   /// stream IDs (QueryReply::matched_labels) — the cluster merge needs them.
-  QueryReply query(const qry::QuerySpec& spec, bool want_matched = false);
+  /// `want_explain` sets kQueryWantExplain so the reply carries the
+  /// per-stage latency breakdown (QueryReply::explain); an old server
+  /// ignores the flag and the field stays empty.
+  QueryReply query(const qry::QuerySpec& spec, bool want_matched = false,
+                   bool want_explain = false);
 
   /// The server's JSON counter snapshot, verbatim.
   std::string stats_json();
 
   /// The server process's metric registry as Prometheus text exposition
-  /// (catalog: docs/OBSERVABILITY.md), verbatim.
-  std::string metrics_text();
+  /// (catalog: docs/OBSERVABILITY.md), verbatim. With `fleet`, a router
+  /// scatter-gathers every backend's exposition and returns them as
+  /// `# == node <name> ==` sections (a plain nyqmond ignores the flag and
+  /// answers its own exposition).
+  std::string metrics_text(bool fleet = false);
 
   /// Drain the server's trace rings as chrome://tracing JSON, verbatim.
   /// Consuming: consecutive calls return disjoint windows of activity.
-  std::string trace_json();
+  /// With `fleet`, a router drains every backend too and stitches all the
+  /// timelines (its own included) into one JSON document.
+  std::string trace_json(bool fleet = false);
+
+  /// Drain the server's structured log rings as `nyqlog v1` text
+  /// (src/obs/log.h). Consuming, like trace_json().
+  std::string logs_text();
 
   CheckpointReply checkpoint();
 

@@ -36,11 +36,15 @@
 //                   → OK: the rest of the payload is UTF-8 Prometheus text
 //                     exposition of the process metric registry (catalog:
 //                     docs/OBSERVABILITY.md)
-//   TRACE (6)       (empty)
+//   TRACE (6)       (empty), optionally u8 flags (bit 0 kTraceFleet: a
+//                   router scatter-gathers every backend's drain and
+//                   stitches them with its own into one timeline)
 //                   → OK: the rest of the payload is UTF-8 JSON in the
 //                     chrome://tracing Trace Event Format, draining the
 //                     in-process trace rings (empty traceEvents list when
-//                     capture is disabled server-side)
+//                     capture is disabled server-side). The drain is
+//                     consuming and serialized: concurrent TRACE requests
+//                     each get a complete, disjoint batch.
 //   HANDOFF (7)     u8 direction, then
 //                     direction 0 (EXPORT): u16 sel_len|selector
 //                     → OK: u32 n_streams, u64 n_samples, segment-format
@@ -54,6 +58,10 @@
 //                     durable tier is attached) checkpoints them through
 //                     the manifest's atomic commit, so the handoff is
 //                     WAL/segment-recoverable the moment OK is answered.
+//   LOGS (8)        (empty)
+//                   → OK: the rest of the payload is UTF-8 `nyqlog v1`
+//                     text — a consuming drain of the structured log
+//                     rings (src/obs/log.h; schema: docs/OBSERVABILITY.md)
 //
 // Extensions (all optional, absent bytes mean "off" — a pre-cluster peer
 // interoperates unchanged):
@@ -61,14 +69,31 @@
 //     the reply to append, after the series block: u32 n_matched, then
 //     n_matched × u16 len|stream_id (the matched set, lexicographic).
 //     The cluster router needs the labels — not just the count — to
-//     dedupe streams that two shards both hold mid-handoff.
+//     dedupe streams that two shards both hold mid-handoff. Bit 1
+//     (kQueryWantExplain) asks the reply to append — after the
+//     matched-labels block, if any — a per-request stage breakdown:
+//     u64 total_ns, u8 n_stages, then per stage u16 len|name, u64 ns.
+//   * METRICS and TRACE requests may append u8 flags; bit 0 asks a
+//     router to scatter-gather the whole fleet (kMetricsFleet /
+//     kTraceFleet). Backends ignore the flags byte.
 //   * An ERR payload may append detail entries after the message:
 //     u8 n_details, then per entry u16 len|node_id, u16 len|error. The
 //     router's partial-failure report: which backends failed and why.
+//   * Any request body may append a 21-byte TraceContext trailer
+//     (u64 trace_id, u64 parent_span_id, u8 sampled, u32 magic "NYTC"),
+//     detected by the magic at the body's tail and stripped before verb
+//     decoding. It propagates distributed-tracing identity across hops
+//     so ScopedSpans on every node share one trace_id. An old peer that
+//     ignores the convention still interoperates: for payload-carrying
+//     verbs the trailer makes the strict decoder answer ERR (framing
+//     intact, connection kept), and routers simply don't inject toward
+//     peers that predate it — absent bytes mean "no context".
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,12 +115,19 @@ enum class Verb : std::uint8_t {
   kMetrics = 5,
   kTrace = 6,
   kHandoff = 7,
+  kLogs = 8,
 };
 
 enum class Status : std::uint8_t { kOk = 0, kError = 1 };
 
 /// QUERY request flag bits (the optional trailing u8).
 inline constexpr std::uint8_t kQueryWantMatched = 0x01;
+inline constexpr std::uint8_t kQueryWantExplain = 0x02;
+
+/// TRACE / METRICS request flag bits (optional trailing u8): bit 0 asks a
+/// router to scatter-gather the whole fleet instead of answering locally.
+inline constexpr std::uint8_t kTraceFleet = 0x01;
+inline constexpr std::uint8_t kMetricsFleet = 0x01;
 
 /// HANDOFF direction byte.
 enum class HandoffDirection : std::uint8_t { kExport = 0, kImport = 1 };
@@ -107,6 +139,66 @@ struct IngestRequest {
   std::vector<double> values;
 };
 
+// ------------------------------------------------- trace-context trailer ---
+
+/// Magic closing a TraceContext trailer; the bytes "NYTC" little-endian.
+inline constexpr std::uint32_t kTraceContextMagic = 0x4354594eu;
+/// Trailer size: u64 trace_id + u64 parent_span_id + u8 sampled + u32 magic.
+inline constexpr std::size_t kTraceContextBytes = 21;
+
+/// Distributed-tracing identity carried as optional trailing bytes on any
+/// request body. trace_id 0 means "no context" and is never emitted.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  bool sampled = false;
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+inline void append_trace_context(std::vector<std::uint8_t>& payload,
+                                 const TraceContext& ctx) {
+  sto::put_u64(payload, ctx.trace_id);
+  sto::put_u64(payload, ctx.parent_span_id);
+  sto::put_u8(payload, ctx.sampled ? 1 : 0);
+  sto::put_u32(payload, kTraceContextMagic);
+}
+
+/// Detect and strip a TraceContext trailer from the tail of a request
+/// body (verb byte included in `body`). Returns the context — inactive if
+/// no well-formed trailer is present, in which case `body` is untouched.
+/// A payload whose last 21 bytes happen to end in the magic is
+/// misdetected with probability 2^-32 per request; the failure mode is an
+/// ERR reply (truncated decode), never corruption.
+inline TraceContext strip_trace_context(std::span<const std::uint8_t>& body) {
+  TraceContext ctx;
+  if (body.size() < 1 + kTraceContextBytes) return ctx;  // verb + trailer
+  sto::ByteReader r(body.subspan(body.size() - kTraceContextBytes));
+  const std::uint64_t trace_id = r.get_u64();
+  const std::uint64_t parent_span_id = r.get_u64();
+  const std::uint8_t sampled = r.get_u8();
+  const std::uint32_t magic = r.get_u32();
+  if (!r.ok() || magic != kTraceContextMagic || trace_id == 0) return ctx;
+  ctx.trace_id = trace_id;
+  ctx.parent_span_id = parent_span_id;
+  ctx.sampled = sampled != 0;
+  body = body.first(body.size() - kTraceContextBytes);
+  return ctx;
+}
+
+/// One named stage of a query EXPLAIN breakdown.
+struct ExplainEntry {
+  std::string stage;
+  std::uint64_t ns = 0;
+};
+
+/// The EXPLAIN block of a QUERY reply (kQueryWantExplain). Stage names
+/// prefixed "backend/" are informational fan-out latencies that overlap
+/// in time; all other stages are contiguous and sum to ~total_ns.
+struct QueryExplainBlock {
+  std::uint64_t total_ns = 0;
+  std::vector<ExplainEntry> stages;
+};
+
 /// Decoded QUERY response.
 struct QueryReply {
   bool cache_hit = false;
@@ -116,6 +208,9 @@ struct QueryReply {
   /// Present only when the request set kQueryWantMatched: the matched
   /// stream IDs themselves, lexicographic.
   std::vector<std::string> matched_labels;
+  /// Present only when the request set kQueryWantExplain (and the server
+  /// understands the flag — an old peer simply omits the block).
+  std::optional<QueryExplainBlock> explain;
 };
 
 /// One (node, error) entry of an ERR-with-detail payload.
@@ -281,7 +376,8 @@ inline std::optional<qry::QuerySpec> decode_query(sto::ByteReader& r) {
 
 inline std::vector<std::uint8_t> encode_query_reply(
     const qry::QueryResult& result, bool cache_hit,
-    bool with_matched_labels = false) {
+    bool with_matched_labels = false,
+    const QueryExplainBlock* explain = nullptr) {
   std::vector<std::uint8_t> p;
   sto::put_u8(p, cache_hit ? 1 : 0);
   sto::put_u32(p, static_cast<std::uint32_t>(result.matched.size()));
@@ -298,10 +394,28 @@ inline std::vector<std::uint8_t> encode_query_reply(
     sto::put_u32(p, static_cast<std::uint32_t>(result.matched.size()));
     for (const auto& name : result.matched) sto::put_string(p, name);
   }
+  if (explain != nullptr) {
+    sto::put_u64(p, explain->total_ns);
+    sto::put_u8(p, static_cast<std::uint8_t>(
+                       std::min<std::size_t>(explain->stages.size(), 255)));
+    std::size_t emitted = 0;
+    for (const ExplainEntry& e : explain->stages) {
+      if (emitted++ == 255) break;
+      sto::put_string(p, e.stage);
+      sto::put_u64(p, e.ns);
+    }
+  }
   return p;
 }
 
-inline std::optional<QueryReply> decode_query_reply(sto::ByteReader& r) {
+/// Decode a QUERY OK payload. `flags` must be the flags the *request*
+/// carried: the optional reply blocks are positional, so the decoder
+/// needs to know which were asked for. Each block is tolerated absent
+/// (an old server ignores flag bits it predates), strict when present.
+/// The default preserves the pre-explain behavior of treating any bytes
+/// after the series block as the matched-labels block.
+inline std::optional<QueryReply> decode_query_reply(
+    sto::ByteReader& r, std::uint8_t flags = kQueryWantMatched) {
   QueryReply reply;
   reply.cache_hit = r.get_u8() != 0;
   reply.matched = r.get_u32();
@@ -323,7 +437,7 @@ inline std::optional<QueryReply> decode_query_reply(sto::ByteReader& r) {
     reply.series.push_back(std::move(s));
   }
   if (!r.ok()) return std::nullopt;
-  if (r.remaining() > 0) {  // optional matched-labels block
+  if ((flags & kQueryWantMatched) != 0 && r.remaining() > 0) {
     const std::uint32_t n_matched = r.get_u32();
     if (!r.ok()) return std::nullopt;
     reply.matched_labels.reserve(n_matched);
@@ -331,6 +445,21 @@ inline std::optional<QueryReply> decode_query_reply(sto::ByteReader& r) {
       reply.matched_labels.push_back(r.get_string());
       if (!r.ok()) return std::nullopt;
     }
+  }
+  if ((flags & kQueryWantExplain) != 0 && r.remaining() > 0) {
+    QueryExplainBlock ex;
+    ex.total_ns = r.get_u64();
+    const std::uint8_t n_stages = r.get_u8();
+    if (!r.ok()) return std::nullopt;
+    ex.stages.reserve(n_stages);
+    for (std::uint8_t i = 0; i < n_stages; ++i) {
+      ExplainEntry e;
+      e.stage = r.get_string();
+      e.ns = r.get_u64();
+      if (!r.ok()) return std::nullopt;
+      ex.stages.push_back(std::move(e));
+    }
+    reply.explain = std::move(ex);
   }
   if (!r.ok() || r.remaining() != 0) return std::nullopt;
   return reply;

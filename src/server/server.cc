@@ -20,6 +20,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/selector.h"
@@ -48,6 +49,7 @@ const char* verb_name(Verb verb) {
     case Verb::kMetrics: return "METRICS";
     case Verb::kTrace: return "TRACE";
     case Verb::kHandoff: return "HANDOFF";
+    case Verb::kLogs: return "LOGS";
   }
   return "UNKNOWN";
 }
@@ -71,6 +73,8 @@ obs::Histogram* verb_latency_histogram(Verb verb) {
       obs::Registry::instance().histogram("nyqmon_server_trace_latency_ns");
   static obs::Histogram& handoff =
       obs::Registry::instance().histogram("nyqmon_server_handoff_latency_ns");
+  static obs::Histogram& logs =
+      obs::Registry::instance().histogram("nyqmon_server_logs_latency_ns");
   switch (verb) {
     case Verb::kIngest: return &ingest;
     case Verb::kQuery: return &query;
@@ -79,6 +83,7 @@ obs::Histogram* verb_latency_histogram(Verb verb) {
     case Verb::kMetrics: return &metrics;
     case Verb::kTrace: return &trace;
     case Verb::kHandoff: return &handoff;
+    case Verb::kLogs: return &logs;
   }
   return nullptr;  // unknown verbs answer ERR untimed
 }
@@ -193,6 +198,10 @@ void NyqmondServer::stop() {
 }
 
 void NyqmondServer::loop() {
+  // Every span and log record produced on this thread (dispatch, engine
+  // fan-out entry, checkpoint) carries the node's fleet identity, which is
+  // what lets a stitched fleet timeline attribute spans to nodes.
+  obs::set_thread_node(config_.node_name);
   std::vector<pollfd> fds;
   while (!stopping_.load()) {
     fds.clear();
@@ -277,6 +286,15 @@ void NyqmondServer::loop() {
                                                  config_.slow_client_timeout_ms)) {
           slow_clients_dropped_.fetch_add(1);
           NYQMON_OBS_COUNT("nyqmon_server_slow_clients_dropped_total", 1);
+          NYQMON_LOG_WARN(
+              "server.slow_client_dropped",
+              "fd=" + std::to_string(conn.fd) + " stalled_ms=" +
+                  std::to_string(std::chrono::duration_cast<
+                                     std::chrono::milliseconds>(
+                                     now - conn.stall_since)
+                                     .count()) +
+                  " queued_bytes=" +
+                  std::to_string(conn.out.size() - conn.out_sent));
           alive = false;
         }
       } else {
@@ -330,6 +348,9 @@ bool NyqmondServer::read_client(Connection& conn) {
         if (conn.in.size() > config_.max_frame_bytes + 5) {
           protocol_errors_.fetch_add(1);
           NYQMON_OBS_COUNT("nyqmon_server_protocol_errors_total", 1);
+          NYQMON_LOG_ERROR("server.protocol_error",
+                           "reason=frame_overflow buffered=" +
+                               std::to_string(conn.in.size()));
           return false;
         }
       }
@@ -380,6 +401,9 @@ bool NyqmondServer::drain_frames(Connection& conn) {
       // Unsynchronizable: answer and close once the error is flushed.
       protocol_errors_.fetch_add(1);
       NYQMON_OBS_COUNT("nyqmon_server_protocol_errors_total", 1);
+      NYQMON_LOG_ERROR("server.protocol_error",
+                       "reason=bad_frame_length body_len=" +
+                           std::to_string(body_len));
       const auto err = error_frame("bad frame length");
       conn.out.insert(conn.out.end(), err.begin(), err.end());
       conn.close_after_flush = true;
@@ -403,6 +427,17 @@ void NyqmondServer::dispatch(Connection& conn,
                              std::span<const std::uint8_t> body) {
   frames_.fetch_add(1);
   NYQMON_OBS_COUNT("nyqmon_server_frames_total", 1);
+  // Distributed tracing: peel the optional TraceContext trailer off the
+  // body *before* any decoding (payload decoders enforce exact-remaining),
+  // then adopt it for the handler's duration so the verb span — and every
+  // span nested under it — joins the remote caller's trace. A request with
+  // no context originates a fresh trace when capture is armed, so even a
+  // direct `nyqmon_ctl` query gets one coherent trace_id.
+  TraceContext trace_ctx = strip_trace_context(body);
+  if (!trace_ctx.active() && obs::TraceRecorder::instance().enabled())
+    trace_ctx.trace_id = obs::next_span_id();
+  obs::ScopedThreadTraceContext adopt(trace_ctx.trace_id,
+                                      trace_ctx.parent_span_id);
   sto::ByteReader reader(body);
   const auto verb = static_cast<Verb>(reader.get_u8());
   NYQMON_TRACE_SPAN(verb_name(verb), "server");
@@ -446,15 +481,25 @@ void NyqmondServer::dispatch(Connection& conn,
         handoff_frames_.fetch_add(1);
         reply = handle_handoff(reader);
         break;
+      case Verb::kLogs:
+        logs_frames_.fetch_add(1);
+        reply = handle_logs();
+        break;
       default:
         protocol_errors_.fetch_add(1);
         NYQMON_OBS_COUNT("nyqmon_server_protocol_errors_total", 1);
+        NYQMON_LOG_ERROR("server.protocol_error",
+                         "reason=unknown_verb verb=" +
+                             std::to_string(static_cast<unsigned>(verb)));
         reply = error_frame("unknown verb");
         break;
     }
   } catch (const std::exception& e) {
     protocol_errors_.fetch_add(1);
     NYQMON_OBS_COUNT("nyqmon_server_protocol_errors_total", 1);
+    NYQMON_LOG_ERROR("server.dispatch_error",
+                     std::string("verb=") + verb_name(verb) +
+                         " what=" + e.what());
     reply = error_frame(e.what());
   }
 #if !defined(NYQMON_OBS_NOOP)
@@ -490,8 +535,16 @@ std::vector<std::uint8_t> NyqmondServer::handle_query(sto::ByteReader& reader) {
   if (!spec.has_value()) return error_frame("malformed QUERY payload");
   spec->validate();  // throws -> ERR via dispatch
   const qry::QueryResponse response = query_.run(*spec);
-  auto payload = encode_query_reply(*response.result, response.cache_hit,
-                                    (flags & kQueryWantMatched) != 0);
+  QueryExplainBlock explain;
+  if ((flags & kQueryWantExplain) != 0) {
+    explain.total_ns = response.total_ns;
+    explain.stages.reserve(response.stages.size());
+    for (const qry::QueryStageTiming& st : response.stages)
+      explain.stages.push_back({st.stage, st.ns});
+  }
+  auto payload = encode_query_reply(
+      *response.result, response.cache_hit, (flags & kQueryWantMatched) != 0,
+      (flags & kQueryWantExplain) != 0 ? &explain : nullptr);
   // A reply must fit one frame: clients reject bodies over their cap, and
   // past 4 GiB the u32 length prefix would wrap. Refuse rather than emit
   // an undeliverable frame.
@@ -563,6 +616,16 @@ std::vector<std::uint8_t> NyqmondServer::handle_trace() {
     return error_frame("trace export exceeds the frame cap");
   const auto* bytes = reinterpret_cast<const std::uint8_t*>(json.data());
   return ok_frame(std::span<const std::uint8_t>(bytes, json.size()));
+}
+
+std::vector<std::uint8_t> NyqmondServer::handle_logs() {
+  // Consuming drain, like TRACE: two LOGS frames in a row return disjoint
+  // batches of records.
+  const std::string text = obs::LogRecorder::instance().export_text();
+  if (text.size() >= config_.max_frame_bytes)
+    return error_frame("log export exceeds the frame cap");
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(text.data());
+  return ok_frame(std::span<const std::uint8_t>(bytes, text.size()));
 }
 
 std::vector<std::uint8_t> NyqmondServer::handle_handoff(
@@ -646,6 +709,7 @@ ServerStats NyqmondServer::stats() const {
   s.metrics_frames = metrics_frames_.load();
   s.trace_frames = trace_frames_.load();
   s.handoff_frames = handoff_frames_.load();
+  s.logs_frames = logs_frames_.load();
   s.protocol_errors = protocol_errors_.load();
   s.samples_ingested = samples_ingested_.load();
   s.backpressure_stalls = backpressure_stalls_.load();

@@ -55,6 +55,10 @@ struct ServerConfig {
   /// progress for this long — a stuck client must not hold its replies in
   /// server memory forever. 0 = stall indefinitely, never drop.
   std::uint32_t slow_client_timeout_ms = 0;
+  /// Fleet identity: tags every trace span and log record produced on the
+  /// event-loop thread, and names this node in stitched fleet timelines.
+  /// Empty = unnamed (standalone nyqmond).
+  std::string node_name;
   qry::QueryEngineConfig query;
   /// CHECKPOINT delegate. Servers fronting a StreamingRuntime must point
   /// this at StreamingRuntime::checkpoint() so the flush is quiesced
@@ -85,6 +89,7 @@ struct ServerStats {
   std::uint64_t metrics_frames = 0;
   std::uint64_t trace_frames = 0;
   std::uint64_t handoff_frames = 0;
+  std::uint64_t logs_frames = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t samples_ingested = 0;
   /// Connections that entered reply-queue backpressure (reads suspended).
@@ -151,6 +156,7 @@ class NyqmondServer {
   std::vector<std::uint8_t> handle_metrics();
   std::vector<std::uint8_t> handle_trace();
   std::vector<std::uint8_t> handle_handoff(sto::ByteReader& reader);
+  std::vector<std::uint8_t> handle_logs();
 
   /// Effective reply-queue byte bound (config default resolution).
   std::size_t reply_queue_bytes_limit() const {
@@ -186,6 +192,7 @@ class NyqmondServer {
   std::atomic<std::uint64_t> metrics_frames_{0};
   std::atomic<std::uint64_t> trace_frames_{0};
   std::atomic<std::uint64_t> handoff_frames_{0};
+  std::atomic<std::uint64_t> logs_frames_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> samples_ingested_{0};
   std::atomic<std::uint64_t> backpressure_stalls_{0};

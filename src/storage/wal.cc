@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/crc32.h"
@@ -61,12 +62,21 @@ void WriteAheadLog::append_batch(const std::string& stream,
 
 void WriteAheadLog::sync() {
   if (unsynced_ == 0) return;
-  {
+  try {
     // ROADMAP item 3 (WAL at 44 MB/s vs flush at 447 MB/s): the fsync
     // distribution is the durability tax, measured at its source.
     NYQMON_OBS_TIMER("nyqmon_wal_fsync_ns");
     NYQMON_TRACE_SPAN("wal_fsync", "storage");
     file_.sync();
+  } catch (const std::exception& e) {
+    // A failed fsync means durability of the unsynced records is unknown
+    // (and on most filesystems unrecoverable for this write window) —
+    // loud, then rethrown: callers must see it, but the record survives
+    // in the log ring even if they swallow the throw.
+    NYQMON_LOG_ERROR("storage.wal_fsync_failed",
+                     "path=" + path_ + " unsynced_batches=" +
+                         std::to_string(unsynced_) + " what=" + e.what());
+    throw;
   }
   unsynced_ = 0;
   ++syncs_;

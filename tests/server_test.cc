@@ -10,11 +10,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "monitor/striped_store.h"
@@ -679,6 +681,206 @@ TEST(Server, SlowClientIsBoundedAndEventuallyDropped) {
 
   // The drop is surgical: other clients were never blocked.
   EXPECT_NE(feeder.stats_json().find("\"streams\":1"), std::string::npos);
+  server.stop();
+}
+
+// ------------------------------------------------ trace-context trailer --
+
+TEST(Server, TraceContextTrailerIsPeeledOnEveryVerb) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+
+  // A stamped request must behave exactly like an unstamped one: dispatch
+  // peels the 21-byte trailer before any payload decoder runs (the
+  // decoders enforce exact-remaining and would reject the extra bytes).
+  const srv::TraceContext ctx{/*trace_id=*/0xabcdef12u, /*parent_span_id=*/7,
+                              /*sampled=*/true};
+  srv::IngestRequest ingest;
+  ingest.stream = "dev/metric";
+  ingest.rate_hz = 2.0;
+  ingest.values = wave(64, 0.4);
+  qry::QuerySpec spec;
+  spec.selector = "dev/*";
+  spec.t_begin = 0.0;
+  spec.t_end = 16.0;
+  spec.step_s = 1.0;
+
+  const std::pair<srv::Verb, std::vector<std::uint8_t>> requests[] = {
+      {srv::Verb::kIngest, srv::encode_ingest(ingest)},
+      {srv::Verb::kQuery, srv::encode_query(spec)},
+      {srv::Verb::kStats, {}},
+      {srv::Verb::kCheckpoint, {}},
+      {srv::Verb::kMetrics, {}},
+      {srv::Verb::kTrace, {}},
+      {srv::Verb::kHandoff, srv::encode_handoff_export("dev/*")},
+      {srv::Verb::kLogs, {}},
+  };
+  for (const auto& [verb, payload] : requests) {
+    std::vector<std::uint8_t> stamped = payload;
+    srv::append_trace_context(stamped, ctx);
+    const auto body =
+        client.request_raw(static_cast<std::uint8_t>(verb), stamped);
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(body[0], static_cast<std::uint8_t>(srv::Status::kOk))
+        << "verb " << static_cast<unsigned>(verb);
+  }
+  EXPECT_EQ(store.streams(), 1u);  // the stamped INGEST really landed
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+  server.stop();
+}
+
+TEST(Server, TruncatedOrCorruptTrailerIsJustPayloadBytes) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  client.ingest("dev/metric", 2.0, 0.0, wave(64, 0.4));
+
+  qry::QuerySpec spec;
+  spec.selector = "dev/*";
+  spec.t_begin = 0.0;
+  spec.t_end = 16.0;
+  spec.step_s = 1.0;
+  const srv::TraceContext ctx{/*trace_id=*/1234, /*parent_span_id=*/5,
+                              /*sampled=*/true};
+
+  // A trailer cut one byte short is not detected: its bytes stay on the
+  // payload and the QUERY decoder's exact-remaining check rejects them.
+  std::vector<std::uint8_t> truncated = srv::encode_query(spec);
+  srv::append_trace_context(truncated, ctx);
+  truncated.pop_back();
+  auto body = client.request_raw(static_cast<std::uint8_t>(srv::Verb::kQuery),
+                                 truncated);
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body[0], static_cast<std::uint8_t>(srv::Status::kError));
+
+  // Right length, wrong magic: not misread as a context either.
+  std::vector<std::uint8_t> corrupt = srv::encode_query(spec);
+  srv::append_trace_context(corrupt, ctx);
+  corrupt.back() ^= 0xff;
+  body = client.request_raw(static_cast<std::uint8_t>(srv::Verb::kQuery),
+                            corrupt);
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body[0], static_cast<std::uint8_t>(srv::Status::kError));
+
+  // trace_id 0 means "no context" and is never stripped, even with the
+  // magic intact.
+  std::vector<std::uint8_t> zero_id = srv::encode_query(spec);
+  srv::append_trace_context(zero_id, srv::TraceContext{});
+  body = client.request_raw(static_cast<std::uint8_t>(srv::Verb::kQuery),
+                            zero_id);
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body[0], static_cast<std::uint8_t>(srv::Status::kError));
+
+  // The connection survived every malformed frame.
+  EXPECT_EQ(client.query(spec).matched, 1u);
+  server.stop();
+}
+
+TEST(Server, PayloadFreeVerbsTolerateNewPeerFlagBytes) {
+  // Old-peer compat: a plain nyqmond receiving a router-era flags byte on
+  // METRICS/TRACE (or any trailing bytes on the payload-free verbs) must
+  // answer its own data rather than ERR — those handlers never read the
+  // payload, so the fleet bit degrades to a local answer.
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+
+  const std::vector<std::uint8_t> flag{0x01};
+  for (const srv::Verb verb :
+       {srv::Verb::kStats, srv::Verb::kCheckpoint, srv::Verb::kMetrics,
+        srv::Verb::kTrace, srv::Verb::kLogs}) {
+    const auto body =
+        client.request_raw(static_cast<std::uint8_t>(verb), flag);
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(body[0], static_cast<std::uint8_t>(srv::Status::kOk))
+        << "verb " << static_cast<unsigned>(verb);
+  }
+  // The fleet-flagged METRICS is the plain exposition, not sectioned text.
+  const std::string text = client.metrics_text(/*fleet=*/true);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+  EXPECT_EQ(text.find("# == node"), std::string::npos);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+  server.stop();
+}
+
+// -------------------------------------------------------- structured logs --
+
+TEST(Server, LogsVerbDrainsStructuredRecords) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+
+  (void)client.logs_text();  // discard records earlier tests left behind
+  // An unknown verb is a logged failure path: server.protocol_error.
+  const auto err = client.request_raw(0x7d, {});
+  ASSERT_FALSE(err.empty());
+  EXPECT_EQ(err[0], static_cast<std::uint8_t>(srv::Status::kError));
+
+  const std::string text = client.logs_text();
+  EXPECT_EQ(text.rfind("nyqlog v1 records=", 0), 0u) << text;
+  EXPECT_NE(text.find("level=error"), std::string::npos) << text;
+  EXPECT_NE(text.find("event=server.protocol_error"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("reason=unknown_verb"), std::string::npos) << text;
+
+  // Consuming: an immediate second drain returns an empty window.
+  const std::string second = client.logs_text();
+  EXPECT_EQ(second.rfind("nyqlog v1 records=0 ", 0), 0u) << second;
+  EXPECT_GE(server.stats().logs_frames, 2u);
+  server.stop();
+}
+
+// ---------------------------------------------------------- query EXPLAIN --
+
+TEST(Server, QueryExplainAttributesLatencyToStages) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+  client.ingest("dev/metric", 2.0, 0.0, wave(4096, 0.8));
+
+  qry::QuerySpec spec;
+  spec.selector = "dev/*";
+  spec.t_begin = 0.0;
+  spec.t_end = 2000.0;
+  spec.step_s = 0.5;
+
+  // Cold cache: the full pipeline breakdown.
+  const srv::QueryReply reply = client.query(spec, false, /*want_explain=*/true);
+  ASSERT_FALSE(reply.cache_hit);
+  ASSERT_TRUE(reply.explain.has_value());
+  const srv::QueryExplainBlock& ex = *reply.explain;
+  EXPECT_GT(ex.total_ns, 0u);
+
+  std::uint64_t sum = 0;
+  std::vector<std::string> names;
+  for (const srv::ExplainEntry& e : ex.stages) {
+    names.push_back(e.stage);
+    sum += e.ns;
+  }
+  for (const char* stage : {"match", "cache", "prune", "reconstruct",
+                            "aggregate", "cache_store"})
+    EXPECT_NE(std::find(names.begin(), names.end(), stage), names.end())
+        << stage << " missing from the breakdown";
+  // StageClock marks are contiguous, so the named stages account for at
+  // least 90% of the measured total (the ISSUE acceptance bar).
+  EXPECT_GE(sum * 10, ex.total_ns * 9)
+      << "stages cover only " << sum << " of " << ex.total_ns << " ns";
+
+  // Without the flag the reply stays in the pre-explain shape.
+  EXPECT_FALSE(client.query(spec).explain.has_value());
+
+  // A cache hit explains differently: the breakdown stops at the cache.
+  const srv::QueryReply hit = client.query(spec, false, true);
+  ASSERT_TRUE(hit.cache_hit);
+  ASSERT_TRUE(hit.explain.has_value());
+  ASSERT_FALSE(hit.explain->stages.empty());
+  EXPECT_EQ(hit.explain->stages.back().stage, "cache");
   server.stop();
 }
 

@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""Fail when the metric catalog in docs/OBSERVABILITY.md drifts from src/.
+"""Fail when docs/OBSERVABILITY.md drifts from src/ — metrics or log events.
 
-The obs layer's naming convention makes the registered metric set
-greppable: every instrument name is a string literal matching
-`nyqmon_<layer>_<what>_<unit>` with unit in {_total, _ns, _bytes, _depth}.
-This tool extracts that set from the C++ sources and the backticked names
-from the catalog doc, and exits 1 on any difference in either direction —
-an undocumented metric or a documented ghost both fail CI.
+The obs layer's naming conventions make both catalogs greppable: every
+instrument name is a string literal matching `nyqmon_<layer>_<what>_<unit>`
+with unit in {_total, _ns, _bytes, _depth}, and every structured-log call
+site names its event as the first literal argument of a
+NYQMON_LOG_{INFO,WARN,ERROR} macro (`<layer>.<what>` dotted form). This
+tool extracts both sets from the C++ sources and their documented
+counterparts — backticked metric names anywhere in the doc, and backticked
+event names between the `<!-- log-event-catalog:begin -->` /
+`<!-- log-event-catalog:end -->` markers — and exits 1 on any difference
+in either direction: an undocumented metric/event or a documented ghost
+both fail CI.
 
 Usage:
     python3 tools/check_metrics_doc.py [--src src] [--doc docs/OBSERVABILITY.md]
@@ -24,15 +29,33 @@ SRC_METRIC = re.compile(r'"(nyqmon_[a-z0-9_]+_(?:total|ns|bytes|depth))"')
 # The catalog documents each metric as a backticked name.
 DOC_METRIC = re.compile(r"`(nyqmon_[a-z0-9_]+_(?:total|ns|bytes|depth))`")
 
+# A structured-log call site's event name: the first argument of the
+# leveled macros (obs/log.h), always a dotted-lowercase literal.
+SRC_EVENT = re.compile(r'NYQMON_LOG_(?:INFO|WARN|ERROR)\(\s*"([a-z0-9_.]+)"')
+# Documented events: backticked dotted names, but only inside the marked
+# catalog block (backticked filenames elsewhere in the doc also contain
+# dots and must not count).
+DOC_EVENT = re.compile(r"`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
+EVENT_BLOCK = re.compile(
+    r"<!-- log-event-catalog:begin -->(.*?)<!-- log-event-catalog:end -->",
+    re.DOTALL)
 
-def source_metrics(src: pathlib.Path):
+
+def source_grep(src: pathlib.Path, pattern: re.Pattern):
     found = {}
     for path in sorted(src.rglob("*")):
         if path.suffix not in (".h", ".cc"):
             continue
-        for name in SRC_METRIC.findall(path.read_text(encoding="utf-8")):
+        for name in pattern.findall(path.read_text(encoding="utf-8")):
             found.setdefault(name, path)
     return found
+
+
+def doc_events(doc_text: str):
+    block = EVENT_BLOCK.search(doc_text)
+    if block is None:
+        return None
+    return set(DOC_EVENT.findall(block.group(1)))
 
 
 def main() -> int:
@@ -49,8 +72,9 @@ def main() -> int:
         print(f"error: no such catalog doc: {args.doc}")
         return 2
 
-    in_src = source_metrics(args.src)
-    in_doc = set(DOC_METRIC.findall(args.doc.read_text(encoding="utf-8")))
+    doc_text = args.doc.read_text(encoding="utf-8")
+    in_src = source_grep(args.src, SRC_METRIC)
+    in_doc = set(DOC_METRIC.findall(doc_text))
 
     failures = 0
     for name in sorted(set(in_src) - in_doc):
@@ -62,12 +86,29 @@ def main() -> int:
               f"not registered anywhere under {args.src})")
         failures += 1
 
+    events_src = source_grep(args.src, SRC_EVENT)
+    events_doc = doc_events(doc_text)
+    if events_doc is None:
+        print(f"FAIL: {args.doc} has no log-event-catalog markers "
+              f"(<!-- log-event-catalog:begin/end -->)")
+        failures += 1
+        events_doc = set()
+    for name in sorted(set(events_src) - events_doc):
+        print(f"UNDOCUMENTED  {name}  (logged in {events_src[name]}, "
+              f"missing from {args.doc}'s event catalog)")
+        failures += 1
+    for name in sorted(events_doc - set(events_src)):
+        print(f"GHOST         {name}  (in {args.doc}'s event catalog, "
+              f"no NYQMON_LOG_* site under {args.src})")
+        failures += 1
+
     if failures:
-        print(f"\nFAIL: {failures} metric-catalog drift(s); update "
+        print(f"\nFAIL: {failures} catalog drift(s); update "
               f"{args.doc} to match the source (or vice versa)")
         return 1
-    print(f"metrics doc check passed: {len(in_src)} metric(s) in sync "
-          f"between {args.src} and {args.doc}")
+    print(f"obs doc check passed: {len(in_src)} metric(s) and "
+          f"{len(events_src)} log event(s) in sync between {args.src} "
+          f"and {args.doc}")
     return 0
 
 

@@ -1,0 +1,225 @@
+// nyqmon_top — live terminal dashboard for a nyqmond fleet.
+//
+// Usage:
+//   nyqmon_top <host> <port> [--interval <ms>] [--count <n>] [--plain]
+//
+// Polls METRICS with the fleet flag each interval: against a router the
+// reply carries one `# == node <name> ==` Prometheus section per node
+// (router first), against a plain nyqmond it is a single unnamed section.
+// Each refresh shows, per node:
+//
+//   qps      queries answered per second      (Δ query latency _count)
+//   ingest/s ingest frames per second         (Δ ingest latency _count)
+//   replyq   reply-queue bytes gauge          (backpressure indicator)
+//   lockc/s  contended store-lock acquisitions per second
+//   p50/p99  query latency quantiles, ms      (summary quantile lines)
+//
+// plus a QPS sparkline over the last kHistory refreshes. The screen is
+// redrawn with ANSI clear; --plain suppresses the clear and uses ASCII
+// sparkline glyphs (for logs / dumb terminals). --count bounds the number
+// of refreshes (0 = run until interrupted), which is also how the smoke
+// path exercises this tool non-interactively.
+//
+// A poll that fails (router restarting, node unreachable) prints the error
+// and keeps polling; the connection is re-opened on the next tick.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+using namespace nyqmon;
+
+namespace {
+
+constexpr std::size_t kHistory = 32;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nyqmon_top <host> <port> [--interval <ms>] "
+               "[--count <n>] [--plain]\n");
+  return 2;
+}
+
+/// One node's parsed exposition: metric line -> value. Keys keep their
+/// label set verbatim (`foo{quantile="0.99"}`), so quantile lines are
+/// addressable without a label parser.
+using MetricMap = std::map<std::string, double>;
+
+struct NodeSection {
+  std::string name;
+  MetricMap metrics;
+};
+
+/// Split a (possibly fleet) exposition into per-node sections. Without any
+/// `# == node <name> ==` marker the whole text is one section named
+/// `fallback_name`.
+std::vector<NodeSection> parse_sections(const std::string& text,
+                                        const std::string& fallback_name) {
+  std::vector<NodeSection> sections;
+  std::size_t pos = 0;
+  NodeSection current;
+  current.name = fallback_name;
+  bool saw_marker = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("# == node ", 0) == 0 && line.size() > 13 &&
+        line.compare(line.size() - 3, 3, " ==") == 0) {
+      if (saw_marker || !current.metrics.empty())
+        sections.push_back(std::move(current));
+      current = NodeSection{};
+      current.name = line.substr(10, line.size() - 13);
+      saw_marker = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0) continue;
+    current.metrics[line.substr(0, space)] =
+        std::atof(line.c_str() + space + 1);
+  }
+  if (saw_marker || !current.metrics.empty())
+    sections.push_back(std::move(current));
+  return sections;
+}
+
+double metric_or(const MetricMap& m, const std::string& key, double fallback) {
+  const auto it = m.find(key);
+  return it == m.end() ? fallback : it->second;
+}
+
+/// Rate of a cumulative counter between two polls (0 on the first poll or
+/// after a counter reset).
+double rate_per_s(const MetricMap& now, const MetricMap* prev,
+                  const std::string& key, double dt_s) {
+  if (prev == nullptr || dt_s <= 0) return 0.0;
+  const double delta = metric_or(now, key, 0) - metric_or(*prev, key, 0);
+  return delta < 0 ? 0.0 : delta / dt_s;
+}
+
+std::string sparkline(const std::deque<double>& history, bool plain) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  static const char kAscii[] = {'_', '.', ':', '-', '=', '+', '*', '#'};
+  double peak = 0;
+  for (const double v : history) peak = v > peak ? v : peak;
+  std::string out;
+  for (const double v : history) {
+    const int level =
+        peak <= 0 ? 0
+                  : static_cast<int>(v / peak * 7.0 + 0.5);
+    const int clamped = level < 0 ? 0 : (level > 7 ? 7 : level);
+    if (plain)
+      out.push_back(kAscii[clamped]);
+    else
+      out += kBlocks[clamped];
+  }
+  return out;
+}
+
+struct NodeHistory {
+  MetricMap last;
+  bool has_last = false;
+  std::deque<double> qps;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string host = argv[1];
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  long interval_ms = 1000;
+  long count = 0;  // 0 = forever
+  bool plain = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_ms = std::atol(argv[++i]);
+      if (interval_ms <= 0) return usage();
+    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--plain") == 0) {
+      plain = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const std::string fallback_name = host + ":" + std::to_string(port);
+  std::map<std::string, NodeHistory> histories;
+  std::unique_ptr<srv::NyqmonClient> client;
+  auto t_last = std::chrono::steady_clock::now();
+  bool first = true;
+
+  for (long tick = 0; count == 0 || tick < count; ++tick) {
+    if (!first)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    std::string text;
+    try {
+      if (client == nullptr)
+        client = std::make_unique<srv::NyqmonClient>(
+            host, port, srv::ClientOptions{2000, 5000, srv::kMaxFrameBytes});
+      text = client->metrics_text(/*fleet=*/true);
+    } catch (const std::exception& e) {
+      client.reset();  // reconnect next tick
+      std::printf("nyqmon_top: poll failed: %s\n", e.what());
+      first = false;
+      continue;
+    }
+    const auto t_now = std::chrono::steady_clock::now();
+    const double dt_s =
+        first ? 0.0
+              : std::chrono::duration<double>(t_now - t_last).count();
+    t_last = t_now;
+
+    const std::vector<NodeSection> nodes =
+        parse_sections(text, fallback_name);
+    if (!plain) std::printf("\x1b[2J\x1b[H");
+    std::printf("nyqmon_top — %s  nodes=%zu  interval=%ldms%s\n\n",
+                fallback_name.c_str(), nodes.size(), interval_ms,
+                first ? "  (priming counters)" : "");
+    std::printf("%-12s %9s %9s %9s %8s %8s %8s  %s\n", "node", "qps",
+                "ingest/s", "replyq", "lockc/s", "p50ms", "p99ms", "qps");
+    for (const NodeSection& node : nodes) {
+      NodeHistory& hist = histories[node.name];
+      const MetricMap* prev = hist.has_last ? &hist.last : nullptr;
+      const double qps = rate_per_s(
+          node.metrics, prev, "nyqmon_server_query_latency_ns_count", dt_s);
+      const double ingest = rate_per_s(
+          node.metrics, prev, "nyqmon_server_ingest_latency_ns_count", dt_s);
+      const double replyq =
+          metric_or(node.metrics, "nyqmon_server_reply_queue_bytes", 0);
+      const double lockc = rate_per_s(
+          node.metrics, prev, "nyqmon_store_lock_contended_total", dt_s);
+      const double p50_ms =
+          metric_or(node.metrics,
+                    "nyqmon_server_query_latency_ns{quantile=\"0.5\"}", 0) /
+          1e6;
+      const double p99_ms =
+          metric_or(node.metrics,
+                    "nyqmon_server_query_latency_ns{quantile=\"0.99\"}", 0) /
+          1e6;
+      hist.qps.push_back(qps);
+      while (hist.qps.size() > kHistory) hist.qps.pop_front();
+      hist.last = node.metrics;
+      hist.has_last = true;
+      std::printf("%-12s %9.1f %9.1f %9.0f %8.1f %8.3f %8.3f  %s\n",
+                  node.name.empty() ? "(unnamed)" : node.name.c_str(), qps,
+                  ingest, replyq, lockc, p50_ms, p99_ms,
+                  sparkline(hist.qps, plain).c_str());
+    }
+    std::fflush(stdout);
+    first = false;
+  }
+  return 0;
+}
