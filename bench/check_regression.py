@@ -33,7 +33,7 @@ TRACKED = {
     "query_throughput": ["qps"],
     "scenario_frontier": ["sweep_pairs_per_sec"],
     "storage_throughput": ["ingest_wal_mb_s", "flush_mb_s", "recover_mb_s"],
-    "streaming_throughput": ["samples_per_sec", "qps"],
+    "streaming_throughput": ["samples_per_sec", "qps", "concurrent_clients"],
 }
 
 # Tracked lower-is-better metrics (latency tails): fail when the current
@@ -44,8 +44,10 @@ TRACKED_LOWER = {
 
 # Each gated metric's unit, printed with every gate line so a reader can
 # tell a 35.95 ms latency tail from a 35.95 qps throughput at a glance.
-# (query_p99 is the obs histogram quantile the streaming bench reports in
-# milliseconds.) Metrics absent here print without a unit.
+# (query_p99 is the p99 latency the streaming bench's TCP query clients
+# observe against the multi-reactor server under live ingest, in
+# milliseconds; concurrent_clients is how many of those clients completed
+# their loop without an error.) Metrics absent here print without a unit.
 UNITS = {
     "pairs_per_sec": "pairs/s",
     "scaling_efficiency": "ratio",
@@ -57,6 +59,7 @@ UNITS = {
     "recover_mb_s": "MB/s",
     "samples_per_sec": "samples/s",
     "query_p99": "ms",
+    "concurrent_clients": "clients",
 }
 
 

@@ -26,6 +26,7 @@
 #include "cluster/router.h"
 #include "common.h"
 #include "monitor/striped_store.h"
+#include "query/builder.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "util/ascii.h"
@@ -65,15 +66,14 @@ std::vector<qry::QuerySpec> build_workload(
   std::size_t v = 0;
   for (const auto& sel : selectors) {
     for (const double offset : {0.0, 40.0, 80.0}) {
-      qry::QuerySpec spec;
-      spec.selector = sel;
-      spec.t_begin = offset;
-      spec.t_end = offset + 120.0;
-      spec.step_s = 2.0;
-      spec.transform = transforms[v % 3];
-      spec.aggregate = aggs[(v / 3) % 3];
+      workload.push_back(qry::QueryBuilder()
+                             .select(sel)
+                             .range(offset, offset + 120.0)
+                             .align(2.0)
+                             .transform(transforms[v % 3])
+                             .aggregate(aggs[(v / 3) % 3])
+                             .build());
       ++v;
-      workload.push_back(spec);
     }
   }
   return workload;

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "engine/engine.h"
+#include "query/builder.h"
 #include "query/engine.h"
 #include "storage/manager.h"
 #include "telemetry/fleet.h"
@@ -84,17 +85,20 @@ int serve_cold(const std::string& dir) {
   const double t_end = meta.front().second.t_end;
 
   // One recovered stream, reconstructed on its own (exact selector).
-  qry::QuerySpec one;
-  one.selector = first_id;
-  one.t_begin = 0.0;
-  one.t_end = t_end;
-  one.step_s = std::max(1.0, t_end / 64.0);
+  const qry::QuerySpec one = qry::QueryBuilder()
+                                 .select(first_id)
+                                 .range(0.0, t_end)
+                                 .align(std::max(1.0, t_end / 64.0))
+                                 .build();
   show("exact stream from the reopened store:", qe.run(one));
 
   // Fleet-wide aggregates over every device carrying the same metric.
-  qry::QuerySpec fleet_avg = one;
-  fleet_avg.selector = "*/" + metric;
-  fleet_avg.aggregate = qry::Aggregation::kAvg;
+  const qry::QuerySpec fleet_avg = qry::QueryBuilder()
+                                       .select("*/" + metric)
+                                       .range(0.0, t_end)
+                                       .align(one.step_s)
+                                       .aggregate(qry::Aggregation::kAvg)
+                                       .build();
   show("\navg(" + fleet_avg.selector + "):", qe.run(fleet_avg));
 
   qry::QuerySpec fleet_p95 = fleet_avg;
@@ -144,30 +148,31 @@ int main(int argc, char** argv) {
     }
   }
   const std::string temp = tel::metric_name(tel::MetricKind::kTemperature);
-  qry::QuerySpec rack;
-  rack.selector = pod_prefix + "/*/" + temp;
-  rack.t_begin = 0.0;
-  rack.t_end = 3600.0;
-  rack.step_s = 60.0;
-  rack.aggregate = qry::Aggregation::kAvg;
+  const qry::QuerySpec rack = qry::QueryBuilder()
+                                  .select(pod_prefix + "/*/" + temp)
+                                  .range(0.0, 3600.0)
+                                  .align(60.0)
+                                  .aggregate(qry::Aggregation::kAvg)
+                                  .build();
   show("avg(" + rack.selector + "), 1h @ 60s:", qe.run(rack));
 
   // Fleet-wide tail: p95 CPU utilization across every device.
-  qry::QuerySpec tail;
-  tail.selector = "*/" + tel::metric_name(tel::MetricKind::kCpuUtil5Pct);
-  tail.t_begin = 0.0;
-  tail.t_end = 1800.0;
-  tail.step_s = 30.0;
-  tail.aggregate = qry::Aggregation::kP95;
+  const qry::QuerySpec tail =
+      qry::QueryBuilder()
+          .select("*/" + tel::metric_name(tel::MetricKind::kCpuUtil5Pct))
+          .range(0.0, 1800.0)
+          .align(30.0)
+          .aggregate(qry::Aggregation::kP95)
+          .build();
   show("\np95(" + tail.selector + "), 30min @ 30s:", qe.run(tail));
 
   // Per-stream view with a transform: z-scored temperature, no aggregate.
-  qry::QuerySpec z;
-  z.selector = rack.selector;
-  z.t_begin = 0.0;
-  z.t_end = 1800.0;
-  z.step_s = 60.0;
-  z.transform = qry::Transform::kZScore;
+  const qry::QuerySpec z = qry::QueryBuilder()
+                               .select(rack.selector)
+                               .range(0.0, 1800.0)
+                               .align(60.0)
+                               .transform(qry::Transform::kZScore)
+                               .build();
   show("\nz-score per stream (first few):", qe.run(z));
 
   // Cache: the identical spec again is a hit; fresh ingest into a matched

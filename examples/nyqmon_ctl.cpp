@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "query/builder.h"
 #include "server/client.h"
 
 using namespace nyqmon;
@@ -193,18 +194,20 @@ int main(int argc, char** argv) {
           args.emplace_back(argv[i]);
       }
       if (args.size() < 4) return usage();
-      qry::QuerySpec spec;
-      spec.selector = args[0];
-      spec.t_begin = std::atof(args[1].c_str());
-      spec.t_end = std::atof(args[2].c_str());
-      spec.step_s = std::atof(args[3].c_str());
-      if (args.size() > 4 && !parse_aggregation(args[4], spec.aggregate))
-        return usage();
-      if (args.size() > 5 && !parse_transform(args[5], spec.transform))
-        return usage();
+      qry::Aggregation agg = qry::Aggregation::kNone;
+      qry::Transform tf = qry::Transform::kRaw;
+      if (args.size() > 4 && !parse_aggregation(args[4], agg)) return usage();
+      if (args.size() > 5 && !parse_transform(args[5], tf)) return usage();
+      const qry::QueryBuilder builder =
+          qry::QueryBuilder()
+              .select(args[0])
+              .range(std::atof(args[1].c_str()), std::atof(args[2].c_str()))
+              .align(std::atof(args[3].c_str()))
+              .transform(tf)
+              .aggregate(agg)
+              .want_explain(explain);
 
-      const srv::QueryReply reply =
-          client.query(spec, /*want_matched=*/false, explain);
+      const srv::QueryReply reply = client.query(builder);
       std::printf("matched %u stream(s), reconstructed %u%s\n", reply.matched,
                   reply.reconstructed,
                   reply.cache_hit ? " (served from cache)" : "");

@@ -2,6 +2,7 @@
 // nyqmond TCP protocol.
 //
 // Usage: nyqmond [pairs|spec.scn] [port] [persist_dir] [serve_seconds]
+//                [reactors]
 //
 // A scenario-driven fleet (default: the built-in default-mix scenario at
 // 200 streams; pass a spec file path — see scenarios/frontier.scn — for a
@@ -40,6 +41,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint16_t>(argc > 2 ? std::atoi(argv[2]) : 7411);
   const std::string persist_dir = argc > 3 ? argv[3] : "";
   const double serve_seconds = argc > 4 ? std::atof(argv[4]) : 0.0;
+  const std::size_t reactors =
+      argc > 5 ? static_cast<std::size_t>(std::atol(argv[5])) : 4;
 
   char* end = nullptr;
   const std::size_t pairs =
@@ -70,11 +73,13 @@ int main(int argc, char** argv) {
 
   srv::ServerConfig server_cfg;
   server_cfg.port = port;
+  server_cfg.reactors = reactors;
   server_cfg.checkpoint_fn = [&runtime] { return runtime.checkpoint(); };
   srv::NyqmondServer server(runtime.mutable_store(), nullptr, server_cfg);
   server.start();
-  std::printf("nyqmond: %zu pairs, listening on 127.0.0.1:%u%s\n",
-              fleet.size(), server.port(),
+  std::printf("nyqmond: %zu pairs, %zu reactor(s), listening on "
+              "127.0.0.1:%u%s\n",
+              fleet.size(), server.config().reactors, server.port(),
               persist_dir.empty() ? ""
                                   : (" (persisting to " + persist_dir + ")")
                                         .c_str());

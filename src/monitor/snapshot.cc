@@ -1,0 +1,178 @@
+#include "monitor/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/resample.h"
+#include "obs/metrics.h"
+
+namespace nyqmon::mon {
+
+sig::RegularSeries reconstruct_range(double collection_rate_hz,
+                                     std::span<const SealedChunkRef> chunks,
+                                     std::span<const double> hot,
+                                     double hot_t0, double t_begin,
+                                     double t_end) {
+  const double dt = 1.0 / collection_rate_hz;
+
+  // Half-open [t_begin, t_end): inverted/empty ranges clamp to a defined
+  // empty series on the collection grid instead of reaching reconstruction.
+  const auto n = t_end > t_begin
+                     ? static_cast<std::size_t>(
+                           std::floor((t_end - t_begin) / dt + 0.5))
+                     : 0;
+  if (n == 0) return sig::RegularSeries(t_begin, dt, {});
+
+  // Assemble the query grid and fill it chunk by chunk; each sealed chunk
+  // is reconstructed onto the collection grid by band-limited resampling,
+  // the hot tail is already on it.
+  std::vector<double> grid(n, 0.0);
+  std::vector<bool> filled(n, false);
+
+  auto fill_from = [&](double c_t0, double c_dt,
+                       std::span<const double> values) {
+    if (values.empty()) return;
+    const double c_end = c_t0 + c_dt * static_cast<double>(values.size());
+    // Dense representation of this chunk on the collection grid.
+    const auto dense_n = static_cast<std::size_t>(std::max(
+        2.0, std::round((c_end - c_t0) / dt)));
+    std::vector<double> dense =
+        values.size() == dense_n
+            ? std::vector<double>(values.begin(), values.end())
+            : dsp::resample_fourier(values, dense_n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = t_begin + static_cast<double>(i) * dt;
+      if (t < c_t0 - 1e-9 || t >= c_end - 1e-9) continue;
+      const auto j = static_cast<std::size_t>(
+          std::min(static_cast<double>(dense.size() - 1),
+                   std::max(0.0, std::round((t - c_t0) / dt))));
+      grid[i] = dense[j];
+      filled[i] = true;
+    }
+  };
+
+  for (const auto& chunk : chunks)
+    fill_from(chunk->t0, chunk->dt, chunk->values);
+  fill_from(hot_t0, dt, hot);
+
+  // Holes (queries beyond stored data) hold the nearest filled value.
+  double last = 0.0;
+  bool seen = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (filled[i]) {
+      last = grid[i];
+      seen = true;
+    } else if (seen) {
+      grid[i] = last;
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    if (filled[i]) {
+      last = grid[i];
+      seen = true;
+    } else if (seen) {
+      grid[i] = last;
+    }
+  }
+
+  // Range entirely disjoint from stored data: hold the nearest stored
+  // value (the first for grids before the data, the last for grids past
+  // its end — judged by the last actual grid point, not t_end, which can
+  // overshoot the final point by up to a step). A stream with no data at
+  // all stays zero.
+  if (!seen && (!hot.empty() || !chunks.empty())) {
+    const double data_t0 = chunks.empty() ? hot_t0 : chunks.front()->t0;
+    const double first =
+        chunks.empty() ? hot.front() : chunks.front()->values.front();
+    const double final_value =
+        hot.empty() ? chunks.back()->values.back() : hot.back();
+    const double t_last = t_begin + dt * static_cast<double>(n - 1);
+    std::fill(grid.begin(), grid.end(),
+              t_last < data_t0 ? first : final_value);
+  }
+  return sig::RegularSeries(t_begin, dt, std::move(grid));
+}
+
+void EpochRegistry::publish_gauges_locked() const {
+  NYQMON_OBS_GAUGE_SET("nyqmon_store_epoch_active_depth",
+                       static_cast<std::int64_t>(active_.size()));
+  NYQMON_OBS_GAUGE_SET("nyqmon_store_epoch_retired_depth",
+                       static_cast<std::int64_t>(retired_.size()));
+}
+
+std::uint64_t EpochRegistry::pin() {
+  std::uint64_t epoch;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    epoch = ++epoch_;
+    ++active_[epoch];
+    publish_gauges_locked();
+  }
+  NYQMON_OBS_COUNT("nyqmon_store_epoch_pins_total", 1);
+  return epoch;
+}
+
+void EpochRegistry::release(std::uint64_t epoch) {
+  std::vector<SealedChunkRef> freed;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = active_.find(epoch);
+    if (it == active_.end()) return;  // double release: tolerated
+    if (--it->second == 0) active_.erase(it);
+    collect_locked(freed);
+    publish_gauges_locked();
+  }
+  if (!freed.empty())
+    NYQMON_OBS_COUNT("nyqmon_store_epoch_reclaimed_total", freed.size());
+  // `freed` destroys the final store-side references outside the lock.
+}
+
+void EpochRegistry::retire(SealedChunkRef chunk) {
+  std::vector<SealedChunkRef> freed;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    retired_.emplace_back(epoch_, std::move(chunk));
+    collect_locked(freed);
+    publish_gauges_locked();
+  }
+  if (!freed.empty())
+    NYQMON_OBS_COUNT("nyqmon_store_epoch_reclaimed_total", freed.size());
+}
+
+void EpochRegistry::collect_locked(std::vector<SealedChunkRef>& freed) {
+  // A parked chunk stays pinned while any live snapshot's epoch is <= its
+  // retire epoch: such a snapshot was acquired before the eviction and may
+  // hold (or be reading through) the reference. active_ is an ordered map,
+  // so its first key is the oldest live epoch.
+  const std::uint64_t oldest_live =
+      active_.empty() ? epoch_ + 1 : active_.begin()->first;
+  auto keep = retired_.begin();
+  for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+    if (it->first >= oldest_live) {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    } else {
+      freed.push_back(std::move(it->second));
+    }
+  }
+  retired_.erase(keep, retired_.end());
+}
+
+std::uint64_t EpochRegistry::current_epoch() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+std::size_t EpochRegistry::active_snapshots() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [epoch, pins] : active_) n += pins;
+  return n;
+}
+
+std::size_t EpochRegistry::retired_pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+}  // namespace nyqmon::mon

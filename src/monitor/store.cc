@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/resample.h"
+#include "obs/metrics.h"
 #include "storage/codec.h"
 #include "util/check.h"
 
@@ -55,7 +56,7 @@ void RetentionStore::seal_chunk(Stream& s) {
   NYQMON_ENSURE(!s.hot.empty());
   const double raw_dt = 1.0 / s.collection_rate_hz;
 
-  Chunk chunk;
+  SealedChunk chunk;
   chunk.t0 = s.hot_t0;
   chunk.dt = raw_dt;
   chunk.values = s.hot;
@@ -89,7 +90,21 @@ void RetentionStore::seal_chunk(Stream& s) {
   ++s.stats.chunks;
   s.hot_t0 += raw_dt * static_cast<double>(s.hot.size());
   s.hot.clear();
-  s.chunks.push_back(std::move(chunk));
+  s.chunks.push_back(std::make_shared<const SealedChunk>(std::move(chunk)));
+
+  // Retention cap: evict the oldest sealed chunks from memory, parking
+  // them in the epoch registry so a live snapshot acquired before this
+  // seal can still read through its captured references. The eviction is
+  // memory-side only — the chunk stays durable in flushed segments and
+  // stats keep their cumulative view.
+  if (config_.max_chunks_per_stream > 0) {
+    while (s.chunks.size() > config_.max_chunks_per_stream) {
+      epochs_->retire(std::move(s.chunks.front()));
+      s.chunks.erase(s.chunks.begin());
+      ++s.chunks_trimmed;
+      NYQMON_OBS_COUNT("nyqmon_store_chunks_trimmed_total", 1);
+    }
+  }
 }
 
 const RetentionStore::Stream& RetentionStore::stream(
@@ -101,84 +116,12 @@ const RetentionStore::Stream& RetentionStore::stream(
 
 sig::RegularSeries RetentionStore::query(const std::string& name,
                                          double t_begin, double t_end) const {
+  // The reconstruction algorithm lives in monitor/snapshot.cc and is
+  // shared with ReadSnapshot::query, so snapshot-isolated reads are
+  // bit-identical to this locked path by construction.
   const Stream& s = stream(name);
-  const double dt = 1.0 / s.collection_rate_hz;
-
-  // Half-open [t_begin, t_end): inverted/empty ranges clamp to a defined
-  // empty series on the collection grid instead of reaching reconstruction.
-  const auto n = t_end > t_begin
-                     ? static_cast<std::size_t>(
-                           std::floor((t_end - t_begin) / dt + 0.5))
-                     : 0;
-  if (n == 0) return sig::RegularSeries(t_begin, dt, {});
-
-  // Assemble the query grid and fill it chunk by chunk; each sealed chunk
-  // is reconstructed onto the collection grid by band-limited resampling,
-  // the hot tail is already on it.
-  std::vector<double> grid(n, 0.0);
-  std::vector<bool> filled(n, false);
-
-  auto fill_from = [&](double c_t0, double c_dt,
-                       const std::vector<double>& values) {
-    if (values.empty()) return;
-    const double c_end = c_t0 + c_dt * static_cast<double>(values.size());
-    // Dense representation of this chunk on the collection grid.
-    const auto dense_n = static_cast<std::size_t>(std::max(
-        2.0, std::round((c_end - c_t0) / dt)));
-    std::vector<double> dense =
-        values.size() == dense_n
-            ? values
-            : dsp::resample_fourier(values, dense_n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double t = t_begin + static_cast<double>(i) * dt;
-      if (t < c_t0 - 1e-9 || t >= c_end - 1e-9) continue;
-      const auto j = static_cast<std::size_t>(
-          std::min(static_cast<double>(dense.size() - 1),
-                   std::max(0.0, std::round((t - c_t0) / dt))));
-      grid[i] = dense[j];
-      filled[i] = true;
-    }
-  };
-
-  for (const auto& chunk : s.chunks) fill_from(chunk.t0, chunk.dt, chunk.values);
-  fill_from(s.hot_t0, dt, s.hot);
-
-  // Holes (queries beyond stored data) hold the nearest filled value.
-  double last = 0.0;
-  bool seen = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (filled[i]) {
-      last = grid[i];
-      seen = true;
-    } else if (seen) {
-      grid[i] = last;
-    }
-  }
-  for (std::size_t i = n; i-- > 0;) {
-    if (filled[i]) {
-      last = grid[i];
-      seen = true;
-    } else if (seen) {
-      grid[i] = last;
-    }
-  }
-
-  // Range entirely disjoint from stored data: hold the nearest stored
-  // value (the first for grids before the data, the last for grids past
-  // its end — judged by the last actual grid point, not t_end, which can
-  // overshoot the final point by up to a step). A stream with no data at
-  // all stays zero.
-  if (!seen && (!s.hot.empty() || !s.chunks.empty())) {
-    const double data_t0 = s.chunks.empty() ? s.hot_t0 : s.chunks.front().t0;
-    const double first =
-        s.chunks.empty() ? s.hot.front() : s.chunks.front().values.front();
-    const double final_value =
-        s.hot.empty() ? s.chunks.back().values.back() : s.hot.back();
-    const double t_last = t_begin + dt * static_cast<double>(n - 1);
-    std::fill(grid.begin(), grid.end(),
-              t_last < data_t0 ? first : final_value);
-  }
-  return sig::RegularSeries(t_begin, dt, std::move(grid));
+  return reconstruct_range(s.collection_rate_hz, s.chunks, s.hot, s.hot_t0,
+                           t_begin, t_end);
 }
 
 StreamStats RetentionStore::stats(const std::string& name) const {
@@ -235,23 +178,48 @@ StoreRollup& StoreRollup::operator+=(const StoreRollup& other) {
   return *this;
 }
 
+namespace {
+
+/// Shared body of RetentionStore::snapshot_stream and
+/// ReadSnapshot::export_stream: skip counts are absolute sealed-chunk
+/// indexes, so an eviction-trimmed prefix only needs the skip to cover it
+/// (evicted chunks are already durable in earlier segments by the time
+/// the cap may evict them).
+StreamSnapshot export_snapshot(const std::string& name, double rate_hz,
+                               double t0, double hot_t0,
+                               std::uint64_t generation,
+                               std::size_t chunks_trimmed,
+                               std::span<const SealedChunkRef> chunks,
+                               std::span<const double> hot,
+                               const StreamStats& stats,
+                               std::size_t skip_chunks) {
+  NYQMON_CHECK_MSG(skip_chunks >= chunks_trimmed,
+                   "snapshot skip below evicted prefix: " + name);
+  NYQMON_CHECK(skip_chunks <= chunks_trimmed + chunks.size());
+  StreamSnapshot snap;
+  snap.name = name;
+  snap.collection_rate_hz = rate_hz;
+  snap.t0 = t0;
+  snap.hot_t0 = hot_t0;
+  snap.generation = generation;
+  snap.chunks_before = skip_chunks;
+  snap.chunks.reserve(chunks_trimmed + chunks.size() - skip_chunks);
+  for (std::size_t i = skip_chunks - chunks_trimmed; i < chunks.size(); ++i)
+    snap.chunks.push_back(
+        {chunks[i]->t0, chunks[i]->dt, chunks[i]->values});
+  snap.hot.assign(hot.begin(), hot.end());
+  snap.stats = stats;
+  return snap;
+}
+
+}  // namespace
+
 StreamSnapshot RetentionStore::snapshot_stream(const std::string& name,
                                                std::size_t skip_chunks) const {
   const Stream& s = stream(name);
-  NYQMON_CHECK(skip_chunks <= s.chunks.size());
-  StreamSnapshot snap;
-  snap.name = name;
-  snap.collection_rate_hz = s.collection_rate_hz;
-  snap.t0 = s.t0;
-  snap.hot_t0 = s.hot_t0;
-  snap.generation = s.generation;
-  snap.chunks_before = skip_chunks;
-  snap.chunks.reserve(s.chunks.size() - skip_chunks);
-  for (std::size_t i = skip_chunks; i < s.chunks.size(); ++i)
-    snap.chunks.push_back({s.chunks[i].t0, s.chunks[i].dt, s.chunks[i].values});
-  snap.hot = s.hot;
-  snap.stats = s.stats;
-  return snap;
+  return export_snapshot(name, s.collection_rate_hz, s.t0, s.hot_t0,
+                         s.generation, s.chunks_trimmed, s.chunks, s.hot,
+                         s.stats, skip_chunks);
 }
 
 void RetentionStore::restore_stream(StreamSnapshot snapshot) {
@@ -268,7 +236,8 @@ void RetentionStore::restore_stream(StreamSnapshot snapshot) {
   s.hot = std::move(snapshot.hot);
   s.chunks.reserve(snapshot.chunks.size());
   for (auto& c : snapshot.chunks)
-    s.chunks.push_back({c.t0, c.dt, std::move(c.values)});
+    s.chunks.push_back(std::make_shared<const SealedChunk>(
+        SealedChunk{c.t0, c.dt, std::move(c.values)}));
   s.stats = snapshot.stats;
   s.generation = snapshot.generation;
   streams_.emplace(std::move(snapshot.name), std::move(s));
@@ -300,9 +269,109 @@ Cost RetentionStore::storage_cost() const {
   std::size_t samples = 0;
   for (const auto& [name, s] : streams_) {
     samples += s.hot.size();
-    for (const auto& chunk : s.chunks) samples += chunk.values.size();
+    for (const auto& chunk : s.chunks) samples += chunk->values.size();
   }
   return cost_of_samples(samples, config_.cost);
+}
+
+StreamView RetentionStore::make_view(const std::string& name,
+                                     const Stream& s) const {
+  StreamView v;
+  v.name = name;
+  v.collection_rate_hz = s.collection_rate_hz;
+  v.t0 = s.t0;
+  v.hot_t0 = s.hot_t0;
+  v.generation = s.generation;
+  v.ingested = s.ingested;
+  v.chunks_trimmed = s.chunks_trimmed;
+  v.chunks = s.chunks;  // shared refs — the cheap part of the capture
+  v.hot = s.hot;        // copied — the tail keeps mutating under ingest
+  v.stats = s.stats;
+  return v;
+}
+
+bool RetentionStore::capture_stream_view(const std::string& name,
+                                         StreamView& out) const {
+  const auto it = streams_.find(name);
+  if (it == streams_.end()) return false;
+  out = make_view(it->first, it->second);
+  return true;
+}
+
+void RetentionStore::capture_all_views(std::vector<StreamView>& out) const {
+  out.reserve(out.size() + streams_.size());
+  for (const auto& [name, s] : streams_) out.push_back(make_view(name, s));
+}
+
+ReadSnapshot RetentionStore::acquire_snapshot() const {
+  std::vector<StreamView> views;
+  capture_all_views(views);
+  return ReadSnapshot(epochs_, epochs_->pin(), std::move(views));
+}
+
+ReadSnapshot RetentionStore::acquire_snapshot(
+    std::span<const std::string> names) const {
+  std::vector<StreamView> views;
+  views.reserve(names.size());
+  for (const auto& name : names) {
+    StreamView v;
+    if (capture_stream_view(name, v)) views.push_back(std::move(v));
+  }
+  std::sort(views.begin(), views.end(),
+            [](const StreamView& a, const StreamView& b) {
+              return a.name < b.name;
+            });
+  return ReadSnapshot(epochs_, epochs_->pin(), std::move(views));
+}
+
+// ---- ReadSnapshot ----
+
+const StreamView* ReadSnapshot::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      views_.begin(), views_.end(), name,
+      [](const StreamView& v, const std::string& n) { return v.name < n; });
+  if (it == views_.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::vector<std::string> ReadSnapshot::stream_names() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& v : views_) names.push_back(v.name);
+  return names;
+}
+
+std::optional<StreamMeta> ReadSnapshot::find_meta(
+    const std::string& name) const {
+  const StreamView* v = find(name);
+  if (v == nullptr) return std::nullopt;
+  return make_meta(v->collection_rate_hz, v->t0, v->ingested, v->generation);
+}
+
+sig::RegularSeries ReadSnapshot::query(const std::string& name,
+                                       double t_begin, double t_end) const {
+  const StreamView* v = find(name);
+  NYQMON_CHECK_MSG(v != nullptr, "unknown stream: " + name);
+  return reconstruct_range(v->collection_rate_hz, v->chunks, v->hot,
+                           v->hot_t0, t_begin, t_end);
+}
+
+StreamSnapshot ReadSnapshot::export_stream(const std::string& name,
+                                           std::size_t skip_chunks) const {
+  const StreamView* v = find(name);
+  NYQMON_CHECK_MSG(v != nullptr, "unknown stream: " + name);
+  return export_snapshot(v->name, v->collection_rate_hz, v->t0, v->hot_t0,
+                         v->generation, v->chunks_trimmed, v->chunks, v->hot,
+                         v->stats, skip_chunks);
+}
+
+void ReadSnapshot::release() {
+  if (registry_) {
+    registry_->release(epoch_);
+    registry_.reset();
+  }
+  views_.clear();
+  views_.shrink_to_fit();
 }
 
 }  // namespace nyqmon::mon

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "monitor/cost_model.h"
+#include "monitor/snapshot.h"
 #include "nyquist/estimator.h"
 #include "signal/timeseries.h"
 
@@ -34,6 +36,12 @@ struct StoreConfig {
   std::size_t chunk_samples = 512;
   /// Rate headroom kept above the estimated Nyquist rate.
   double headroom = 1.5;
+  /// In-memory retention cap: when a stream holds more than this many
+  /// sealed chunks, the oldest are evicted from memory (parked in the
+  /// epoch registry until no live snapshot can still reference them).
+  /// 0 = unbounded — the default, and required for bit-identical
+  /// cold-start recovery since evicted chunks cannot be re-exported.
+  std::size_t max_chunks_per_stream = 0;
   nyq::EstimatorConfig estimator;
   CostModel cost;
 };
@@ -141,6 +149,105 @@ struct StreamSnapshot {
   StreamStats stats;
 };
 
+/// One stream's captured read state inside a ReadSnapshot: sealed chunks
+/// by reference (shared with the store — immutable once sealed), the hot
+/// tail by copy (it mutates under the writer), and the metadata needed to
+/// reconstruct, prune, and export without ever re-locking the store.
+struct StreamView {
+  std::string name;
+  double collection_rate_hz = 0.0;
+  double t0 = 0.0;
+  double hot_t0 = 0.0;
+  std::uint64_t generation = 0;
+  std::size_t ingested = 0;
+  /// Sealed chunks evicted from memory by the retention cap before this
+  /// capture (export accounting: snapshot_stream skip counts are absolute
+  /// chunk indexes, so `skip >= chunks_trimmed` is required).
+  std::size_t chunks_trimmed = 0;
+  std::vector<SealedChunkRef> chunks;
+  std::vector<double> hot;
+  StreamStats stats;
+};
+
+/// An immutable, epoch-stamped view over a set of streams, acquired from
+/// RetentionStore/StripedRetentionStore::acquire_snapshot(). Capture is
+/// brief (per stripe: chunk refs + a hot-tail copy per stream, under the
+/// stripe lock); every read afterwards — query(), export_stream(),
+/// find_meta() — is lock-free and unaffected by concurrent ingest. Reads
+/// are bit-identical to the store's own locked query() at capture time
+/// because both run the shared reconstruct_range() algorithm.
+///
+/// The handle pins its epoch in the store's EpochRegistry: sealed chunks
+/// evicted by the retention cap while this snapshot is live are parked,
+/// not freed, until release()/destruction. Move-only; releasing twice is
+/// harmless.
+class ReadSnapshot {
+ public:
+  ReadSnapshot() = default;
+  ReadSnapshot(std::shared_ptr<EpochRegistry> registry, std::uint64_t epoch,
+               std::vector<StreamView> views)
+      : registry_(std::move(registry)), epoch_(epoch),
+        views_(std::move(views)) {}
+  ~ReadSnapshot() { release(); }
+
+  ReadSnapshot(const ReadSnapshot&) = delete;
+  ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+  ReadSnapshot(ReadSnapshot&& other) noexcept
+      : registry_(std::move(other.registry_)), epoch_(other.epoch_),
+        views_(std::move(other.views_)) {
+    other.registry_.reset();
+  }
+  ReadSnapshot& operator=(ReadSnapshot&& other) noexcept {
+    if (this != &other) {
+      release();
+      registry_ = std::move(other.registry_);
+      epoch_ = other.epoch_;
+      views_ = std::move(other.views_);
+      other.registry_.reset();
+    }
+    return *this;
+  }
+
+  /// The epoch pinned at acquire time (0 for a default-constructed handle).
+  std::uint64_t epoch() const { return epoch_; }
+
+  std::size_t size() const { return views_.size(); }
+
+  /// The captured streams, lexicographically sorted by name.
+  const std::vector<StreamView>& views() const { return views_; }
+
+  /// The captured view for `name`, or nullptr when the snapshot does not
+  /// cover it (binary search).
+  const StreamView* find(const std::string& name) const;
+
+  /// Names of every captured stream, in lexicographic order.
+  std::vector<std::string> stream_names() const;
+
+  /// Metadata as of capture time; nullopt for names outside the snapshot.
+  std::optional<StreamMeta> find_meta(const std::string& name) const;
+
+  /// Lock-free reconstruction over the captured state; same contract as
+  /// RetentionStore::query. Throws std::invalid_argument for names
+  /// outside the snapshot.
+  sig::RegularSeries query(const std::string& name, double t_begin,
+                           double t_end) const;
+
+  /// Externalize one captured stream (the storage tier's flush input),
+  /// omitting the first `skip_chunks` sealed chunks; same contract as
+  /// RetentionStore::snapshot_stream but without touching the live store.
+  StreamSnapshot export_stream(const std::string& name,
+                               std::size_t skip_chunks = 0) const;
+
+  /// Drop the epoch pin and the captured state early (the destructor's
+  /// job, exposed for scope control). Idempotent.
+  void release();
+
+ private:
+  std::shared_ptr<EpochRegistry> registry_;
+  std::uint64_t epoch_ = 0;
+  std::vector<StreamView> views_;  ///< sorted by name
+};
+
 /// Observer of a store's write path. The durable tier implements this to
 /// write-ahead-log stream creation and every append batch before the store
 /// mutates, so a crashed run replays to exactly the live store's state.
@@ -224,29 +331,57 @@ class RetentionStore {
   /// generation counter continues monotonically.
   void restore_stream(StreamSnapshot snapshot);
 
+  // ---- snapshot-isolated reads ----
+
+  /// Acquire an immutable, epoch-stamped view over every stream (see
+  /// ReadSnapshot). Capture cost: chunk refs plus one hot-tail copy per
+  /// stream; reads on the handle never touch the store again.
+  ReadSnapshot acquire_snapshot() const;
+
+  /// Acquire a snapshot covering only `names` (unknown names are skipped,
+  /// mirroring the serving layer's match-then-read pipeline where a
+  /// stream can only appear between match and capture).
+  ReadSnapshot acquire_snapshot(std::span<const std::string> names) const;
+
+  /// Capture one stream's view without pinning an epoch — the striped
+  /// store composes these per stripe under each stripe lock, then pins
+  /// once. Returns false for unknown names.
+  bool capture_stream_view(const std::string& name, StreamView& out) const;
+
+  /// Capture every stream's view (appended to `out` in name order).
+  void capture_all_views(std::vector<StreamView>& out) const;
+
+  /// The epoch registry backing this store's snapshots. A striped store
+  /// replaces each stripe's registry with one shared instance so a fleet
+  /// snapshot pins a single epoch.
+  const std::shared_ptr<EpochRegistry>& epoch_registry() const {
+    return epochs_;
+  }
+  void share_epoch_registry(std::shared_ptr<EpochRegistry> registry) {
+    epochs_ = std::move(registry);
+  }
+
  private:
-  struct Chunk {
-    double t0 = 0.0;
-    double dt = 0.0;
-    std::vector<double> values;
-  };
   struct Stream {
     double collection_rate_hz = 0.0;
     double t0 = 0.0;
     std::size_t ingested = 0;
     std::vector<double> hot;  ///< unsealed tail, at the collection rate
     double hot_t0 = 0.0;
-    std::vector<Chunk> chunks;
+    std::vector<SealedChunkRef> chunks;
+    std::size_t chunks_trimmed = 0;  ///< evicted by the retention cap
     StreamStats stats;
     std::uint64_t generation = 0;  ///< bumped per non-empty append batch
   };
 
   void seal_chunk(Stream& stream);
   const Stream& stream(const std::string& name) const;
+  StreamView make_view(const std::string& name, const Stream& s) const;
 
   StoreConfig config_;
   std::map<std::string, Stream> streams_;
   IngestSink* sink_ = nullptr;
+  std::shared_ptr<EpochRegistry> epochs_ = std::make_shared<EpochRegistry>();
 };
 
 }  // namespace nyqmon::mon

@@ -49,8 +49,13 @@ StripedRetentionStore::StripedRetentionStore(StoreConfig config,
                                              std::size_t stripes) {
   NYQMON_CHECK(stripes >= 1);
   stripes_.reserve(stripes);
-  for (std::size_t i = 0; i < stripes; ++i)
+  for (std::size_t i = 0; i < stripes; ++i) {
     stripes_.push_back(std::make_unique<Stripe>(config));
+    // All stripes share one epoch registry: acquire_snapshot() pins a
+    // single epoch covering the whole store, and chunks evicted by any
+    // stripe defer to the same live-snapshot set.
+    stripes_.back()->store.share_epoch_registry(epochs_);
+  }
 }
 
 StripedRetentionStore::Stripe& StripedRetentionStore::stripe_of(
@@ -200,6 +205,60 @@ void StripedRetentionStore::restore_stream(StreamSnapshot snapshot) {
   Stripe& s = stripe_of(snapshot.name);
   const auto lock = lock_stripe(s.mu);
   s.store.restore_stream(std::move(snapshot));
+}
+
+ReadSnapshot StripedRetentionStore::acquire_snapshot() const {
+  // Capture per stripe under its lock (brief: chunk refs + hot copies),
+  // pin one epoch for the composed view. Each stripe's map yields its
+  // streams name-sorted, so like list_meta() the concatenation is sorted
+  // runs; a final merge keeps ReadSnapshot::find's binary-search invariant.
+  std::vector<StreamView> views;
+  std::vector<std::size_t> bounds{0};
+  for (const auto& stripe : stripes_) {
+    const auto lock = lock_stripe(stripe->mu);
+    stripe->store.capture_all_views(views);
+    bounds.push_back(views.size());
+  }
+  const auto by_name = [](const StreamView& a, const StreamView& b) {
+    return a.name < b.name;
+  };
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next{0};
+    for (std::size_t i = 2; i < bounds.size(); i += 2) {
+      std::inplace_merge(views.begin() + bounds[i - 2],
+                         views.begin() + bounds[i - 1],
+                         views.begin() + bounds[i], by_name);
+      next.push_back(bounds[i]);
+    }
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+  return ReadSnapshot(epochs_, epochs_->pin(), std::move(views));
+}
+
+ReadSnapshot StripedRetentionStore::acquire_snapshot(
+    std::span<const std::string> names) const {
+  // Group the names by owning stripe first so each stripe lock is taken
+  // at most once (and untouched stripes not at all).
+  std::vector<std::vector<const std::string*>> by_stripe(stripes_.size());
+  for (const auto& name : names)
+    by_stripe[fnv1a(name) % stripes_.size()].push_back(&name);
+  std::vector<StreamView> views;
+  views.reserve(names.size());
+  for (std::size_t i = 0; i < stripes_.size(); ++i) {
+    if (by_stripe[i].empty()) continue;
+    const auto lock = lock_stripe(stripes_[i]->mu);
+    for (const std::string* name : by_stripe[i]) {
+      StreamView v;
+      if (stripes_[i]->store.capture_stream_view(*name, v))
+        views.push_back(std::move(v));
+    }
+  }
+  std::sort(views.begin(), views.end(),
+            [](const StreamView& a, const StreamView& b) {
+              return a.name < b.name;
+            });
+  return ReadSnapshot(epochs_, epochs_->pin(), std::move(views));
 }
 
 std::size_t StripedRetentionStore::streams() const {

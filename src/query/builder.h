@@ -1,0 +1,108 @@
+// QueryBuilder — fluent construction of QuerySpec.
+//
+// Raw QuerySpec struct fills scatter field defaults and validation across
+// every call site; the builder makes the common path read in query order
+// (selector → range → align → transform → aggregate → flags) and funnels
+// everything through QuerySpec::validate() at build() time. The builder is
+// sugar only: build() returns a plain QuerySpec, so a built spec and a
+// hand-filled spec with the same fields canonicalize to the same
+// canonical_key() and share one result cache entry. QuerySpec itself stays
+// the wire type (server/protocol.h encode_query) — the builder never
+// appears on the wire.
+//
+//   const qry::QuerySpec spec = qry::QueryBuilder()
+//                                   .select("rack*/cpu_util")
+//                                   .range(0.0, 60.0)
+//                                   .align(0.5)
+//                                   .transform(qry::Transform::kRate)
+//                                   .aggregate(qry::Aggregation::kP95)
+//                                   .build();
+//
+// The request flags (want_matched / want_explain) ride along for callers
+// that hand the whole builder to NyqmonClient::query(builder) — they are
+// wire-request options, not part of the spec, and do not affect the
+// canonical key.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "query/spec.h"
+
+namespace nyqmon::qry {
+
+class QueryBuilder {
+ public:
+  /// Glob over stream IDs, e.g. "rack3-*/temperature" (query/selector.h).
+  QueryBuilder& select(std::string selector) {
+    spec_.selector = std::move(selector);
+    return *this;
+  }
+
+  /// Half-open query range [t_begin, t_end), seconds.
+  QueryBuilder& range(double t_begin, double t_end) {
+    spec_.t_begin = t_begin;
+    spec_.t_end = t_end;
+    return *this;
+  }
+
+  /// Output alignment grid step (seconds); every matched stream is
+  /// reconstructed onto t_begin + i * step_s.
+  QueryBuilder& align(double step_s) {
+    spec_.step_s = step_s;
+    return *this;
+  }
+
+  /// Per-stream transform after alignment (default Transform::kRaw).
+  QueryBuilder& transform(Transform t) {
+    spec_.transform = t;
+    return *this;
+  }
+
+  /// Cross-stream aggregation (default Aggregation::kNone).
+  QueryBuilder& aggregate(Aggregation a) {
+    spec_.aggregate = a;
+    return *this;
+  }
+
+  /// Ask the reply to carry the matched stream IDs (kQueryWantMatched).
+  QueryBuilder& want_matched(bool on = true) {
+    want_matched_ = on;
+    return *this;
+  }
+
+  /// Ask the reply to carry the per-stage latency breakdown
+  /// (kQueryWantExplain).
+  QueryBuilder& want_explain(bool on = true) {
+    want_explain_ = on;
+    return *this;
+  }
+
+  /// Validate and return the spec. Throws std::invalid_argument exactly
+  /// like QuerySpec::validate() on a malformed spec.
+  QuerySpec build() const {
+    spec_.validate();
+    return spec_;
+  }
+
+  /// The spec as filled so far, unvalidated (tests poke at partial specs).
+  const QuerySpec& peek() const { return spec_; }
+
+  bool matched_wanted() const { return want_matched_; }
+  bool explain_wanted() const { return want_explain_; }
+
+  /// The QUERY request flag byte these options encode to. Bit values match
+  /// server/protocol.h (kQueryWantMatched = 0x01, kQueryWantExplain = 0x02);
+  /// server_test pins the equivalence.
+  std::uint8_t wire_flags() const {
+    return static_cast<std::uint8_t>((want_matched_ ? 0x01 : 0) |
+                                     (want_explain_ ? 0x02 : 0));
+  }
+
+ private:
+  QuerySpec spec_;
+  bool want_matched_ = false;
+  bool want_explain_ = false;
+};
+
+}  // namespace nyqmon::qry

@@ -150,6 +150,14 @@ std::shared_ptr<const QueryResult> QueryEngine::execute(
   clock.mark("prune");
   if (result->reconstructed.empty()) return result;
 
+  // Snapshot-isolated read: capture the surviving streams' state (chunk
+  // refs + hot-tail copies, briefly under each owning stripe's lock) into
+  // one epoch-stamped handle. Reconstruction below never takes a stripe
+  // lock — a slow query no longer blocks ingest, and ingest no longer
+  // stretches the query tail (ROADMAP item 2's 1000x p50/p99 split).
+  const mon::ReadSnapshot snap = store_.acquire_snapshot(result->reconstructed);
+  clock.mark("snapshot");
+
   // Output grid timestamps, relative to t_begin (which is also where the
   // store's reconstruction grid is anchored).
   const std::size_t n_out = spec.grid_points();
@@ -164,14 +172,14 @@ std::shared_ptr<const QueryResult> QueryEngine::execute(
   parallel_claim(
       slots.size(), config_.workers, [&](std::size_t i) {
         auto base =
-            store_.query(result->reconstructed[i], spec.t_begin, spec.t_end);
+            snap.query(result->reconstructed[i], spec.t_begin, spec.t_end);
         if (base.empty()) {
           // The window is shorter than half this stream's collection
           // interval, so the store's grid rounds to zero points. Widen to
           // one collection interval: the single reconstructed point then
           // holds across the output grid (interp clamps to its support)
           // instead of fabricating zeros into aggregations.
-          base = store_.query(
+          base = snap.query(
               result->reconstructed[i], spec.t_begin,
               spec.t_begin + 1.0 / kept_meta[i].collection_rate_hz);
         }

@@ -163,9 +163,13 @@ sto::FlushStats StreamingRuntime::checkpoint() {
 }
 
 sto::FlushStats StreamingRuntime::checkpoint_locked() {
-  // Caller holds scheduler_mu_, so ingest is quiesced: the only writers are
-  // poll() workers, and they are not running. Concurrent queries are fine —
-  // flushing only reads the store under its stripe locks.
+  // Caller holds scheduler_mu_, so *runtime* ingest is quiesced: the only
+  // runtime writers are poll() workers, and they are not running. Server-
+  // side INGEST is the server's responsibility — NyqmondServer parks every
+  // reactor before invoking checkpoint() (run_quiesced), so no other
+  // ingest path can land between the flush's store snapshot and the WAL
+  // swap. Concurrent queries are fine — the flush reads through an
+  // epoch-stamped ReadSnapshot and never blocks on readers.
   if (storage_ == nullptr) {
     sto::FlushStats skipped;
     skipped.skipped = true;

@@ -113,7 +113,10 @@ class StreamingRuntime {
 
   /// Quiesced durable checkpoint: seal everything flushed so far into a
   /// segment and swap the WAL. Returns skipped=true when the runtime has
-  /// no durable tier.
+  /// no durable tier. Quiesces the runtime's own writers (the scheduler
+  /// mutex parks poll() workers); callers with additional ingest paths
+  /// must quiesce those themselves — NyqmondServer does, parking all its
+  /// reactors before invoking this as its checkpoint_fn.
   sto::FlushStats checkpoint();
 
   /// The durable tier, or nullptr when running in-memory only.

@@ -145,17 +145,49 @@ std::vector<std::uint8_t> NyqmonClient::request_raw(
   return read_response_body();
 }
 
+Response NyqmonClient::call(const Request& req) {
+  std::vector<std::uint8_t> body;
+  try {
+    if (req.flags.has_value()) {
+      // The trailing flag byte is part of the request payload on the wire
+      // (QUERY/METRICS/TRACE treat an absent byte as "no flags").
+      std::vector<std::uint8_t> payload(req.payload.begin(),
+                                        req.payload.end());
+      sto::put_u8(payload, *req.flags);
+      body = request_raw(static_cast<std::uint8_t>(req.verb), payload);
+    } else {
+      body = request_raw(static_cast<std::uint8_t>(req.verb), req.payload);
+    }
+  } catch (const std::runtime_error& e) {
+    if (req.trace.empty()) throw;
+    throw std::runtime_error(req.trace + ": " + e.what());
+  }
+  sto::ByteReader reader(body);
+  Response resp;
+  resp.status = static_cast<Status>(reader.get_u8());
+  if (resp.status == Status::kOk) {
+    resp.payload.assign(body.begin() + 1, body.end());
+    return resp;
+  }
+  resp.error_message = reader.get_string();
+  resp.error_details = decode_error_detail(reader);
+  return resp;
+}
+
+std::vector<std::uint8_t> NyqmonClient::call_ok(const Request& req) {
+  Response resp = call(req);
+  if (resp.ok()) return std::move(resp.payload);
+  throw ServerError(resp.error_message.empty() ? "(no message)"
+                                               : resp.error_message,
+                    std::move(resp.error_details));
+}
+
 std::vector<std::uint8_t> NyqmonClient::request_ok(
     Verb verb, std::span<const std::uint8_t> payload) {
-  std::vector<std::uint8_t> body =
-      request_raw(static_cast<std::uint8_t>(verb), payload);
-  sto::ByteReader reader(body);
-  const auto status = static_cast<Status>(reader.get_u8());
-  if (status == Status::kOk)
-    return {body.begin() + 1, body.end()};
-  const std::string message = reader.get_string();
-  throw ServerError(message.empty() ? "(no message)" : message,
-                    decode_error_detail(reader));
+  Request req;
+  req.verb = verb;
+  req.payload = payload;
+  return call_ok(req);
 }
 
 std::uint64_t NyqmonClient::ingest(const std::string& stream, double rate_hz,
@@ -177,7 +209,12 @@ QueryReply NyqmonClient::query(const qry::QuerySpec& spec, bool want_matched,
   std::uint8_t flags = 0;
   if (want_matched) flags |= kQueryWantMatched;
   if (want_explain) flags |= kQueryWantExplain;
-  const auto payload = request_ok(Verb::kQuery, encode_query(spec, flags));
+  Request req;
+  req.verb = Verb::kQuery;
+  const std::vector<std::uint8_t> encoded = encode_query(spec);
+  req.payload = encoded;
+  if (flags != 0) req.flags = flags;
+  const auto payload = call_ok(req);
   sto::ByteReader reader(payload);
   auto reply = decode_query_reply(reader, flags);
   if (!reply.has_value()) throw std::runtime_error("malformed QUERY response");
@@ -190,16 +227,18 @@ std::string NyqmonClient::stats_json() {
 }
 
 std::string NyqmonClient::metrics_text(bool fleet) {
-  std::vector<std::uint8_t> req;
-  if (fleet) sto::put_u8(req, kMetricsFleet);
-  const auto payload = request_ok(Verb::kMetrics, req);
+  Request req;
+  req.verb = Verb::kMetrics;
+  if (fleet) req.flags = kMetricsFleet;
+  const auto payload = call_ok(req);
   return std::string(payload.begin(), payload.end());
 }
 
 std::string NyqmonClient::trace_json(bool fleet) {
-  std::vector<std::uint8_t> req;
-  if (fleet) sto::put_u8(req, kTraceFleet);
-  const auto payload = request_ok(Verb::kTrace, req);
+  Request req;
+  req.verb = Verb::kTrace;
+  if (fleet) req.flags = kTraceFleet;
+  const auto payload = call_ok(req);
   return std::string(payload.begin(), payload.end());
 }
 

@@ -14,12 +14,24 @@
 // reconnect loop: transport errors retry with exponential backoff,
 // ServerError (the server *answered*) never retries.
 //
+// The typed surface is Request/Response + call()/call_ok(): a Request
+// names the verb, carries the encoded payload, and optionally the
+// protocol's trailing flag byte and a trace label (prefixed onto
+// transport-error messages so fan-out callers can tell which request
+// died). The pre-existing per-verb methods (ingest/query/stats_json/…)
+// are kept as thin wrappers over call_ok() for one release while callers
+// migrate; new code should prefer query(QueryBuilder) and, for verbs this
+// client predates, call()/call_ok() directly. Not marked [[deprecated]]
+// yet — the wrappers still back most in-tree call sites — but treat them
+// as frozen: new verbs get a Request, not a new wrapper.
+//
 // The raw escape hatches (send_raw / request_raw) exist for protocol
 // tests: truncated frames, oversized length prefixes, unknown verbs.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -27,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "query/builder.h"
 #include "query/spec.h"
 #include "server/protocol.h"
 
@@ -56,6 +69,30 @@ struct ClientOptions {
   std::size_t max_frame_bytes = kMaxFrameBytes;
 };
 
+/// One typed wire request: the verb, its encoded payload, and (when set)
+/// the protocol's optional trailing flag byte — QUERY's kQueryWant* bits,
+/// METRICS/TRACE's fleet bit. `trace` is a client-side label only (never
+/// sent): it prefixes transport-error messages, so a caller fanning one
+/// logical operation across many requests can tell which one failed.
+struct Request {
+  Verb verb = Verb::kStats;
+  std::span<const std::uint8_t> payload{};
+  std::optional<std::uint8_t> flags{};
+  std::string trace;
+};
+
+/// The decoded response frame: the status byte plus everything after it.
+/// For ERR frames the server's message and per-node details are decoded
+/// into error_message / error_details and `payload` is empty.
+struct Response {
+  Status status = Status::kOk;
+  std::vector<std::uint8_t> payload;
+  std::string error_message;
+  std::vector<ErrorDetail> error_details;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
 class NyqmonClient {
  public:
   /// Connect to host:port (numeric IPv4 host). Throws on failure (a
@@ -74,6 +111,17 @@ class NyqmonClient {
   NyqmonClient(const NyqmonClient&) = delete;
   NyqmonClient& operator=(const NyqmonClient&) = delete;
 
+  /// Issue one typed request and return the decoded response, OK or ERR
+  /// alike. Throws std::runtime_error only on transport failure (with
+  /// req.trace prefixed onto the message when set) — inspect
+  /// Response::ok() for the server's verdict.
+  Response call(const Request& req);
+
+  /// call() + ERR unwrapping: returns the OK payload, throws ServerError
+  /// when the server answered ERR. Every per-verb method below routes
+  /// through here.
+  std::vector<std::uint8_t> call_ok(const Request& req);
+
   /// Append a batch to `stream`, creating it on first ingest with the
   /// given collection rate and start time. Returns the stream's total
   /// ingested sample count after the append.
@@ -87,6 +135,13 @@ class NyqmonClient {
   /// ignores the flag and the field stays empty.
   QueryReply query(const qry::QuerySpec& spec, bool want_matched = false,
                    bool want_explain = false);
+
+  /// Build-and-query in one go: validates the builder's spec and carries
+  /// its want_matched/want_explain options as the request flags.
+  QueryReply query(const qry::QueryBuilder& builder) {
+    return query(builder.build(), builder.matched_wanted(),
+                 builder.explain_wanted());
+  }
 
   /// The server's JSON counter snapshot, verbatim.
   std::string stats_json();

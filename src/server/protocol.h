@@ -487,6 +487,7 @@ inline std::optional<CheckpointReply> decode_checkpoint_reply(
 inline std::vector<std::uint8_t> encode_handoff_export(
     const std::string& selector) {
   std::vector<std::uint8_t> p;
+  p.reserve(3 + selector.size());
   sto::put_u8(p, static_cast<std::uint8_t>(HandoffDirection::kExport));
   sto::put_string(p, selector);
   return p;

@@ -141,46 +141,84 @@ void NyqmondServer::start() {
     if (::pipe(wake_pipe_) < 0) throw_errno("pipe");
     set_nonblocking(wake_pipe_[0]);
     set_nonblocking(listen_fd_);
+
+    const std::size_t n_reactors = std::max<std::size_t>(1, config_.reactors);
+    reactors_.reserve(n_reactors);
+    for (std::size_t i = 0; i < n_reactors; ++i) {
+      auto reactor = std::make_unique<Reactor>();
+      reactor->index = i;
+      if (::pipe(reactor->wake_pipe) < 0) throw_errno("pipe");
+      set_nonblocking(reactor->wake_pipe[0]);
+      reactors_.push_back(std::move(reactor));
+    }
   } catch (...) {
     if (listen_fd_ >= 0) ::close(listen_fd_);
     if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
     if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
     listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+    for (auto& reactor : reactors_) {
+      if (reactor->wake_pipe[0] >= 0) ::close(reactor->wake_pipe[0]);
+      if (reactor->wake_pipe[1] >= 0) ::close(reactor->wake_pipe[1]);
+    }
+    reactors_.clear();
     throw;
   }
 
   stopping_.store(false);
   running_.store(true);
-  loop_thread_ = std::thread([this] { loop(); });
+  next_reactor_ = 0;
+  quiesce_requested_ = false;
+  quiesce_parked_ = 0;
+  for (auto& reactor : reactors_) {
+    Reactor* r = reactor.get();
+    r->thread = std::thread([this, r] { reactor_loop(*r); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 void NyqmondServer::stop() {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
-  // Wake the poll loop.
+  // Wake the accept thread and every reactor (a parked quiesce barrier
+  // also re-checks stopping_ on notify).
   const char byte = 'x';
-  [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &byte, 1);
-  if (loop_thread_.joinable()) loop_thread_.join();
+  [[maybe_unused]] auto n = ::write(wake_pipe_[1], &byte, 1);
+  for (auto& reactor : reactors_)
+    n = ::write(reactor->wake_pipe[1], &byte, 1);
+  quiesce_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& reactor : reactors_)
+    if (reactor->thread.joinable()) reactor->thread.join();
 
-  // Drain: a reply the loop already queued belongs to a fully processed
-  // request — give each such connection one bounded blocking flush before
-  // closing, so clients aren't cut off mid-read for work the server did.
-  for (auto& conn : conns_) {
-    if (conn->out_sent >= conn->out.size()) continue;
-    const int flags = ::fcntl(conn->fd, F_GETFL, 0);
-    if (flags >= 0) ::fcntl(conn->fd, F_SETFL, flags & ~O_NONBLOCK);
-    timeval timeout{0, 200000};  // 200 ms cap per connection
-    ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    while (conn->out_sent < conn->out.size()) {
-      const ssize_t sent =
-          ::send(conn->fd, conn->out.data() + conn->out_sent,
-                 conn->out.size() - conn->out_sent, MSG_NOSIGNAL);
-      if (sent <= 0) break;
-      conn->out_sent += static_cast<std::size_t>(sent);
+  for (auto& reactor : reactors_) {
+    // Connections the accept thread dealt but the reactor never adopted.
+    for (const int fd : reactor->inbox) ::close(fd);
+    reactor->inbox.clear();
+    // Drain: a reply the reactor already queued belongs to a fully
+    // processed request — give each such connection one bounded blocking
+    // flush before closing, so clients aren't cut off mid-read for work
+    // the server did.
+    for (auto& conn : reactor->conns) {
+      if (conn->out_sent >= conn->out.size()) continue;
+      const int flags = ::fcntl(conn->fd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(conn->fd, F_SETFL, flags & ~O_NONBLOCK);
+      timeval timeout{0, 200000};  // 200 ms cap per connection
+      ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                   sizeof(timeout));
+      while (conn->out_sent < conn->out.size()) {
+        const ssize_t sent =
+            ::send(conn->fd, conn->out.data() + conn->out_sent,
+                   conn->out.size() - conn->out_sent, MSG_NOSIGNAL);
+        if (sent <= 0) break;
+        conn->out_sent += static_cast<std::size_t>(sent);
+      }
     }
+    for (auto& conn : reactor->conns) ::close(conn->fd);
+    reactor->conns.clear();
+    ::close(reactor->wake_pipe[0]);
+    ::close(reactor->wake_pipe[1]);
   }
-  for (auto& conn : conns_) ::close(conn->fd);
-  conns_.clear();
+  reactors_.clear();
   ::close(listen_fd_);
   ::close(wake_pipe_[0]);
   ::close(wake_pipe_[1]);
@@ -188,25 +226,127 @@ void NyqmondServer::stop() {
 
   // Final checkpoint: everything the server ingested is sealed into
   // segments and the WAL swaps fresh, so the directory recovers to exactly
-  // the served state.
-  if (config_.checkpoint_fn) {
-    config_.checkpoint_fn();
-  } else if (storage_ != nullptr) {
-    storage_->sync();
-    storage_->flush(store_);
+  // the served state. No quiesce needed — every reactor has joined.
+  checkpoint_now();
+}
+
+void NyqmondServer::accept_loop() {
+  obs::set_thread_node(config_.node_name);
+  pollfd fds[2];
+  while (!stopping_.load()) {
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    if (::poll(fds, 2, 1000) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) continue;  // wake for shutdown
+    if (fds[0].revents & POLLIN) accept_clients();
   }
 }
 
-void NyqmondServer::loop() {
+void NyqmondServer::adopt_inbox(Reactor& reactor) {
+  std::vector<int> fds;
+  {
+    const std::lock_guard<std::mutex> lock(reactor.inbox_mu);
+    fds.swap(reactor.inbox);
+  }
+  for (const int fd : fds) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    reactor.conns.push_back(std::move(conn));
+  }
+}
+
+void NyqmondServer::park_for_quiesce() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  if (!quiesce_requested_) return;
+  ++quiesce_parked_;
+  quiesce_cv_.notify_all();
+  quiesce_cv_.wait(lock, [this] {
+    return !quiesce_requested_ || stopping_.load();
+  });
+  --quiesce_parked_;
+  quiesce_cv_.notify_all();
+}
+
+sto::FlushStats NyqmondServer::run_quiesced(
+    const std::function<sto::FlushStats()>& fn) {
+  // Must run on a reactor thread: the barrier below waits for every
+  // *other* reactor to park, counting this thread as already parked.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  while (quiesce_requested_) {
+    // Another reactor is already quiescing: park like any reactor so its
+    // barrier completes, then take our turn.
+    ++quiesce_parked_;
+    quiesce_cv_.notify_all();
+    quiesce_cv_.wait(lock, [this] {
+      return !quiesce_requested_ || stopping_.load();
+    });
+    --quiesce_parked_;
+    quiesce_cv_.notify_all();
+    if (stopping_.load()) {
+      sto::FlushStats bail;
+      bail.skipped = true;
+      return bail;
+    }
+  }
+  quiesce_requested_ = true;
+  // Wake every reactor out of poll(2) so each reaches its loop-top park.
+  const char byte = 'q';
+  for (auto& reactor : reactors_)
+    [[maybe_unused]] const auto n = ::write(reactor->wake_pipe[1], &byte, 1);
+  quiesce_cv_.wait(lock, [this] {
+    return quiesce_parked_ >= reactors_.size() - 1 || stopping_.load();
+  });
+  NYQMON_OBS_COUNT("nyqmon_reactor_quiesce_total", 1);
+  NYQMON_OBS_RECORD(
+      "nyqmon_reactor_quiesce_wait_ns",
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+  sto::FlushStats out;
+  try {
+    // Every other reactor is parked between dispatches: no server-side
+    // INGEST can land between the flush's store snapshot and WAL swap.
+    out = fn();
+  } catch (...) {
+    quiesce_requested_ = false;
+    quiesce_cv_.notify_all();
+    throw;
+  }
+  quiesce_requested_ = false;
+  quiesce_cv_.notify_all();
+  return out;
+}
+
+sto::FlushStats NyqmondServer::checkpoint_now() {
+  if (config_.checkpoint_fn) return config_.checkpoint_fn();
+  if (storage_ != nullptr) {
+    storage_->sync();
+    return storage_->flush(store_);
+  }
+  sto::FlushStats skipped;
+  skipped.skipped = true;
+  return skipped;
+}
+
+void NyqmondServer::reactor_loop(Reactor& reactor) {
   // Every span and log record produced on this thread (dispatch, engine
   // fan-out entry, checkpoint) carries the node's fleet identity, which is
   // what lets a stitched fleet timeline attribute spans to nodes.
   obs::set_thread_node(config_.node_name);
   std::vector<pollfd> fds;
+  auto& conns_ = reactor.conns;
   while (!stopping_.load()) {
+    // Quiesce barrier: between dispatch rounds only, so a CHECKPOINT on
+    // another reactor never interleaves with a half-applied frame here.
+    park_for_quiesce();
+    adopt_inbox(reactor);
     fds.clear();
-    fds.push_back({listen_fd_, POLLIN, 0});
-    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({reactor.wake_pipe[0], POLLIN, 0});
     std::size_t reply_backlog = 0;
     std::size_t reply_frames = 0;
     bool any_stalled = false;
@@ -225,11 +365,23 @@ void NyqmondServer::loop() {
       fds.push_back({conn->fd, events, 0});
     }
     // Undelivered reply bytes/frames across all connections: a sustained
-    // non-zero value means clients aren't draining as fast as the loop
-    // serves.
-    NYQMON_OBS_GAUGE_SET("nyqmon_server_reply_queue_bytes", reply_backlog);
-    NYQMON_OBS_GAUGE_SET("nyqmon_server_reply_queue_frames_depth",
-                         reply_frames);
+    // non-zero value means clients aren't draining as fast as the reactors
+    // serve. Each reactor publishes its share, then one thread sums.
+    reactor.reply_backlog.store(reply_backlog, std::memory_order_relaxed);
+    reactor.reply_frames.store(reply_frames, std::memory_order_relaxed);
+#if !defined(NYQMON_OBS_NOOP)
+    {
+      std::size_t total_backlog = 0;
+      std::size_t total_frames = 0;
+      for (const auto& r : reactors_) {
+        total_backlog += r->reply_backlog.load(std::memory_order_relaxed);
+        total_frames += r->reply_frames.load(std::memory_order_relaxed);
+      }
+      NYQMON_OBS_GAUGE_SET("nyqmon_server_reply_queue_bytes", total_backlog);
+      NYQMON_OBS_GAUGE_SET("nyqmon_server_reply_queue_frames_depth",
+                           total_frames);
+    }
+#endif
 
     // A stalled connection makes no socket events until the client drains,
     // so its drop deadline must be enforced on a timeout tick.
@@ -242,20 +394,27 @@ void NyqmondServer::loop() {
       if (errno == EINTR) continue;
       break;
     }
-    if (fds[1].revents & POLLIN) continue;  // wake for shutdown
+    if (fds[0].revents & POLLIN) {
+      // Drain the wake pipe (quiesce requests, new-connection deals,
+      // shutdown) and restart the round: the loop top parks or adopts.
+      NYQMON_OBS_COUNT("nyqmon_reactor_wakeups_total", 1);
+      std::uint8_t drain[64];
+      while (::read(reactor.wake_pipe[0], drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
 
     // Scan only the connections that were actually polled this round —
-    // accept_clients() below appends to conns_, and fresh connections have
-    // no pollfd entry (they are served from the next round on).
-    const std::size_t polled = fds.size() - 2;
-    if (fds[0].revents & POLLIN) accept_clients();
+    // adoption above appends to conns, and fresh connections have no
+    // pollfd entry (they are served from the next round on).
+    const std::size_t polled = fds.size() - 1;
 
     // Serve clients; reap the dead ones after the scan.
     const auto now = std::chrono::steady_clock::now();
     std::vector<std::size_t> dead;
     for (std::size_t i = 0; i < polled; ++i) {
       Connection& conn = *conns_[i];
-      const short revents = fds[i + 2].revents;
+      const short revents = fds[i + 1].revents;
       bool alive = true;
       if (revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
       if (alive && (revents & POLLIN)) alive = read_client(conn);
@@ -323,10 +482,18 @@ void NyqmondServer::accept_clients() {
     set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    conns_.push_back(std::move(conn));
+    // Deal to the next reactor round-robin; the reactor adopts the fd at
+    // its next loop top and owns it exclusively from then on.
+    Reactor& reactor = *reactors_[next_reactor_];
+    next_reactor_ = (next_reactor_ + 1) % reactors_.size();
+    {
+      const std::lock_guard<std::mutex> lock(reactor.inbox_mu);
+      reactor.inbox.push_back(fd);
+    }
+    const char byte = 'c';
+    [[maybe_unused]] const auto n = ::write(reactor.wake_pipe[1], &byte, 1);
     connections_accepted_.fetch_add(1);
+    NYQMON_OBS_COUNT("nyqmon_reactor_clients_assigned_total", 1);
   }
 }
 
@@ -585,15 +752,14 @@ std::vector<std::uint8_t> NyqmondServer::handle_stats() {
 
 std::vector<std::uint8_t> NyqmondServer::handle_checkpoint() {
   CheckpointReply reply;
-  if (config_.checkpoint_fn) {
-    const sto::FlushStats flush = config_.checkpoint_fn();
-    reply.persisted = !flush.skipped;
-    reply.chunks = flush.chunks;
-    reply.bytes_written = flush.bytes_written;
-  } else if (storage_ != nullptr) {
-    storage_->sync();
-    const sto::FlushStats flush = storage_->flush(store_);
-    reply.persisted = true;
+  if (config_.checkpoint_fn || storage_ != nullptr) {
+    // Reactor-aware quiesce: park every other reactor before the flush so
+    // no server-side INGEST lands between the store snapshot and the WAL
+    // swap (the checkpoint delegate only quiesces *its own* writers, e.g.
+    // the StreamingRuntime scheduler).
+    const sto::FlushStats flush =
+        run_quiesced([this] { return checkpoint_now(); });
+    reply.persisted = config_.checkpoint_fn ? !flush.skipped : true;
     reply.chunks = flush.chunks;
     reply.bytes_written = flush.bytes_written;
   }
@@ -646,10 +812,13 @@ std::vector<std::uint8_t> NyqmondServer::handle_handoff(
     }
     // Non-destructive: the exporter keeps serving its copy until the
     // operator retires it; mid-handoff duplicates are deduped at query
-    // merge time (query/merge.h).
+    // merge time (query/merge.h). One snapshot acquisition covers every
+    // matched stream — the segment encoding below runs lock-free against
+    // the epoch-stamped view instead of re-locking per stream.
+    const mon::ReadSnapshot snap = store_.acquire_snapshot(names);
     sto::SegmentWriter writer;
     for (const std::string& name : names)
-      writer.add_stream(store_.snapshot_stream(name));
+      writer.add_stream(snap.export_stream(name));
     HandoffExportReply reply;
     reply.streams = static_cast<std::uint32_t>(writer.stats().streams);
     reply.samples = writer.stats().samples;
@@ -683,13 +852,12 @@ std::vector<std::uint8_t> NyqmondServer::handle_handoff(
     // restore_stream bypasses the ingest sink (it is the recovery path and
     // must not re-log), so durability comes from checkpointing through the
     // manifest's atomic commit before OK is answered: after this, a crash
-    // recovers the imported streams.
-    if (config_.checkpoint_fn) {
-      reply.persisted = !config_.checkpoint_fn().skipped;
-    } else if (storage_ != nullptr) {
-      storage_->sync();
-      storage_->flush(store_);
-      reply.persisted = true;
+    // recovers the imported streams. Quiesced like CHECKPOINT — other
+    // reactors' INGEST must not race the flush.
+    if (config_.checkpoint_fn || storage_ != nullptr) {
+      const sto::FlushStats flush =
+          run_quiesced([this] { return checkpoint_now(); });
+      reply.persisted = config_.checkpoint_fn ? !flush.skipped : true;
     }
     return ok_frame(encode_handoff_import_reply(reply));
   }

@@ -1,16 +1,31 @@
 // NyqmondServer — the network front of the retention store.
 //
-// A small poll(2)-driven TCP server speaking the length-prefixed binary
+// A poll(2)-driven TCP server speaking the length-prefixed binary
 // protocol of server/protocol.h: INGEST appends batched samples to retained
 // streams (created on first ingest), QUERY runs a selector + spec through a
 // QueryEngine, STATS reports a JSON counter snapshot, CHECKPOINT seals the
 // durable tier, METRICS exposes the process metric registry as Prometheus
 // text, and TRACE drains the in-process trace rings as chrome://tracing
-// JSON. One event-loop thread owns every connection; commands
-// execute inline on that thread (the query engine fans each query out over
-// its own workers), so wire-visible behavior is sequential and
-// deterministic while the *store* stays safely shared with a concurrently
-// running StreamingRuntime — serving during ingest is the normal mode.
+// JSON.
+//
+// Threading model (multi-reactor): one accept thread owns the listening
+// socket and deals accepted connections round-robin across N reactor
+// threads (ServerConfig::reactors, default 1). Each reactor runs its own
+// poll(2) loop over the connections it exclusively owns — per-connection
+// state (buffers, bounded reply queues, backpressure) is single-threaded
+// by ownership, while the store, query engine, and wire counters are
+// shared and thread-safe. Commands execute inline on the owning reactor,
+// so per-connection behavior stays sequential and deterministic, and with
+// the default single reactor the wire-visible ordering across connections
+// matches the original single-loop server. The *store* stays safely
+// shared with a concurrently running StreamingRuntime — serving during
+// ingest is the normal mode — and reads reconstruct from snapshot handles
+// (monitor/store.h ReadSnapshot), never holding stripe locks.
+//
+// CHECKPOINT (and the persist step of HANDOFF import) quiesces the
+// reactors: the initiating reactor parks every other reactor at its loop
+// top before running the flush, so no INGEST dispatch can land between
+// the store snapshot and the WAL swap on another thread.
 //
 // Robustness: partial frames are buffered per connection, oversized or
 // zero length prefixes answer ERR and close (a corrupt prefix cannot be
@@ -23,9 +38,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -55,15 +72,24 @@ struct ServerConfig {
   /// progress for this long — a stuck client must not hold its replies in
   /// server memory forever. 0 = stall indefinitely, never drop.
   std::uint32_t slow_client_timeout_ms = 0;
+  /// Event-loop shards. Each reactor thread exclusively owns the
+  /// connections the accept thread deals to it (round-robin) and runs the
+  /// full read/dispatch/reply loop for them, so concurrent clients are
+  /// served in parallel instead of head-of-line blocking behind one slow
+  /// request. 1 (the default) serves every connection from a single
+  /// reactor, preserving the original cross-connection ordering.
+  std::size_t reactors = 1;
   /// Fleet identity: tags every trace span and log record produced on the
-  /// event-loop thread, and names this node in stitched fleet timelines.
+  /// event-loop threads, and names this node in stitched fleet timelines.
   /// Empty = unnamed (standalone nyqmond).
   std::string node_name;
   qry::QueryEngineConfig query;
   /// CHECKPOINT delegate. Servers fronting a StreamingRuntime must point
   /// this at StreamingRuntime::checkpoint() so the flush is quiesced
   /// against the scheduler; when unset, the server flushes `storage`
-  /// directly (safe: the loop thread is then the only ingest path).
+  /// directly. Either way the server quiesces its own reactors first
+  /// (see run_quiesced), so server-side INGEST on other reactors cannot
+  /// race the flush — the delegate only needs to quiesce *its* writers.
   std::function<sto::FlushStats()> checkpoint_fn;
   /// Cluster hook: when set, every decoded request verb is offered to this
   /// function before the built-in handlers. A returned frame (OK or ERR)
@@ -141,8 +167,35 @@ class NyqmondServer {
     std::chrono::steady_clock::time_point stall_since{};
   };
 
-  void loop();
+  /// One event-loop shard. The reactor thread exclusively owns `conns`;
+  /// the accept thread only touches `inbox` (under `inbox_mu`) and the
+  /// wake pipe's write end. The reply_* atomics publish this reactor's
+  /// share of the queue-depth gauges.
+  struct Reactor {
+    std::size_t index = 0;
+    int wake_pipe[2] = {-1, -1};
+    std::thread thread;
+    std::mutex inbox_mu;
+    std::vector<int> inbox;  ///< accepted fds awaiting adoption
+    std::vector<std::unique_ptr<Connection>> conns;
+    std::atomic<std::size_t> reply_backlog{0};
+    std::atomic<std::size_t> reply_frames{0};
+  };
+
+  void accept_loop();
   void accept_clients();
+  void reactor_loop(Reactor& reactor);
+  /// Move the fds the accept thread dealt to this reactor into its conns.
+  void adopt_inbox(Reactor& reactor);
+  /// Block at a quiesce barrier while one is requested (reactor loop top).
+  void park_for_quiesce();
+  /// Park every *other* reactor at its loop top, run `fn`, release them.
+  /// Must be called on a reactor thread (dispatch context). Serialized:
+  /// a second initiator parks like any reactor until the first finishes.
+  sto::FlushStats run_quiesced(const std::function<sto::FlushStats()>& fn);
+  /// The CHECKPOINT body shared by handle_checkpoint, HANDOFF import's
+  /// persist step, and stop()'s final flush.
+  sto::FlushStats checkpoint_now();
   /// Returns false when the connection must be dropped.
   bool read_client(Connection& conn);
   bool write_client(Connection& conn);
@@ -175,12 +228,19 @@ class NyqmondServer {
   qry::QueryEngine query_;
 
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
+  int wake_pipe_[2] = {-1, -1};  ///< wakes the accept thread
   std::uint16_t port_ = 0;
-  std::thread loop_thread_;
+  std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::size_t next_reactor_ = 0;  ///< accept thread's round-robin cursor
+
+  // Cross-reactor checkpoint quiesce barrier (see run_quiesced).
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+  bool quiesce_requested_ = false;
+  std::size_t quiesce_parked_ = 0;
 
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_closed_{0};

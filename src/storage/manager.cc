@@ -244,7 +244,12 @@ FlushStats StorageManager::flush_impl(const Store& store) {
   NYQMON_CHECK_MSG(recovered_,
                    "attach-mode StorageManager: recover() before flush()");
   FlushStats out;
-  const std::vector<std::string> names = store.stream_names();
+  // One snapshot acquisition replaces the per-stream locked
+  // snapshot_stream() walk: stripe locks are held only during the brief
+  // capture, and the (comparatively slow) segment encoding below runs
+  // against the immutable epoch-stamped view.
+  const mon::ReadSnapshot snapshot = store.acquire_snapshot();
+  const std::vector<std::string> names = snapshot.stream_names();
   if (names.empty()) {
     out.skipped = true;
     return out;
@@ -256,7 +261,7 @@ FlushStats StorageManager::flush_impl(const Store& store) {
   for (const auto& name : names) {
     const auto it = flushed_chunks_.find(name);
     const std::size_t skip = it == flushed_chunks_.end() ? 0 : it->second;
-    const mon::StreamSnapshot snap = store.snapshot_stream(name, skip);
+    const mon::StreamSnapshot snap = snapshot.export_stream(name, skip);
     new_counts.emplace_back(name, skip + snap.chunks.size());
     writer.add_stream(snap);
   }

@@ -2,7 +2,10 @@
 // the Nyquist rate) and RatePriorStore (warm-starting from fleet history).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -331,6 +334,180 @@ TEST(RatePriors, DirectObservations) {
   EXPECT_DOUBLE_EQ(p->max_rate_hz, 0.03);
   EXPECT_THROW(priors.observe(tel::MetricKind::kFcsErrors, 0.0),
                std::invalid_argument);
+}
+
+// ------------------------------------------------ snapshot read path ------
+
+// A snapshot must be a frozen, bit-identical view: equal to the locked
+// query at acquire time, and unchanged by any amount of later ingest,
+// sealing, cap eviction, and reclamation.
+TEST(Snapshot, ReaderSurvivesSealEvictionAndReclaim) {
+  StoreConfig cfg;
+  cfg.chunk_samples = 64;
+  cfg.max_chunks_per_stream = 2;
+  RetentionStore store(cfg);
+  store.create_stream("s", 2.0);  // collection grid dt = 0.5 s
+  for (int i = 0; i < 300; ++i)
+    store.append("s", std::sin(0.05 * i) + 0.01 * (i % 7));
+
+  // 4 chunks sealed, the first 2 evicted by the cap (no snapshot was live,
+  // so they were freed immediately, not parked).
+  EXPECT_EQ(store.stats("s").chunks, 4u);  // cumulative seal count
+  EXPECT_EQ(store.epoch_registry()->retired_pending(), 0u);
+
+  // Query the live window [sample 128, sample 300).
+  const double t_begin = 128 * 0.5;
+  const double t_end = 300 * 0.5;
+  const sig::RegularSeries locked = store.query("s", t_begin, t_end);
+  mon::ReadSnapshot snap = store.acquire_snapshot();
+  const sig::RegularSeries at_acquire = snap.query("s", t_begin, t_end);
+  ASSERT_EQ(at_acquire.size(), locked.size());
+  for (std::size_t i = 0; i < locked.size(); ++i)
+    EXPECT_EQ(at_acquire[i], locked[i]) << i;  // bit-identical
+
+  // Ingest on: more seals, more evictions. The evicted chunks are ones
+  // this snapshot holds references to, so they must be parked, not freed.
+  for (int i = 300; i < 600; ++i)
+    store.append("s", std::cos(0.03 * i));
+  EXPECT_EQ(store.epoch_registry()->active_snapshots(), 1u);
+  EXPECT_GT(store.epoch_registry()->retired_pending(), 0u);
+
+  // The snapshot still reads its frozen capture, bit-identically.
+  const sig::RegularSeries after_churn = snap.query("s", t_begin, t_end);
+  ASSERT_EQ(after_churn.size(), locked.size());
+  for (std::size_t i = 0; i < locked.size(); ++i)
+    EXPECT_EQ(after_churn[i], locked[i]) << i;
+
+  // Releasing the last snapshot at-or-before the retire epochs reclaims
+  // every parked chunk.
+  snap.release();
+  EXPECT_EQ(store.epoch_registry()->active_snapshots(), 0u);
+  EXPECT_EQ(store.epoch_registry()->retired_pending(), 0u);
+}
+
+// Snapshots pinned after an eviction never saw the evicted chunk and must
+// not delay its reclamation.
+TEST(Snapshot, LateSnapshotDoesNotDelayReclaim) {
+  StoreConfig cfg;
+  cfg.chunk_samples = 32;
+  cfg.max_chunks_per_stream = 1;
+  RetentionStore store(cfg);
+  store.create_stream("s", 1.0);
+
+  mon::ReadSnapshot early = store.acquire_snapshot();
+  for (int i = 0; i < 100; ++i) store.append("s", double(i));
+  EXPECT_GT(store.epoch_registry()->retired_pending(), 0u);
+
+  // A snapshot acquired now pins a later epoch; releasing `early` must
+  // reclaim everything even though `late` is still live.
+  const mon::ReadSnapshot late = store.acquire_snapshot();
+  EXPECT_GT(late.epoch(), early.epoch());
+  early.release();
+  EXPECT_EQ(store.epoch_registry()->retired_pending(), 0u);
+  EXPECT_EQ(store.epoch_registry()->active_snapshots(), 1u);
+}
+
+TEST(Snapshot, StripedSnapshotMatchesLockedReads) {
+  StoreConfig cfg;
+  cfg.chunk_samples = 64;
+  mon::StripedRetentionStore store(cfg, 4);
+  std::vector<std::string> names;
+  for (int s = 0; s < 10; ++s) {
+    names.push_back("dev" + std::to_string(s) + "/metric");
+    store.create_stream(names.back(), 2.0);
+    for (int i = 0; i < 100 + 17 * s; ++i)
+      store.append(names.back(), std::sin(0.1 * i + s));
+  }
+  std::sort(names.begin(), names.end());
+
+  const mon::ReadSnapshot snap = store.acquire_snapshot();
+  EXPECT_EQ(snap.stream_names(), names);
+  for (const auto& name : names) {
+    const auto meta = snap.find_meta(name);
+    ASSERT_TRUE(meta.has_value());
+    const sig::RegularSeries locked = store.query(name, 0.0, meta->t_end);
+    const sig::RegularSeries via_snap = snap.query(name, 0.0, meta->t_end);
+    ASSERT_EQ(via_snap.size(), locked.size());
+    for (std::size_t i = 0; i < locked.size(); ++i)
+      EXPECT_EQ(via_snap[i], locked[i]) << name << " @" << i;
+  }
+
+  // Named capture: only the requested (existing) streams, sorted.
+  const std::vector<std::string> want = {names[7], "nope/nothing", names[2]};
+  const mon::ReadSnapshot sub = store.acquire_snapshot(want);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.stream_names(),
+            (std::vector<std::string>{names[2], names[7]}));
+  EXPECT_EQ(sub.find("nope/nothing"), nullptr);
+  EXPECT_THROW((void)sub.query("nope/nothing", 0.0, 1.0),
+               std::invalid_argument);
+}
+
+// Export skip accounting under the retention cap: skips are absolute chunk
+// indexes, so a delta export must skip at least the trimmed prefix.
+TEST(Snapshot, ExportAccountsForTrimmedChunks) {
+  StoreConfig cfg;
+  cfg.chunk_samples = 32;
+  cfg.max_chunks_per_stream = 2;
+  RetentionStore store(cfg);
+  store.create_stream("s", 1.0);
+  for (int i = 0; i < 150; ++i) store.append("s", double(i));  // 4 sealed
+  const mon::ReadSnapshot snap = store.acquire_snapshot();
+  const mon::StreamView* view = snap.find("s");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->chunks_trimmed, 2u);
+  EXPECT_EQ(view->chunks.size(), 2u);
+
+  // skip == trimmed exports the still-resident chunks; deeper skips are
+  // valid deltas; skipping less than the trimmed prefix is unservable.
+  EXPECT_EQ(snap.export_stream("s", 2).chunks.size(), 2u);
+  EXPECT_EQ(snap.export_stream("s", 3).chunks.size(), 1u);
+  EXPECT_THROW((void)snap.export_stream("s", 1), std::invalid_argument);
+  EXPECT_THROW((void)store.snapshot_stream("s", 0), std::invalid_argument);
+}
+
+// Writer vs. snapshot readers under TSan: concurrent seal/evict/reclaim
+// must never free a chunk a live snapshot still references.
+TEST(Snapshot, ConcurrentReadersNeverSeeReclaimedData) {
+  StoreConfig cfg;
+  cfg.chunk_samples = 32;
+  cfg.max_chunks_per_stream = 1;
+  mon::StripedRetentionStore store(cfg, 2);
+  store.create_stream("a", 2.0);
+  store.create_stream("b", 2.0);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 6000; ++i) {
+      store.append("a", std::sin(0.01 * i));
+      store.append("b", std::cos(0.02 * i));
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const mon::ReadSnapshot snap = store.acquire_snapshot();
+        for (const mon::StreamView& view : snap.views()) {
+          if (view.ingested < 8) continue;
+          const double t_end =
+              view.t0 + double(view.ingested) / view.collection_rate_hz;
+          const sig::RegularSeries series =
+              snap.query(view.name, std::max(view.t0, t_end - 20.0), t_end);
+          for (const double v : series.values())
+            ASSERT_TRUE(std::isfinite(v));
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  // Every snapshot released: nothing may stay parked.
+  EXPECT_EQ(store.epoch_registry()->active_snapshots(), 0u);
+  EXPECT_EQ(store.epoch_registry()->retired_pending(), 0u);
 }
 
 }  // namespace

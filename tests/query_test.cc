@@ -11,6 +11,7 @@
 
 #include "engine/engine.h"
 #include "monitor/striped_store.h"
+#include "query/builder.h"
 #include "query/cache.h"
 #include "query/engine.h"
 #include "query/selector.h"
@@ -76,6 +77,56 @@ TEST(Spec, ValidationAndGrid) {
   bad = spec;
   bad.step_s = 0.0;
   EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Builder, ProducesCanonicalSpec) {
+  // A built spec and a hand-filled spec with the same fields are the same
+  // cache entry: identical canonical keys.
+  qry::QuerySpec raw;
+  raw.selector = "rack*/cpu_util";
+  raw.t_begin = 5.0;
+  raw.t_end = 65.0;
+  raw.step_s = 0.5;
+  raw.transform = qry::Transform::kRate;
+  raw.aggregate = qry::Aggregation::kP95;
+
+  const qry::QuerySpec built = qry::QueryBuilder()
+                                   .select("rack*/cpu_util")
+                                   .range(5.0, 65.0)
+                                   .align(0.5)
+                                   .transform(qry::Transform::kRate)
+                                   .aggregate(qry::Aggregation::kP95)
+                                   .build();
+  EXPECT_EQ(built.canonical_key(), raw.canonical_key());
+
+  // Defaults match a default-constructed spec's fields.
+  const qry::QuerySpec plain =
+      qry::QueryBuilder().select("*").range(0.0, 10.0).align(1.0).build();
+  EXPECT_EQ(plain.transform, qry::Transform::kRaw);
+  EXPECT_EQ(plain.aggregate, qry::Aggregation::kNone);
+}
+
+TEST(Builder, BuildValidates) {
+  // build() funnels through QuerySpec::validate(): missing selector,
+  // empty range, and zero step all throw rather than producing a spec.
+  EXPECT_THROW(qry::QueryBuilder().range(0.0, 1.0).align(0.1).build(),
+               std::invalid_argument);
+  EXPECT_THROW(qry::QueryBuilder().select("*").align(0.1).build(),
+               std::invalid_argument);
+  EXPECT_THROW(qry::QueryBuilder().select("*").range(0.0, 1.0).build(),
+               std::invalid_argument);
+  // peek() exposes the partial spec without validating.
+  EXPECT_EQ(qry::QueryBuilder().select("x").peek().selector, "x");
+}
+
+TEST(Builder, WireFlagBits) {
+  EXPECT_EQ(qry::QueryBuilder().wire_flags(), 0);
+  EXPECT_EQ(qry::QueryBuilder().want_matched().wire_flags(), 0x01);
+  EXPECT_EQ(qry::QueryBuilder().want_explain().wire_flags(), 0x02);
+  EXPECT_EQ(qry::QueryBuilder().want_matched().want_explain().wire_flags(),
+            0x03);
+  EXPECT_FALSE(qry::QueryBuilder().matched_wanted());
+  EXPECT_TRUE(qry::QueryBuilder().want_matched().matched_wanted());
 }
 
 TEST(Spec, CanonicalKeyDistinguishesStructure) {

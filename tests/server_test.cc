@@ -884,6 +884,197 @@ TEST(Server, QueryExplainAttributesLatencyToStages) {
   server.stop();
 }
 
+// ------------------------------------------------- typed client surface ---
+
+TEST(Server, TypedCallSurfaceRoundTripsOkAndErr) {
+  mon::StripedRetentionStore store;
+  srv::NyqmondServer server(store, nullptr);
+  server.start();
+  srv::NyqmonClient client("127.0.0.1", server.port());
+
+  // OK path: a verb with no payload through the typed surface.
+  srv::Request stats_req;
+  stats_req.verb = srv::Verb::kStats;
+  const srv::Response stats = client.call(stats_req);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(std::string(stats.payload.begin(), stats.payload.end())
+                .find("\"streams\""),
+            std::string::npos);
+
+  // ERR is decoded into the Response, not thrown...
+  srv::Request bad;
+  bad.verb = srv::Verb::kQuery;  // empty payload = malformed QUERY
+  const srv::Response err = client.call(bad);
+  ASSERT_FALSE(err.ok());
+  EXPECT_FALSE(err.error_message.empty());
+  // ...while call_ok unwraps it into the usual ServerError.
+  EXPECT_THROW((void)client.call_ok(bad), srv::ServerError);
+
+  // The flags byte rides as the protocol's trailing u8: METRICS with the
+  // fleet bit against a plain nyqmond answers its own exposition.
+  srv::Request metrics;
+  metrics.verb = srv::Verb::kMetrics;
+  metrics.flags = srv::kMetricsFleet;
+  const auto exposition = client.call_ok(metrics);
+  EXPECT_FALSE(exposition.empty());
+
+  // The trace label prefixes transport errors only.
+  srv::Request traced;
+  traced.verb = srv::Verb::kStats;
+  traced.trace = "probe-7";
+  client.close();
+  try {
+    (void)client.call(traced);
+    FAIL() << "transport error expected after close()";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("probe-7: ", 0), 0u) << e.what();
+  }
+  server.stop();
+}
+
+TEST(Server, BuilderWireFlagsMatchProtocolBits) {
+  EXPECT_EQ(qry::QueryBuilder().want_matched().wire_flags(),
+            srv::kQueryWantMatched);
+  EXPECT_EQ(qry::QueryBuilder().want_explain().wire_flags(),
+            srv::kQueryWantExplain);
+}
+
+// ----------------------------------------------------- multi-reactor ------
+
+// The same concurrent ingest+query workload as the four-client test, but
+// served by four reactor shards: per-connection ordering must hold on
+// every shard, and the quiesced end state must match a local engine
+// bit-identically.
+TEST(Server, MultiReactorConcurrentClientsAreDeterministic) {
+  mon::StripedRetentionStore store;
+  srv::ServerConfig server_cfg;
+  server_cfg.reactors = 4;
+  srv::NyqmondServer server(store, nullptr, server_cfg);
+  server.start();
+
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kBatches = 8;
+  constexpr std::size_t kBatch = 64;
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> failures{0};
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        srv::NyqmonClient client("127.0.0.1", server.port());
+        const std::string stream = "client" + std::to_string(c) + "/metric";
+        const auto values = wave(kBatches * kBatch, static_cast<double>(c));
+        for (std::size_t b = 0; b < kBatches; ++b) {
+          const std::uint64_t total = client.ingest(
+              stream, 1.0, 0.0,
+              std::span<const double>(values).subspan(b * kBatch, kBatch));
+          // Per-connection ordering: this connection's appends are
+          // sequential regardless of which reactor owns it.
+          if (total != (b + 1) * kBatch) ++failures;
+          const srv::QueryReply reply =
+              client.query(qry::QueryBuilder()
+                               .select("client*/metric")
+                               .range(0.0, double(kBatches * kBatch))
+                               .align(4.0)
+                               .aggregate(qry::Aggregation::kSum)
+                               .build());
+          if (reply.series.size() != 1) ++failures;
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0u);
+  EXPECT_GE(server.stats().connections_accepted, kClients);
+
+  const qry::QuerySpec spec = qry::QueryBuilder()
+                                  .select("client*/metric")
+                                  .range(0.0, double(kBatches * kBatch))
+                                  .align(2.0)
+                                  .aggregate(qry::Aggregation::kP95)
+                                  .build();
+  srv::NyqmonClient a("127.0.0.1", server.port());
+  const auto reply_a = a.query(spec);
+  ASSERT_EQ(reply_a.series.size(), 1u);
+  EXPECT_EQ(reply_a.matched, kClients);
+
+  qry::QueryEngine local(store);
+  const auto direct = local.run(spec);
+  EXPECT_TRUE(same_values(direct.result->series[0].series.span(),
+                          reply_a.series[0].series.span()));
+  server.stop();
+}
+
+// CHECKPOINT must quiesce every reactor: with 4 shards ingesting at full
+// tilt and a durable tier attached, concurrent CHECKPOINTs may never race
+// an INGEST dispatch between the flush snapshot and the WAL swap, and the
+// recovered state must hold every acknowledged batch.
+TEST(Server, MultiReactorCheckpointQuiescesConcurrentIngest) {
+  TempDir dir("reactor_quiesce");
+  sto::StorageConfig storage_cfg;
+  storage_cfg.dir = dir.path;
+  storage_cfg.truncate_existing = true;
+  mon::StoreConfig store_cfg;
+  store_cfg.chunk_samples = 64;
+  {
+    mon::StripedRetentionStore store(store_cfg, 4);
+    sto::StorageManager storage(storage_cfg);
+    storage.record_geometry(store_cfg);
+    store.set_ingest_sink(&storage);
+
+    srv::ServerConfig server_cfg;
+    server_cfg.reactors = 4;
+    srv::NyqmondServer server(store, &storage, server_cfg);
+    server.start();
+
+    constexpr std::size_t kClients = 6;
+    constexpr std::size_t kBatches = 12;
+    constexpr std::size_t kBatch = 32;
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> failures{0};
+    for (std::size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        try {
+          srv::NyqmonClient client("127.0.0.1", server.port());
+          const std::string stream = "q" + std::to_string(c) + "/metric";
+          const auto values =
+              wave(kBatches * kBatch, static_cast<double>(c));
+          for (std::size_t b = 0; b < kBatches; ++b) {
+            client.ingest(
+                stream, 1.0, 0.0,
+                std::span<const double>(values).subspan(b * kBatch, kBatch));
+            // Half the clients also fire CHECKPOINT mid-ingest, so
+            // quiesce barriers overlap with live dispatch on every
+            // reactor (and with each other).
+            if (c % 2 == 0) {
+              const srv::CheckpointReply ck = client.checkpoint();
+              if (!ck.persisted) ++failures;
+            }
+          }
+        } catch (...) {
+          ++failures;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0u);
+    server.stop();  // final quiesced checkpoint
+  }
+
+  // Recover from disk: every acknowledged batch must be there.
+  sto::StorageConfig attach;
+  attach.dir = dir.path;
+  sto::StorageManager manager(attach);
+  mon::StripedRetentionStore recovered(store_cfg, 4);
+  const auto rec = manager.recover(recovered);
+  EXPECT_EQ(rec.crc_skipped_blocks, 0u);
+  for (std::size_t c = 0; c < 6; ++c) {
+    const std::string stream = "q" + std::to_string(c) + "/metric";
+    EXPECT_EQ(recovered.meta(stream).ingested_samples, 12u * 32u) << stream;
+  }
+}
+
 TEST(Server, TraceVerbDisabledReturnsEmptyCapture) {
   obs::TraceRecorder& rec = obs::TraceRecorder::instance();
   rec.set_enabled(false);
