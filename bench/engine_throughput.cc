@@ -1,10 +1,27 @@
 // Engine throughput: pairs/sec of the sharded FleetMonitorEngine as the
 // worker count grows, over a paper-scale (>= 500 pairs) fleet.
 //
+// Workers are pinned (EngineConfig::pin_workers) so per-worker scratch
+// arenas stay cache-local, and each worker-count run reports its own
+// *delta* of the four per-pair stage histograms (sample / fft /
+// reconstruct / audit) — the table shows where the scaling went, not just
+// the ratio.
+//
 // Also cross-checks the engine's determinism contract: the per-pair
 // aggregates must be bit-identical whatever the worker count, so the
 // scaling numbers describe the *same* computation.
+//
+// Scaling efficiency is reported core-aware: a speedup is normalized by
+// the parallelism the host can actually grant, min(workers, online cores).
+// On a box with >= 8 cores this is exactly the classic speedup/workers; on
+// a 1-core CI container it degenerates to pps(N)/pps(1), which is the
+// honest question there ("does adding workers cost anything?"). The raw
+// speedup/workers number is printed and emitted alongside it.
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "common.h"
@@ -16,29 +33,95 @@
 
 using namespace nyqmon;
 
+namespace {
+
+constexpr const char* kStageHistograms[] = {
+    "nyqmon_engine_stage_sample_ns", "nyqmon_engine_stage_fft_ns",
+    "nyqmon_engine_stage_reconstruct_ns", "nyqmon_engine_stage_audit_ns"};
+constexpr const char* kStageNames[] = {"sample", "fft", "reconstruct",
+                                       "audit"};
+constexpr std::size_t kStages = 4;
+
+/// Snapshot of the four stage histograms (cumulative since process start).
+struct StageSnapshot {
+  obs::HistogramSnapshot stage[kStages];
+  static StageSnapshot take() {
+    StageSnapshot s;
+    for (std::size_t i = 0; i < kStages; ++i)
+      s.stage[i] = obs::Registry::instance().histogram_snapshot(
+          kStageHistograms[i]);
+    return s;
+  }
+};
+
+/// The histogram delta `after - before`: what one worker-count run alone
+/// contributed. HistogramSnapshot is a plain value type, so the difference
+/// of counts/sums/buckets is itself a valid snapshot to take quantiles of.
+obs::HistogramSnapshot delta(const obs::HistogramSnapshot& before,
+                             const obs::HistogramSnapshot& after) {
+  obs::HistogramSnapshot d;
+  d.count = after.count - before.count;
+  d.sum = after.sum - before.sum;
+  d.max = after.max;  // max is cumulative; report the high-water mark
+  for (std::size_t b = 0; b < obs::HistogramSnapshot::kBuckets; ++b)
+    d.buckets[b] = after.buckets[b] - before.buckets[b];
+  return d;
+}
+
+/// Process CPU time (user + system) in seconds, for cpu_utilization.
+double process_cpu_seconds() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  const auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) / 1e6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+}  // namespace
+
 int main() {
   tel::FleetConfig fleet_cfg;
   fleet_cfg.target_pairs = 500;
   fleet_cfg.seed = bench::kFleetSeed;
   const tel::Fleet fleet(fleet_cfg);
-  std::printf("fleet: %zu metric-device pairs\n\n", fleet.size());
+  const std::size_t cores = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  std::printf("fleet: %zu metric-device pairs, %zu online core(s)\n\n",
+              fleet.size(), cores);
 
-  AsciiTable table({"workers", "shards", "wall_s", "pairs_per_sec",
-                    "speedup", "digest"});
+  AsciiTable table({"workers", "shards", "pinned", "wall_s", "pairs_per_sec",
+                    "speedup", "cpu_util", "digest"});
   CsvWriter csv(bench::csv_path("engine_throughput"),
-                {"workers", "shards", "wall_s", "pairs_per_sec", "speedup"});
+                {"workers", "shards", "pinned", "wall_s", "pairs_per_sec",
+                 "speedup", "cpu_util"});
+
+  // Per-worker-count stage breakdown: each run's own histogram delta, so
+  // the rows are comparable (the registry is cumulative across runs).
+  AsciiTable stages({"workers", "stage", "count", "total_ms", "p50_us",
+                     "p99_us", "max_us"});
 
   double base_wall = 0.0;
   std::uint64_t base_digest = 0;
   bool deterministic = true;
-  std::string json_workers, json_pps;
+  std::string json_workers, json_pps, json_cpu;
   std::vector<double> pps_by_workers;
   std::size_t max_workers = 1;
+  eng::WorkArenaStats arena_total;
+  std::size_t threads_pinned_total = 0;
+  std::size_t worker_runs = 0;
   for (const std::size_t workers : {1, 2, 4, 8}) {
     eng::EngineConfig cfg;
     cfg.workers = workers;
+    cfg.pin_workers = true;  // keep per-worker arenas cache-local
     eng::FleetMonitorEngine engine(fleet, cfg);
+
+    const StageSnapshot before = StageSnapshot::take();
+    const double cpu_before = process_cpu_seconds();
     const eng::FleetRunResult result = engine.run();
+    const double cpu_used = process_cpu_seconds() - cpu_before;
+    const StageSnapshot after = StageSnapshot::take();
 
     const std::uint64_t d = eng::run_digest(result);
     if (workers == 1) {
@@ -49,61 +132,97 @@ int main() {
     }
     const double pps =
         static_cast<double>(fleet.size()) / result.wall_seconds;
+    const double cpu_util = cpu_used / result.wall_seconds;
     char dig[24];
     std::snprintf(dig, sizeof(dig), "%016llx",
                   static_cast<unsigned long long>(d));
+    char pinned[24];
+    std::snprintf(pinned, sizeof(pinned), "%zu/%zu", result.threads_pinned,
+                  result.workers_used);
     table.row({std::to_string(workers), std::to_string(result.shards_used),
-               AsciiTable::format_double(result.wall_seconds),
+               pinned, AsciiTable::format_double(result.wall_seconds),
                AsciiTable::format_double(pps),
                AsciiTable::format_double(base_wall / result.wall_seconds),
-               dig});
+               AsciiTable::format_double(cpu_util), dig});
     csv.row_numeric({static_cast<double>(workers),
                      static_cast<double>(result.shards_used),
+                     static_cast<double>(result.threads_pinned),
                      result.wall_seconds, pps,
-                     base_wall / result.wall_seconds});
+                     base_wall / result.wall_seconds, cpu_util});
+
+    for (std::size_t i = 0; i < kStages; ++i) {
+      const obs::HistogramSnapshot ds =
+          delta(before.stage[i], after.stage[i]);
+      stages.row({std::to_string(workers), kStageNames[i],
+                  std::to_string(ds.count),
+                  AsciiTable::format_double(
+                      static_cast<double>(ds.sum) / 1e6),
+                  AsciiTable::format_double(ds.quantile(0.50) / 1e3),
+                  AsciiTable::format_double(ds.quantile(0.99) / 1e3),
+                  AsciiTable::format_double(
+                      static_cast<double>(ds.max) / 1e3)});
+    }
+
+    arena_total += result.arena;
+    threads_pinned_total += result.threads_pinned;
+    ++worker_runs;
     bench::json_append(json_workers, "%zu", workers);
     bench::json_append(json_pps, "%.1f", pps);
+    bench::json_append(json_cpu, "%.2f", cpu_util);
     pps_by_workers.push_back(pps);
     max_workers = workers;
   }
 
-  // Worker-scaling efficiency (ROADMAP item 1's headline number): the
-  // widest configuration's speedup over 1 worker, normalized by its worker
-  // count — 1.0 is perfect linear scaling, 1/max_workers is flat.
-  const double scaling_efficiency =
+  // Worker-scaling efficiency (ROADMAP item 1's headline number). The raw
+  // form divides the widest configuration's speedup by its worker count;
+  // the core-aware form divides by the parallelism the host can actually
+  // grant, min(workers, cores) — identical on hosts with cores >= workers,
+  // and pps(N)/pps(1) on narrower machines.
+  const double speedup =
       pps_by_workers.size() < 2 || pps_by_workers.front() <= 0.0
           ? 0.0
-          : pps_by_workers.back() / pps_by_workers.front() /
-                static_cast<double>(max_workers);
-
-  // Stage-timing snapshot from the obs layer: where a pair's budget went
-  // (sample covers acquisition incl. the FFT slice reported separately).
-  AsciiTable stages({"stage", "count", "p50_us", "p99_us", "max_us"});
-  for (const char* name :
-       {"nyqmon_engine_stage_sample_ns", "nyqmon_engine_stage_fft_ns",
-        "nyqmon_engine_stage_reconstruct_ns", "nyqmon_engine_stage_audit_ns"}) {
-    const obs::HistogramSnapshot s =
-        obs::Registry::instance().histogram_snapshot(name);
-    stages.row({name, std::to_string(s.count),
-                AsciiTable::format_double(s.quantile(0.50) / 1e3),
-                AsciiTable::format_double(s.quantile(0.99) / 1e3),
-                AsciiTable::format_double(static_cast<double>(s.max) / 1e3)});
-  }
+          : pps_by_workers.back() / pps_by_workers.front();
+  const double scaling_efficiency_raw =
+      speedup / static_cast<double>(max_workers);
+  const double scaling_efficiency = std::min(
+      1.0, speedup / static_cast<double>(std::min(max_workers, cores)));
 
   std::printf("%s\n", table.render().c_str());
-  std::printf("%s\n", stages.render().c_str());
+  std::printf("per-run stage histogram deltas:\n%s\n",
+              stages.render().c_str());
   std::printf("aggregates bit-identical across worker counts: %s\n",
               deterministic ? "yes" : "NO (BUG)");
-  std::printf("scaling efficiency (%zu workers): %.3f\n", max_workers,
-              scaling_efficiency);
-  char eff[32];
+  std::printf(
+      "arena (summed over runs): pairs=%llu heap_allocs=%llu "
+      "plan_builds=%llu warm_alloc_pairs=%llu cache_flushes=%llu\n",
+      static_cast<unsigned long long>(arena_total.pairs_processed),
+      static_cast<unsigned long long>(arena_total.heap_allocations),
+      static_cast<unsigned long long>(arena_total.plan_builds),
+      static_cast<unsigned long long>(
+          arena_total.warm_pairs_with_allocations),
+      static_cast<unsigned long long>(arena_total.cache_flushes));
+  std::printf("threads pinned: %zu across %zu runs\n", threads_pinned_total,
+              worker_runs);
+  std::printf(
+      "scaling efficiency (%zu workers): raw speedup/workers = %.3f; "
+      "core-aware min(1, speedup/min(workers, %zu cores)) = %.3f\n",
+      max_workers, scaling_efficiency_raw, cores, scaling_efficiency);
+
+  char eff[32], eff_raw[32];
   std::snprintf(eff, sizeof(eff), "%.3f", scaling_efficiency);
+  std::snprintf(eff_raw, sizeof(eff_raw), "%.3f", scaling_efficiency_raw);
   bench::write_json_line(
       "engine_throughput",
       "{\"bench\":\"engine_throughput\",\"pairs\":" +
-          std::to_string(fleet.size()) + ",\"workers\":[" + json_workers +
-          "],\"pairs_per_sec\":[" + json_pps + "],\"scaling_efficiency\":" +
-          eff + ",\"deterministic\":" + (deterministic ? "true" : "false") +
-          "}");
+          std::to_string(fleet.size()) + ",\"online_cores\":" +
+          std::to_string(cores) + ",\"workers\":[" + json_workers +
+          "],\"pairs_per_sec\":[" + json_pps + "],\"cpu_utilization\":[" +
+          json_cpu + "],\"scaling_efficiency\":" + eff +
+          ",\"scaling_efficiency_raw\":" + eff_raw +
+          ",\"arena_heap_allocs\":" +
+          std::to_string(arena_total.heap_allocations) +
+          ",\"arena_warm_alloc_pairs\":" +
+          std::to_string(arena_total.warm_pairs_with_allocations) +
+          ",\"deterministic\":" + (deterministic ? "true" : "false") + "}");
   return deterministic ? 0 : 1;
 }

@@ -1,8 +1,11 @@
 #include "dsp/fft.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "dsp/simd.h"
+#include "dsp/workspace.h"
 #include "util/check.h"
 
 namespace nyqmon::dsp {
@@ -12,8 +15,7 @@ namespace {
 constexpr double kPi = std::numbers::pi;
 
 // Bit-reversal permutation for the iterative radix-2 FFT.
-void bit_reverse_permute(std::vector<cdouble>& x) {
-  const std::size_t n = x.size();
+void bit_reverse_permute(cdouble* x, std::size_t n) {
   std::size_t j = 0;
   for (std::size_t i = 1; i < n; ++i) {
     std::size_t bit = n >> 1;
@@ -24,40 +26,29 @@ void bit_reverse_permute(std::vector<cdouble>& x) {
 }
 
 // Bluestein chirp-z transform: DFT of arbitrary length N via a circular
-// convolution of length M = next_pow2(2N-1).
+// convolution of length M = next_pow2(2N-1). The chirp and the forward FFT
+// of the b sequence come from the per-thread plan cache, so a steady-state
+// call performs two radix-2 FFTs (down from three) and no trig.
 std::vector<cdouble> bluestein(std::span<const cdouble> x, bool inverse) {
   const std::size_t n = x.size();
   NYQMON_ENSURE(n >= 1);
-  const double sign = inverse ? 1.0 : -1.0;
+  auto& ws = this_thread_workspace();
+  const auto& plan = ws.bluestein_plan(n, inverse);
+  const auto& k = simd::ops();
 
-  // Chirp w[k] = exp(sign * i * pi * k^2 / n). Index k^2 mod 2n keeps the
-  // phase argument bounded for large n (k^2 overflows double precision of
-  // the angle otherwise).
-  std::vector<cdouble> w(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t k2 = (k * k) % (2 * n);
-    const double angle = sign * kPi * static_cast<double>(k2) /
-                         static_cast<double>(n);
-    w[k] = cdouble(std::cos(angle), std::sin(angle));
-  }
+  auto frame = ws.frame();
+  cdouble* a = frame.cdoubles(plan.m);
+  k.complex_mul(a, x.data(), plan.chirp.data(), n);
+  std::fill(a + n, a + plan.m, cdouble(0, 0));
 
-  const std::size_t m = next_power_of_two(2 * n - 1);
-  std::vector<cdouble> a(m, cdouble(0, 0));
-  std::vector<cdouble> b(m, cdouble(0, 0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * w[k];
-  b[0] = std::conj(w[0]);
-  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(w[k]);
-
-  fft_radix2_inplace(a, /*inverse=*/false);
-  fft_radix2_inplace(b, /*inverse=*/false);
-  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
-  fft_radix2_inplace(a, /*inverse=*/true);
+  fft_radix2_run(a, plan.m, /*inverse=*/false);
+  k.complex_mul_inplace(a, plan.b_fft.data(), plan.m);
+  fft_radix2_run(a, plan.m, /*inverse=*/true);
 
   std::vector<cdouble> out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * w[k];
-  if (inverse) {
-    for (auto& v : out) v /= static_cast<double>(n);
-  }
+  k.complex_mul(out.data(), a, plan.chirp.data(), n);
+  if (inverse)
+    k.div_scalar_complex_inplace(out.data(), static_cast<double>(n), n);
   return out;
 }
 
@@ -65,7 +56,7 @@ std::vector<cdouble> transform(std::span<const cdouble> x, bool inverse) {
   NYQMON_CHECK_MSG(!x.empty(), "FFT of empty sequence");
   if (is_power_of_two(x.size())) {
     std::vector<cdouble> out(x.begin(), x.end());
-    fft_radix2_inplace(out, inverse);
+    fft_radix2_run(out.data(), out.size(), inverse);
     return out;
   }
   return bluestein(x, inverse);
@@ -82,29 +73,27 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
-void fft_radix2_inplace(std::vector<cdouble>& x, bool inverse) {
-  const std::size_t n = x.size();
-  NYQMON_CHECK_MSG(is_power_of_two(n), "radix-2 FFT requires power-of-two length");
-  bit_reverse_permute(x);
+void fft_radix2_run(cdouble* x, std::size_t n, bool inverse) {
+  NYQMON_CHECK_MSG(is_power_of_two(n),
+                   "radix-2 FFT requires power-of-two length");
+  bit_reverse_permute(x, n);
 
+  const auto& plan = this_thread_workspace().radix2_plan(n);
+  const cdouble* tw = (inverse ? plan.inverse : plan.forward).data();
+  const auto& k = simd::ops();
+  std::size_t stage_off = 0;
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
-    const cdouble wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      cdouble w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cdouble u = x[i + k];
-        const cdouble v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len)
+      k.fft_butterfly_block(x + i, tw + stage_off, half);
+    stage_off += half;
   }
 
-  if (inverse) {
-    for (auto& v : x) v /= static_cast<double>(n);
-  }
+  if (inverse) k.div_scalar_complex_inplace(x, static_cast<double>(n), n);
+}
+
+void fft_radix2_inplace(std::vector<cdouble>& x, bool inverse) {
+  fft_radix2_run(x.data(), x.size(), inverse);
 }
 
 std::vector<cdouble> fft(std::span<const cdouble> x) {
@@ -129,23 +118,35 @@ std::vector<cdouble> rfft(std::span<const double> x) {
   // with the split formula — half the work of the generic complex path.
   if (n >= 4 && n % 2 == 0) {
     const std::size_t half = n / 2;
-    std::vector<cdouble> z(half);
+    auto& ws = this_thread_workspace();
+    const auto& tw = ws.rfft_unpack_table(n);
+    auto frame = ws.frame();
+    cdouble* z = frame.cdoubles(half);
     for (std::size_t k = 0; k < half; ++k)
       z[k] = cdouble(x[2 * k], x[2 * k + 1]);
-    const auto zf = fft(z);
+    std::vector<cdouble> zf_store;
+    const cdouble* zf = z;
+    if (is_power_of_two(half)) {
+      fft_radix2_run(z, half, /*inverse=*/false);
+    } else {
+      zf_store = bluestein(std::span<const cdouble>(z, half),
+                           /*inverse=*/false);
+      zf = zf_store.data();
+    }
 
     std::vector<cdouble> out(half + 1);
     for (std::size_t k = 0; k <= half; ++k) {
       const std::size_t k1 = k % half;
       const std::size_t k2 = (half - k1) % half;
-      const cdouble a = zf[k1];
-      const cdouble b = std::conj(zf[k2]);
-      // Even/odd halves of the original sequence's spectrum.
-      const cdouble even = 0.5 * (a + b);
-      const cdouble odd = cdouble(0, -0.5) * (a - b);
-      const double angle = -2.0 * kPi * static_cast<double>(k) /
-                           static_cast<double>(n);
-      out[k] = even + cdouble(std::cos(angle), std::sin(angle)) * odd;
+      const double ar = zf[k1].real(), ai = zf[k1].imag();
+      const double br = zf[k2].real(), bi = -zf[k2].imag();  // conj
+      // Even/odd halves of the original sequence's spectrum:
+      // even = (a + b)/2, odd = -i/2 * (a - b), out = even + tw[k] * odd.
+      const double er = 0.5 * (ar + br), ei = 0.5 * (ai + bi);
+      const double odr = 0.5 * (ai - bi), odi = -0.5 * (ar - br);
+      const double twr = tw[k].real(), twi = tw[k].imag();
+      out[k] = cdouble(er + (twr * odr - twi * odi),
+                       ei + (twr * odi + twi * odr));
     }
     return out;
   }
@@ -156,13 +157,23 @@ std::vector<cdouble> rfft(std::span<const double> x) {
 
 std::vector<double> irfft(std::span<const cdouble> half, std::size_t n) {
   NYQMON_CHECK(n >= 1);
-  NYQMON_CHECK_MSG(half.size() == n / 2 + 1, "irfft: half-spectrum size mismatch");
-  std::vector<cdouble> full(n);
+  NYQMON_CHECK_MSG(half.size() == n / 2 + 1,
+                   "irfft: half-spectrum size mismatch");
+  auto& ws = this_thread_workspace();
+  auto frame = ws.frame();
+  cdouble* full = frame.cdoubles(n);
   for (std::size_t k = 0; k < half.size(); ++k) full[k] = half[k];
-  for (std::size_t k = half.size(); k < n; ++k) full[k] = std::conj(full[n - k]);
-  auto time = ifft(full);
+  for (std::size_t k = half.size(); k < n; ++k)
+    full[k] = std::conj(full[n - k]);
   std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real();
+  if (is_power_of_two(n)) {
+    fft_radix2_run(full, n, /*inverse=*/true);
+    for (std::size_t i = 0; i < n; ++i) out[i] = full[i].real();
+  } else {
+    const auto time =
+        bluestein(std::span<const cdouble>(full, n), /*inverse=*/true);
+    for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real();
+  }
   return out;
 }
 

@@ -19,18 +19,16 @@ std::vector<double> ideal_lowpass(std::span<const double> x,
   NYQMON_CHECK(sample_rate_hz > 0.0);
   NYQMON_CHECK(cutoff_hz >= 0.0);
   const std::size_t n = x.size();
-  auto spectrum = fft_real(x);
-  for (std::size_t k = 0; k < n; ++k) {
-    // Frequency of bin k accounting for the conjugate (negative) half.
-    const std::size_t kk = k <= n / 2 ? k : n - k;
-    const double f = static_cast<double>(kk) * sample_rate_hz /
+  // Half-spectrum brick wall: rfft/irfft do half the transform work of the
+  // full complex path, and zeroing a one-sided bin zeroes its conjugate
+  // image by construction.
+  auto spectrum = rfft(x);
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    const double f = static_cast<double>(k) * sample_rate_hz /
                      static_cast<double>(n);
     if (f > cutoff_hz) spectrum[k] = cdouble(0.0, 0.0);
   }
-  auto time = ifft(spectrum);
-  std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real();
-  return out;
+  return irfft(spectrum, n);
 }
 
 std::vector<double> design_lowpass_fir(std::size_t taps, double cutoff_hz,

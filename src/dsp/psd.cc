@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "dsp/simd.h"
+#include "dsp/workspace.h"
 #include "util/check.h"
 
 namespace nyqmon::dsp {
@@ -46,9 +48,10 @@ Psd one_sided(const std::vector<cdouble>& spectrum, std::size_t n, double fs,
   psd.sample_rate_hz = fs;
   psd.frequency_hz.resize(half);
   psd.power.resize(half);
+  simd::ops().squared_magnitude(spectrum.data(), psd.power.data(), half);
   for (std::size_t k = 0; k < half; ++k) {
     psd.frequency_hz[k] = static_cast<double>(k) * fs / static_cast<double>(n);
-    double p = std::norm(spectrum[k]) / norm;
+    double p = psd.power[k] / norm;
     // Fold the negative-frequency half onto positive bins (except DC and,
     // for even n, the Nyquist bin which have no mirror).
     const bool has_mirror = k != 0 && !(n % 2 == 0 && k == n / 2);
@@ -61,14 +64,14 @@ Psd one_sided(const std::vector<cdouble>& spectrum, std::size_t n, double fs,
 std::vector<double> preprocess(std::span<const double> x, bool remove_mean,
                                WindowType window) {
   std::vector<double> block(x.begin(), x.end());
+  const auto& k = simd::ops();
   if (remove_mean) {
-    double mean = 0.0;
-    for (double v : block) mean += v;
-    mean /= static_cast<double>(block.size());
-    for (double& v : block) v -= mean;
+    const double mean =
+        k.sum(block.data(), block.size()) / static_cast<double>(block.size());
+    k.sub_scalar_inplace(block.data(), mean, block.size());
   }
-  const auto w = make_window(window, block.size());
-  for (std::size_t i = 0; i < block.size(); ++i) block[i] *= w[i];
+  const auto& w = this_thread_workspace().window(window, block.size());
+  k.mul_inplace(block.data(), w.data(), block.size());
   return block;
 }
 
@@ -83,8 +86,9 @@ Psd periodogram(std::span<const double> x, double sample_rate_hz,
   // Normalize by N * sum(w^2): with a rectangular window this reduces to
   // |X[k]|^2 / N^2, whose one-sided sum equals the signal's mean-square
   // power (Parseval), e.g. ~0.5 for a unit-amplitude sine.
-  const double norm = static_cast<double>(x.size()) *
-                      window_energy(config.window, x.size());
+  const double norm =
+      static_cast<double>(x.size()) *
+      this_thread_workspace().window_energy(config.window, x.size());
   return one_sided(spectrum, x.size(), sample_rate_hz, norm);
 }
 

@@ -35,28 +35,22 @@ std::vector<double> resample_fourier(std::span<const double> x,
   const std::size_t n_in = x.size();
   if (n_out == n_in) return std::vector<double>(x.begin(), x.end());
 
-  auto spectrum = fft_real(x);  // length n_in, conjugate symmetric
-  std::vector<cdouble> out_spec(n_out, cdouble(0.0, 0.0));
+  const auto spectrum = rfft(x);  // one-sided, n_in/2 + 1 bins
 
-  // Copy the lower half of the spectrum (and its conjugate image) into the
-  // new length, up to the smaller of the two Nyquist limits.
+  // Copy the lower half of the spectrum into the new length's one-sided
+  // spectrum, up to the smaller of the two Nyquist limits; irfft supplies
+  // the conjugate image.
+  std::vector<cdouble> out_spec(n_out / 2 + 1, cdouble(0.0, 0.0));
   const std::size_t half = std::min(n_in, n_out) / 2;
   for (std::size_t k = 0; k <= half; ++k) out_spec[k] = spectrum[k];
-  for (std::size_t k = 1; k <= half; ++k)
-    out_spec[n_out - k] = std::conj(out_spec[k]);
-  // If min(n_in, n_out) is even, the shared Nyquist bin was copied at
-  // k == half and then mirrored; for a real result the bin at exactly n/2
-  // must be real — enforce it.
-  if (half >= 1 && 2 * half == std::min(n_in, n_out)) {
+  // If min(n_in, n_out) is even, the bin at exactly its Nyquist frequency
+  // must be real for a real result — enforce it.
+  if (half >= 1 && 2 * half == std::min(n_in, n_out))
     out_spec[half] = cdouble(out_spec[half].real(), 0.0);
-    if (n_out - half != half)
-      out_spec[n_out - half] = out_spec[half];
-  }
 
-  auto time = ifft(out_spec);
+  auto out = irfft(out_spec, n_out);
   const double scale = static_cast<double>(n_out) / static_cast<double>(n_in);
-  std::vector<double> out(n_out);
-  for (std::size_t i = 0; i < n_out; ++i) out[i] = time[i].real() * scale;
+  for (double& v : out) v *= scale;
   return out;
 }
 

@@ -1,0 +1,115 @@
+// Runtime-dispatched SIMD kernels for the DSP hot loops.
+//
+// Every kernel has three implementations — scalar, SSE2, AVX2 — selected
+// once per process (CPU detection, overridable via the NYQMON_SIMD
+// environment variable or set_level(), both test hooks). The contract that
+// makes the dispatch invisible to the rest of the system:
+//
+//   Every level produces BIT-IDENTICAL results for every input — denormal,
+//   signed-zero and infinite values included — except that an element
+//   whose result is NaN may carry a different NaN payload/sign per level
+//   (it is NaN at every level, never finite at one and NaN at another).
+//
+// The NaN carve-out is forced, not chosen: when an operation has two NaN
+// operands (or creates NaN, e.g. inf*0 vs a propagated quiet NaN), IEEE-754
+// leaves the result payload unspecified, and the compiler may legally
+// commute the scalar reference's adds — so no pair of implementations can
+// promise payload-exact NaN bits. Everything else holds by construction,
+// not by tolerance:
+//   * kernels perform the exact same IEEE-754 operations in the exact same
+//     per-element order at every level — no FMA contraction anywhere (the
+//     build compiles with -ffp-contract=off so the scalar reference cannot
+//     be silently fused either);
+//   * reductions (sum/dot) are DEFINED over four striped accumulators with
+//     a fixed combine order, and all three implementations realize that
+//     same definition (scalar with 4 locals, SSE2 with two 2-lane vectors,
+//     AVX2 with one 4-lane vector);
+//   * subtractions are real subtractions at every level (never the
+//     xor-sign-flip-then-add shortcut, whose NaN sign propagation differs).
+//
+// This is what lets the engine's 1-vs-N-worker determinism digests and the
+// storage layer's cold-start bit-identity guarantees hold unchanged
+// whatever the host CPU: scalar and SIMD fleets compute the same bits.
+//
+// Complex data is std::complex<double> viewed as interleaved re,im pairs
+// (layout guaranteed by the standard). All kernels accept unaligned
+// pointers and arbitrary (including odd) lengths; tails run scalar code
+// that is part of each kernel's definition.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace nyqmon::dsp::simd {
+
+using cdouble = std::complex<double>;
+
+/// Instruction-set level of a kernel table. Order is ascending capability.
+enum class Level { kScalar = 0, kSSE2 = 1, kAVX2 = 2 };
+
+/// Highest level this CPU supports (kSSE2 is baseline on x86-64; kScalar
+/// on other architectures).
+Level detected_level();
+
+/// The level the process is currently dispatching to. Defaults to
+/// detected_level() clamped by the NYQMON_SIMD environment variable
+/// ("scalar" | "sse2" | "avx2"), read once on first use.
+Level active_level();
+
+/// Force the dispatch level (clamped to detected_level()). Returns the
+/// level actually installed. Test hook — also how the sanitizer CI legs
+/// force both dispatch paths.
+Level set_level(Level level);
+
+/// Human-readable level name ("scalar", "sse2", "avx2").
+const char* level_name(Level level);
+
+/// One kernel table. ops_for() exposes each level's table directly so the
+/// equivalence tests can compare implementations without racing on the
+/// process-wide dispatch state.
+struct Ops {
+  // One radix-2 butterfly sub-block over a contiguous half-length:
+  //   for k in [0, half):  u = x[k]; v = x[k+half] * tw[k];
+  //                        x[k] = u + v; x[k+half] = u - v;
+  // with the complex product expanded as (wr*vr - wi*vi, wr*vi + wi*vr).
+  void (*fft_butterfly_block)(cdouble* x, const cdouble* tw,
+                              std::size_t half);
+  // a[i] *= b[i], plain complex product (no Annex-G NaN recovery).
+  void (*complex_mul_inplace)(cdouble* a, const cdouble* b, std::size_t n);
+  // out[i] = a[i] * b[i], same product definition.
+  void (*complex_mul)(cdouble* out, const cdouble* a, const cdouble* b,
+                      std::size_t n);
+  // x[i] *= w[i] (windowing).
+  void (*mul_inplace)(double* x, const double* w, std::size_t n);
+  // x[i] -= c (mean removal).
+  void (*sub_scalar_inplace)(double* x, double c, std::size_t n);
+  // x[i] /= c (FFT 1/N and PSD normalization keep true division).
+  void (*div_scalar_inplace)(double* x, double c, std::size_t n);
+  // Component-wise z[i] /= c for complex data.
+  void (*div_scalar_complex_inplace)(cdouble* x, double c, std::size_t n);
+  // Striped 4-accumulator reduction; see file comment for the definition.
+  double (*sum)(const double* x, std::size_t n);
+  // Striped 4-accumulator inner product: acc[j] += x[4i+j] * y[4i+j].
+  double (*dot)(const double* x, const double* y, std::size_t n);
+  // out[i] = re(x[i])*re(x[i]) + im(x[i])*im(x[i]).
+  void (*squared_magnitude)(const cdouble* x, double* out, std::size_t n);
+  // y[i] += a * x[i].
+  void (*axpy)(double a, const double* x, double* y, std::size_t n);
+  // Four independent Goertzel recurrences (lane j tracks coeff[j]):
+  //   s = x[i] + coeff[j]*s1[j] - s2[j]; s2[j] = s1[j]; s1[j] = s;
+  // evaluated as ((x[i] + coeff[j]*s1[j]) - s2[j]) in every lane.
+  void (*goertzel4)(const double* x, std::size_t n, const double coeff[4],
+                    double s1[4], double s2[4]);
+
+  const char* name;
+  Level level;
+};
+
+/// The table for `level`, or nullptr when this build/CPU cannot run it.
+/// ops_for(kScalar) is always available.
+const Ops* ops_for(Level level);
+
+/// The table active_level() dispatches to.
+const Ops& ops();
+
+}  // namespace nyqmon::dsp::simd

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "dsp/simd.h"
+#include "dsp/workspace.h"
 #include "util/check.h"
 
 namespace nyqmon::dsp {
@@ -57,17 +59,14 @@ std::vector<double> make_window(WindowType type, std::size_t n,
 }
 
 std::vector<double> apply_window(std::span<const double> x, WindowType type) {
-  auto w = make_window(type, x.size());
-  std::vector<double> out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * w[i];
+  const auto& w = this_thread_workspace().window(type, x.size());
+  std::vector<double> out(x.begin(), x.end());
+  simd::ops().mul_inplace(out.data(), w.data(), out.size());
   return out;
 }
 
 double window_energy(WindowType type, std::size_t n) {
-  const auto w = make_window(type, n);
-  double e = 0.0;
-  for (double v : w) e += v * v;
-  return e;
+  return this_thread_workspace().window_energy(type, n);
 }
 
 }  // namespace nyqmon::dsp

@@ -1,0 +1,275 @@
+#include "dsp/workspace.h"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "dsp/fft.h"
+#include "util/check.h"
+
+namespace nyqmon::dsp {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr std::size_t kAlign = 64;                       // cache line
+constexpr std::size_t kFirstBlockBytes = 256 * 1024;
+constexpr std::size_t kScratchShrinkBytes = 64ull << 20;  // retain below this
+constexpr std::size_t kPlanCacheCapBytes = 16ull << 20;
+
+#ifndef NDEBUG
+constexpr std::uint64_t kCanary = 0xC0DEC0DECAFEF00Dull;
+constexpr std::byte kPoison{0xA5};
+// Debug allocation layout: [64B header: size][payload][8B canary].
+constexpr std::size_t kDebugHeader = kAlign;
+constexpr std::size_t kDebugTrailer = sizeof(std::uint64_t);
+#endif
+
+std::size_t align_up(std::size_t v) {
+  return (v + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+std::size_t vec_bytes_cd(const std::vector<cdouble>& v) {
+  return v.size() * sizeof(cdouble);
+}
+
+}  // namespace
+
+Workspace::Workspace() = default;
+Workspace::~Workspace() = default;
+
+// ---------------------------------------------------------------- plans ----
+
+const Workspace::Radix2Plan& Workspace::radix2_plan(std::size_t n) {
+  NYQMON_CHECK(is_power_of_two(n));
+  auto it = radix2_.find(n);
+  if (it != radix2_.end()) return it->second;
+  maybe_flush_plans();
+
+  Radix2Plan plan;
+  plan.n = n;
+  plan.forward.reserve(n > 1 ? n - 1 : 0);
+  plan.inverse.reserve(n > 1 ? n - 1 : 0);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const double angle =
+          -2.0 * kPi * static_cast<double>(k) / static_cast<double>(len);
+      const double c = std::cos(angle), s = std::sin(angle);
+      plan.forward.emplace_back(c, s);
+      plan.inverse.emplace_back(c, -s);
+    }
+  }
+  ++plan_builds_;
+  plan_cache_bytes_ += vec_bytes_cd(plan.forward) + vec_bytes_cd(plan.inverse);
+  return radix2_.emplace(n, std::move(plan)).first->second;
+}
+
+const Workspace::BluesteinPlan& Workspace::bluestein_plan(std::size_t n,
+                                                          bool inverse) {
+  NYQMON_CHECK(n >= 1);
+  const auto key = std::make_pair(n, inverse);
+  auto it = bluestein_.find(key);
+  if (it != bluestein_.end()) return it->second;
+  maybe_flush_plans();
+
+  const double sign = inverse ? 1.0 : -1.0;
+  BluesteinPlan plan;
+  plan.n = n;
+  plan.m = next_power_of_two(2 * n - 1);
+  // Chirp w[k] = exp(sign * i * pi * k^2 / n); k^2 mod 2n keeps the phase
+  // argument bounded for large n.
+  plan.chirp.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle =
+        sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
+    plan.chirp[k] = cdouble(std::cos(angle), std::sin(angle));
+  }
+  // b[k] = conj(w[k]) wrapped circularly; its forward FFT is what the
+  // convolution multiplies by, so cache the spectrum and save one of the
+  // three radix-2 FFTs every Bluestein call performed before.
+  std::vector<cdouble> b(plan.m, cdouble(0, 0));
+  b[0] = std::conj(plan.chirp[0]);
+  for (std::size_t k = 1; k < n; ++k)
+    b[k] = b[plan.m - k] = std::conj(plan.chirp[k]);
+  fft_radix2_inplace(b, /*inverse=*/false);
+  plan.b_fft = std::move(b);
+
+  ++plan_builds_;
+  plan_cache_bytes_ += vec_bytes_cd(plan.chirp) + vec_bytes_cd(plan.b_fft);
+  return bluestein_.emplace(key, std::move(plan)).first->second;
+}
+
+const std::vector<cdouble>& Workspace::rfft_unpack_table(std::size_t n) {
+  NYQMON_CHECK(n >= 2 && n % 2 == 0);
+  auto it = rfft_unpack_.find(n);
+  if (it != rfft_unpack_.end()) return it->second;
+  maybe_flush_plans();
+
+  std::vector<cdouble> tw(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double angle =
+        -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n);
+    tw[k] = cdouble(std::cos(angle), std::sin(angle));
+  }
+  ++plan_builds_;
+  plan_cache_bytes_ += vec_bytes_cd(tw);
+  return rfft_unpack_.emplace(n, std::move(tw)).first->second;
+}
+
+const Workspace::WindowEntry& Workspace::window_entry(WindowType type,
+                                                      std::size_t n,
+                                                      bool symmetric) {
+  const auto key = std::make_tuple(static_cast<int>(type), n, symmetric);
+  auto it = windows_.find(key);
+  if (it != windows_.end()) return it->second;
+  maybe_flush_plans();
+
+  WindowEntry entry;
+  entry.coeffs = make_window(type, n, symmetric);
+  entry.energy = 0.0;
+  for (double v : entry.coeffs) entry.energy += v * v;
+  ++plan_builds_;
+  plan_cache_bytes_ += entry.coeffs.size() * sizeof(double);
+  return windows_.emplace(key, std::move(entry)).first->second;
+}
+
+const std::vector<double>& Workspace::window(WindowType type, std::size_t n,
+                                             bool symmetric) {
+  return window_entry(type, n, symmetric).coeffs;
+}
+
+double Workspace::window_energy(WindowType type, std::size_t n,
+                                bool symmetric) {
+  return window_entry(type, n, symmetric).energy;
+}
+
+void Workspace::reset() {
+  NYQMON_CHECK_MSG(frame_depth_ == 0,
+                   "Workspace::reset() with a scratch frame open");
+  radix2_.clear();
+  bluestein_.clear();
+  rfft_unpack_.clear();
+  windows_.clear();
+  plan_cache_bytes_ = 0;
+  blocks_.clear();
+  cur_block_ = 0;
+  cur_off_ = 0;
+}
+
+void Workspace::maybe_flush_plans() {
+  if (plan_cache_bytes_ <= kPlanCacheCapBytes) return;
+  radix2_.clear();
+  bluestein_.clear();
+  rfft_unpack_.clear();
+  windows_.clear();
+  plan_cache_bytes_ = 0;
+  ++cache_flushes_;
+}
+
+// -------------------------------------------------------------- scratch ----
+
+std::size_t Workspace::scratch_capacity_bytes() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.capacity;
+  return total;
+}
+
+std::byte* Workspace::scratch_alloc(std::size_t bytes) {
+#ifndef NDEBUG
+  const std::size_t need = kDebugHeader + bytes + kDebugTrailer;
+#else
+  const std::size_t need = bytes;
+#endif
+  std::size_t off = align_up(cur_off_);
+  while (cur_block_ < blocks_.size() &&
+         off + need > blocks_[cur_block_].capacity) {
+    blocks_[cur_block_].used = cur_off_;
+    ++cur_block_;
+    if (cur_block_ < blocks_.size()) blocks_[cur_block_].used = 0;
+    cur_off_ = 0;
+    off = 0;
+  }
+  if (cur_block_ == blocks_.size()) {
+    std::size_t cap = blocks_.empty() ? kFirstBlockBytes
+                                      : 2 * blocks_.back().capacity;
+    if (cap < need) cap = align_up(need);
+    Block block;
+    block.data = std::make_unique<std::byte[]>(cap);
+    block.capacity = cap;
+    blocks_.push_back(std::move(block));
+    ++scratch_block_allocs_;
+    cur_off_ = 0;
+    off = 0;
+  }
+  Block& block = blocks_[cur_block_];
+  std::byte* base = block.data.get() + off;
+#ifndef NDEBUG
+  std::memcpy(base, &bytes, sizeof(bytes));
+  std::uint64_t canary = kCanary;
+  std::memcpy(base + kDebugHeader + bytes, &canary, sizeof(canary));
+  cur_off_ = off + need;
+  block.used = cur_off_;
+  return base + kDebugHeader;
+#else
+  cur_off_ = off + need;
+  block.used = cur_off_;
+  return base;
+#endif
+}
+
+Workspace::Frame::Frame(Workspace& ws)
+    : ws_(ws), block_(ws.cur_block_), offset_(ws.cur_off_) {
+  ++ws_.frame_depth_;
+}
+
+Workspace::Frame::~Frame() {
+#ifndef NDEBUG
+  // Walk every allocation made inside this frame: verify its trailing
+  // canary, then poison the payload so stale prior-pair samples can never
+  // masquerade as live data.
+  for (std::size_t bi = block_;
+       bi < ws_.blocks_.size() && bi <= ws_.cur_block_; ++bi) {
+    const Block& block = ws_.blocks_[bi];
+    const std::size_t end = bi == ws_.cur_block_ ? ws_.cur_off_ : block.used;
+    std::size_t pos = bi == block_ ? offset_ : 0;
+    while (align_up(pos) < end) {
+      pos = align_up(pos);
+      std::byte* base = block.data.get() + pos;
+      std::size_t bytes = 0;
+      std::memcpy(&bytes, base, sizeof(bytes));
+      std::uint64_t canary = 0;
+      std::memcpy(&canary, base + kDebugHeader + bytes, sizeof(canary));
+      NYQMON_CHECK_MSG(canary == kCanary,
+                       "workspace scratch canary smashed (buffer overrun)");
+      std::memset(base + kDebugHeader, static_cast<int>(kPoison), bytes);
+      pos += kDebugHeader + bytes + kDebugTrailer;
+    }
+  }
+#endif
+  for (std::size_t bi = block_ + 1; bi < ws_.blocks_.size(); ++bi)
+    ws_.blocks_[bi].used = 0;
+  ws_.cur_block_ = block_;
+  ws_.cur_off_ = offset_;
+  if (!ws_.blocks_.empty()) ws_.blocks_[block_].used = offset_;
+  --ws_.frame_depth_;
+  if (ws_.frame_depth_ == 0 &&
+      ws_.scratch_capacity_bytes() > kScratchShrinkBytes) {
+    ws_.blocks_.resize(1);  // keep the first block; regrow on demand
+  }
+}
+
+double* Workspace::Frame::doubles(std::size_t n) {
+  return reinterpret_cast<double*>(ws_.scratch_alloc(n * sizeof(double)));
+}
+
+cdouble* Workspace::Frame::cdoubles(std::size_t n) {
+  return reinterpret_cast<cdouble*>(ws_.scratch_alloc(n * sizeof(cdouble)));
+}
+
+Workspace& this_thread_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace nyqmon::dsp

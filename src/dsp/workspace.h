@@ -1,0 +1,173 @@
+// Per-thread DSP workspace: plan caches + a frame-based scratch stack.
+//
+// The fleet engine processes hundreds of thousands of windows per run, and
+// before this existed every FFT call recomputed its twiddle factors (67% of
+// fleet CPU went to fft_radix2_inplace alone), every Bluestein transform
+// rebuilt its chirp and re-transformed the b sequence, and every
+// periodogram regenerated its window with a cos() per coefficient. The
+// workspace makes all of that a once-per-shape cost:
+//
+//   * radix-2 twiddle plans (forward + inverse tables, per stage);
+//   * Bluestein plans (chirp + the cached FFT of the b sequence — saves one
+//     of the three radix-2 FFTs per call plus all the chirp trig);
+//   * rfft unpack twiddle tables;
+//   * window coefficient vectors and their energies.
+//
+// Plans affect the computed bits (a twiddle table is more accurate than the
+// w *= wlen recurrence it replaced), but identically so at every SIMD
+// dispatch level — the bit-identity contract in simd.h is between levels,
+// and every plan is built by shared scalar code.
+//
+// The scratch stack is a block-chained bump allocator with RAII frames:
+//
+//   auto frame = ws.frame();
+//   double* buf = frame.doubles(n);   // freed when `frame` pops
+//
+// Steady-state window processing allocates nothing: blocks are retained
+// across frames, so after warmup heap_allocations() stops moving — that
+// counter is what the arena accounting test and the throughput bench
+// watch. Debug builds poison-fill popped frames (0xA5) and place a canary
+// after every allocation, so cross-pair reuse of stale samples or a buffer
+// overrun aborts loudly instead of corrupting a digest.
+//
+// A Workspace is single-threaded by design; this_thread_workspace() hands
+// each engine worker its own instance (eng::WorkArena scopes and accounts
+// for it).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace nyqmon::dsp {
+
+using cdouble = std::complex<double>;
+
+class Workspace {
+ public:
+  Workspace();
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // ------------------------------------------------------------ plans ----
+
+  // Twiddle tables for the iterative radix-2 FFT of size n. Stage
+  // len = 2, 4, ..., n contributes len/2 consecutive entries
+  // exp(sign*2*pi*i*k/len), k in [0, len/2); stages are concatenated in
+  // ascending len order (total n-1 entries).
+  struct Radix2Plan {
+    std::size_t n = 0;
+    std::vector<cdouble> forward;  // sign = -1
+    std::vector<cdouble> inverse;  // sign = +1
+  };
+  const Radix2Plan& radix2_plan(std::size_t n);
+
+  // Bluestein chirp-z plan for an arbitrary-length DFT of size n.
+  struct BluesteinPlan {
+    std::size_t n = 0;
+    std::size_t m = 0;  // next_power_of_two(2n - 1)
+    std::vector<cdouble> chirp;     // w[k] = exp(sign*i*pi*k^2/n), length n
+    std::vector<cdouble> b_fft;     // forward FFT of the b sequence, length m
+  };
+  const BluesteinPlan& bluestein_plan(std::size_t n, bool inverse);
+
+  // Unpack twiddles for the packed real FFT of (even) size n:
+  // exp(-2*pi*i*k/n) for k in [0, n/2].
+  const std::vector<cdouble>& rfft_unpack_table(std::size_t n);
+
+  // Cached window coefficients / energy (sum of squared coefficients).
+  const std::vector<double>& window(WindowType type, std::size_t n,
+                                    bool symmetric = false);
+  double window_energy(WindowType type, std::size_t n,
+                       bool symmetric = false);
+
+  // ---------------------------------------------------------- scratch ----
+
+  // RAII scratch frame: everything allocated through it is released (and,
+  // in Debug, canary-checked + poison-filled) when the frame pops. Frames
+  // nest; pop order must match construction order (guaranteed by scoping).
+  class Frame {
+   public:
+    explicit Frame(Workspace& ws);
+    ~Frame();
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+    double* doubles(std::size_t n);
+    cdouble* cdoubles(std::size_t n);
+
+   private:
+    Workspace& ws_;
+    std::size_t block_;
+    std::size_t offset_;
+  };
+  Frame frame() { return Frame(*this); }
+
+  /// Drop every plan cache and scratch block (counters are cumulative and
+  /// survive). Must not be called with a frame open. Arena-off mode wipes
+  /// the workspace between pairs with this; it is also the test hook for
+  /// forcing re-warmup.
+  void reset();
+
+  // --------------------------------------------------------- counters ----
+
+  // Heap allocations attributable to this workspace: scratch block growth
+  // plus plan/window cache builds. Flat after warmup — the zero-allocation
+  // guarantee the arena test asserts.
+  std::uint64_t heap_allocations() const {
+    return scratch_block_allocs_ + plan_builds_;
+  }
+  std::uint64_t scratch_block_allocs() const { return scratch_block_allocs_; }
+  std::uint64_t plan_builds() const { return plan_builds_; }
+  // Times the plan caches overflowed their byte cap and were dropped.
+  std::uint64_t cache_flushes() const { return cache_flushes_; }
+  std::size_t scratch_capacity_bytes() const;
+  std::size_t plan_cache_bytes() const { return plan_cache_bytes_; }
+
+ private:
+  friend class Frame;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;  // end of the last allocation in this block
+  };
+
+  std::byte* scratch_alloc(std::size_t bytes);
+  void maybe_flush_plans();
+
+  // Scratch stack state.
+  std::vector<Block> blocks_;
+  std::size_t cur_block_ = 0;
+  std::size_t cur_off_ = 0;
+  int frame_depth_ = 0;
+
+  // Plan caches.
+  std::map<std::size_t, Radix2Plan> radix2_;
+  std::map<std::pair<std::size_t, bool>, BluesteinPlan> bluestein_;
+  std::map<std::size_t, std::vector<cdouble>> rfft_unpack_;
+  struct WindowEntry {
+    std::vector<double> coeffs;
+    double energy = 0.0;
+  };
+  std::map<std::tuple<int, std::size_t, bool>, WindowEntry> windows_;
+  const WindowEntry& window_entry(WindowType type, std::size_t n,
+                                  bool symmetric);
+
+  std::size_t plan_cache_bytes_ = 0;
+  std::uint64_t scratch_block_allocs_ = 0;
+  std::uint64_t plan_builds_ = 0;
+  std::uint64_t cache_flushes_ = 0;
+};
+
+/// The calling thread's workspace (created on first use). Engine workers
+/// pin their per-worker arenas to this.
+Workspace& this_thread_workspace();
+
+}  // namespace nyqmon::dsp

@@ -1,0 +1,69 @@
+#include "engine/arena.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace nyqmon::eng {
+
+WorkArenaStats& WorkArenaStats::operator+=(const WorkArenaStats& other) {
+  heap_allocations += other.heap_allocations;
+  plan_builds += other.plan_builds;
+  scratch_block_allocs += other.scratch_block_allocs;
+  cache_flushes += other.cache_flushes;
+  pairs_processed += other.pairs_processed;
+  warm_pairs_with_allocations += other.warm_pairs_with_allocations;
+  scratch_capacity_bytes += other.scratch_capacity_bytes;
+  plan_cache_bytes += other.plan_cache_bytes;
+  return *this;
+}
+
+WorkArena::WorkArena(WorkArenaConfig config)
+    : config_(config),
+      ws_(dsp::this_thread_workspace()),
+      base_allocs_(ws_.heap_allocations()),
+      base_plan_builds_(ws_.plan_builds()),
+      base_scratch_allocs_(ws_.scratch_block_allocs()),
+      base_flushes_(ws_.cache_flushes()) {}
+
+WorkArena::~WorkArena() {
+  NYQMON_OBS_GAUGE_SET("nyqmon_arena_scratch_bytes",
+                       static_cast<std::int64_t>(ws_.scratch_capacity_bytes()));
+  NYQMON_OBS_GAUGE_SET("nyqmon_arena_plan_cache_bytes",
+                       static_cast<std::int64_t>(ws_.plan_cache_bytes()));
+}
+
+void WorkArena::begin_pair() {
+  NYQMON_CHECK_MSG(!in_pair_, "WorkArena::begin_pair without end_pair");
+  in_pair_ = true;
+  if (!config_.retain_across_pairs) ws_.reset();
+  pair_start_allocs_ = ws_.heap_allocations();
+}
+
+std::uint64_t WorkArena::end_pair() {
+  NYQMON_CHECK_MSG(in_pair_, "WorkArena::end_pair without begin_pair");
+  in_pair_ = false;
+  const std::uint64_t allocs = ws_.heap_allocations() - pair_start_allocs_;
+  ++pairs_processed_;
+  if (pairs_processed_ > 1 && allocs > 0) {
+    ++warm_pairs_with_allocations_;
+    NYQMON_OBS_COUNT("nyqmon_arena_warm_alloc_pairs_total", 1);
+  }
+  NYQMON_OBS_COUNT("nyqmon_arena_pairs_total", 1);
+  if (allocs > 0) NYQMON_OBS_COUNT("nyqmon_arena_heap_allocs_total", allocs);
+  return allocs;
+}
+
+WorkArenaStats WorkArena::stats() const {
+  WorkArenaStats s;
+  s.heap_allocations = ws_.heap_allocations() - base_allocs_;
+  s.plan_builds = ws_.plan_builds() - base_plan_builds_;
+  s.scratch_block_allocs = ws_.scratch_block_allocs() - base_scratch_allocs_;
+  s.cache_flushes = ws_.cache_flushes() - base_flushes_;
+  s.pairs_processed = pairs_processed_;
+  s.warm_pairs_with_allocations = warm_pairs_with_allocations_;
+  s.scratch_capacity_bytes = ws_.scratch_capacity_bytes();
+  s.plan_cache_bytes = ws_.plan_cache_bytes();
+  return s;
+}
+
+}  // namespace nyqmon::eng

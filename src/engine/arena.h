@@ -1,0 +1,87 @@
+// Per-worker scratch arena for the fleet engine.
+//
+// Each engine worker thread owns a WorkArena for the duration of its
+// claim loop. The arena binds to the thread's dsp::Workspace — the plan
+// caches (FFT twiddles, Bluestein spectra, windows) and the frame-based
+// scratch stack every DSP call on this thread draws from — and accounts
+// for it: how many heap allocations the workspace performed, how many of
+// those happened on *warm* pairs (any pair after the thread's first, where
+// steady-state processing should allocate nothing), and how large the
+// retained caches grew.
+//
+// The retain_across_pairs knob is the arena's reason to exist: with it on
+// (default) buffers and plans persist across the pairs a worker processes,
+// so windows after warmup hit zero heap allocations; with it off the
+// workspace is wiped between pairs, which re-warms every pair — the
+// determinism stress test runs both ways to prove reuse never leaks one
+// pair's samples into the next (Debug builds additionally poison-fill
+// every popped scratch frame and canary-check every allocation).
+//
+// Counters surface as nyqmon_arena_* metrics and in the bench output;
+// stats() deltas are since this arena's construction, so per-worker
+// numbers sum cleanly into a fleet total.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/workspace.h"
+
+namespace nyqmon::eng {
+
+struct WorkArenaConfig {
+  /// Keep workspace plans and scratch blocks alive across pairs (the
+  /// steady-state zero-allocation mode). Off wipes the workspace between
+  /// pairs: every pair re-warms, which is the adversarial setting for the
+  /// reuse-never-leaks determinism tests.
+  bool retain_across_pairs = true;
+};
+
+struct WorkArenaStats {
+  std::uint64_t heap_allocations = 0;   ///< workspace heap allocs, total
+  std::uint64_t plan_builds = 0;        ///< twiddle/window/chirp builds
+  std::uint64_t scratch_block_allocs = 0;
+  std::uint64_t cache_flushes = 0;      ///< plan-cache byte-cap evictions
+  std::uint64_t pairs_processed = 0;
+  /// Pairs after this worker's first that still performed at least one
+  /// heap allocation. Zero in retain mode once shapes repeat — the
+  /// invariant the arena accounting test asserts.
+  std::uint64_t warm_pairs_with_allocations = 0;
+  std::size_t scratch_capacity_bytes = 0;  ///< high-water at stats() time
+  std::size_t plan_cache_bytes = 0;
+
+  WorkArenaStats& operator+=(const WorkArenaStats& other);
+};
+
+class WorkArena {
+ public:
+  explicit WorkArena(WorkArenaConfig config = {});
+  ~WorkArena();
+  WorkArena(const WorkArena&) = delete;
+  WorkArena& operator=(const WorkArena&) = delete;
+
+  /// Bracket one pair's processing. end_pair() returns the number of
+  /// workspace heap allocations that pair performed.
+  void begin_pair();
+  std::uint64_t end_pair();
+
+  /// Deltas since this arena was constructed.
+  WorkArenaStats stats() const;
+
+  /// The workspace this arena accounts for (the calling thread's).
+  dsp::Workspace& workspace() { return ws_; }
+
+ private:
+  WorkArenaConfig config_;
+  dsp::Workspace& ws_;
+  std::uint64_t base_allocs_ = 0;
+  std::uint64_t base_plan_builds_ = 0;
+  std::uint64_t base_scratch_allocs_ = 0;
+  std::uint64_t base_flushes_ = 0;
+  std::uint64_t pair_start_allocs_ = 0;
+  std::uint64_t pairs_processed_ = 0;
+  std::uint64_t warm_pairs_with_allocations_ = 0;
+  bool in_pair_ = false;
+};
+
+}  // namespace nyqmon::eng

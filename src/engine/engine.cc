@@ -159,20 +159,21 @@ FleetRunResult FleetMonitorEngine::run() {
   result.pairs.resize(fleet_.size());
   result.shards_used = shards.size();
 
-  // Round-robin shard queue: workers claim whole shards until none remain.
-  // The claim counter and depth gauge expose how evenly the queue drains —
-  // ROADMAP item 1 (flat 1→8-worker scaling) starts from these numbers.
+  // Round-robin shard queue: workers claim whole shards until none remain
+  // (one atomic claim per shard — the batched handoff), each worker owning
+  // a warm per-thread scratch arena for DSP plans and buffers.
   NYQMON_TRACE_SPAN("fleet_run", "engine");
-  std::atomic<std::size_t> shards_left{shards.size()};
-  result.workers_used =
-      parallel_claim(shards.size(), workers, [&](std::size_t s) {
-        NYQMON_OBS_COUNT("nyqmon_engine_shards_claimed_total", 1);
-        NYQMON_OBS_GAUGE_SET(
-            "nyqmon_engine_shard_queue_depth",
-            shards_left.fetch_sub(1, std::memory_order_relaxed) - 1);
-        for (const std::size_t i : shards[s].pair_indices)
-          result.pairs[i] = drive_pair(i, noise_seeds[i]);
+  ShardRunOptions run_options;
+  run_options.workers = workers;
+  run_options.pin_threads = config_.pin_workers;
+  run_options.arena.retain_across_pairs = config_.arena_retain;
+  const ShardRunStats shard_stats =
+      run_sharded(shards, run_options, [&](std::size_t i) {
+        result.pairs[i] = drive_pair(i, noise_seeds[i]);
       });
+  result.workers_used = shard_stats.workers_used;
+  result.threads_pinned = shard_stats.threads_pinned;
+  result.arena = shard_stats.arena;
 
   // Aggregate in pair order (order-stable regardless of worker count).
   for (const auto& p : result.pairs) {

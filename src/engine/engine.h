@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/arena.h"
 #include "monitor/cost_model.h"
 #include "monitor/pipeline.h"
 #include "monitor/striped_store.h"
@@ -54,6 +55,14 @@ struct EngineConfig {
   std::size_t workers = 0;
   /// Shard-queue entries (0 = 4 per worker, the usual steal granularity).
   std::size_t shards = 0;
+  /// Pin worker w to CPU w (best-effort; ignored where unsupported). The
+  /// throughput bench turns this on so per-worker arenas stay cache-local.
+  bool pin_workers = false;
+  /// Keep per-worker scratch arenas (DSP plans + buffers) warm across the
+  /// pairs a worker processes. Off wipes the arena between pairs — results
+  /// are bit-identical either way (the determinism stress test runs both);
+  /// only allocation counts and speed differ.
+  bool arena_retain = true;
   /// Windowing of each pair's trace, in samples at its production rate —
   /// uniform per-pair cost no matter how slow the metric's poll interval is.
   std::size_t samples_per_window = 64;
@@ -112,6 +121,11 @@ struct FleetRunResult {
   mon::StoreRollup store;
   std::size_t workers_used = 0;
   std::size_t shards_used = 0;
+  std::size_t threads_pinned = 0;
+  /// Per-worker scratch-arena accounting summed over all workers (heap
+  /// allocations, plan builds, warm pairs that still allocated). Not part
+  /// of the deterministic aggregates.
+  WorkArenaStats arena;
   double wall_seconds = 0.0;  ///< not part of the deterministic aggregates
   /// Durable-tier outcome; meaningful only when `persisted` (storage.dir
   /// was set): the end-of-run checkpoint plus the manager's counters.

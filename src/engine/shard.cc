@@ -1,6 +1,13 @@
 #include "engine/shard.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/parallel.h"
 
 namespace nyqmon::eng {
 
@@ -16,6 +23,66 @@ std::vector<Shard> partition_shards(std::size_t n_pairs,
   for (std::size_t i = 0; i < n_pairs; ++i)
     shards[i % n_shards].pair_indices.push_back(i);
   return shards;
+}
+
+ShardRunStats run_sharded(const std::vector<Shard>& shards,
+                          const ShardRunOptions& options,
+                          const std::function<void(std::size_t)>& pair_fn) {
+  ShardRunStats stats;
+  stats.workers_used = resolve_workers(options.workers, shards.size());
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> shards_left{shards.size()};
+  std::atomic<std::size_t> pinned{0};
+  std::exception_ptr error;
+  std::mutex agg_mu;  // guards `error` and `stats.arena`
+
+  auto worker_loop = [&](std::size_t worker_idx) {
+    if (options.pin_threads && pin_this_thread(worker_idx))
+      pinned.fetch_add(1, std::memory_order_relaxed);
+    // One arena per worker thread, alive for the whole claim loop: plans
+    // and scratch warmed by the first pairs serve every later one.
+    WorkArena arena(options.arena);
+    while (true) {
+      const std::size_t s = next.fetch_add(1);
+      if (s >= shards.size()) break;
+      NYQMON_OBS_COUNT("nyqmon_engine_shards_claimed_total", 1);
+      NYQMON_OBS_GAUGE_SET(
+          "nyqmon_engine_shard_queue_depth",
+          static_cast<std::int64_t>(
+              shards_left.fetch_sub(1, std::memory_order_relaxed) - 1));
+      bool failed = false;
+      for (const std::size_t i : shards[s].pair_indices) {
+        arena.begin_pair();
+        try {
+          pair_fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(agg_mu);
+          if (!error) error = std::current_exception();
+          next.store(shards.size());  // stop other workers claiming
+          failed = true;
+        }
+        arena.end_pair();
+        if (failed) break;
+      }
+      if (failed) break;
+    }
+    std::lock_guard<std::mutex> lock(agg_mu);
+    stats.arena += arena.stats();
+  };
+
+  if (stats.workers_used == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(stats.workers_used);
+    for (std::size_t w = 0; w < stats.workers_used; ++w)
+      pool.emplace_back(worker_loop, w);
+    for (auto& t : pool) t.join();
+  }
+  stats.threads_pinned = pinned.load(std::memory_order_relaxed);
+  if (error) std::rethrow_exception(error);
+  return stats;
 }
 
 }  // namespace nyqmon::eng

@@ -66,17 +66,17 @@ void StreamingPairPipeline::upsample_window(const nyq::AdaptiveStep& step) {
   // the batch pipeline's post-hoc filter selects for this window, because
   // samples from *later* windows can never land before this window's end.
   const auto& collected = stepper_.run_so_far().collected;
-  std::vector<double> vals;
+  window_vals_.clear();  // reused across windows: capacity persists per pair
   const double win_end = step.window_start_s + config_.sampler.window_duration_s;
   for (const auto& s : collected.samples()) {
     if (s.t >= step.window_start_s - 1e-9 && s.t < win_end - 1e-9)
-      vals.push_back(s.v);
+      window_vals_.push_back(s.v);
   }
-  if (vals.size() < 2) return;
+  if (window_vals_.size() < 2) return;
   const sig::RegularSeries window_series(step.window_start_s,
-                                         1.0 / step.rate_hz, vals);
+                                         1.0 / step.rate_hz, window_vals_);
   const auto n_dense = static_cast<std::size_t>(std::max<double>(
-      vals.size(),
+      window_vals_.size(),
       std::ceil(window_series.duration() * 4.0 * production_rate_hz_)));
   const auto upsampled = rec::reconstruct(window_series, n_dense);
   for (std::size_t i = 0; i < upsampled.size(); ++i)

@@ -129,6 +129,7 @@ class StreamingPairPipeline {
   std::function<double(double)> measure_;
   nyq::AdaptiveStepper stepper_;
   sig::TimeSeries dense_;          ///< stitched per-window dense streams
+  std::vector<double> window_vals_;  ///< per-window sample buffer, reused
   std::vector<double> recon_;      ///< finalized production-grid values
   double grid_t0_ = 0.0;           ///< set on first emission
   bool finished_ = false;

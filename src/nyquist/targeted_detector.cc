@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dsp/goertzel.h"
+#include "dsp/simd.h"
 #include "util/check.h"
 
 namespace nyqmon::nyq {
@@ -57,35 +58,49 @@ TargetedDetection TargetedAliasingDetector::probe(
   // The fast stream's (mean-removed) total power anchors the "is this
   // candidate actually present" floor — a candidate carrying a negligible
   // share of the stream's energy cannot indict the slow rate.
-  double fast_variance = 0.0;
-  for (double v : fast) fast_variance += v * v;
-  fast_variance /= static_cast<double>(fast.size());
+  double fast_variance =
+      dsp::simd::ops().dot(fast.data(), fast.data(), fast.size()) /
+      static_cast<double>(fast.size());
   if (fast_variance <= 0.0) return out;
 
-  std::vector<std::pair<double, double>> fast_power;  // (freq, power)
+  // Batch every eligible candidate through one multi-lane Goertzel pass
+  // over the fast stream (4 recurrences per sweep instead of 1).
+  std::vector<double> eligible;
   for (double f : candidates_hz) {
     if (f <= slow_rate_hz / 2.0) continue;       // cannot alias
     if (f >= fast_rate / 2.0) continue;          // invisible to both
-    const double p = dsp::goertzel_power(fast, fast_rate, f);
-    fast_power.emplace_back(f, p);
+    eligible.push_back(f);
     ++out.candidates_probed;
   }
+  const auto fast_power =
+      dsp::goertzel_power_multi(fast, fast_rate, eligible);
 
-  for (const auto& [f, p_fast] : fast_power) {
-    if (p_fast < config_.power_fraction_threshold * fast_variance) continue;
-    // The slow stream folds f to |f - k*fs| for the k that lands the alias
-    // in [0, fs/2]; energy at the *original* frequency is gone there.
-    // Compare the slow stream's power at the alias location: if the energy
-    // moved, the slow rate is insufficient for this candidate.
-    const double fs = slow_rate_hz;
-    double alias = std::fmod(f, fs);
+  // The slow stream folds f to |f - k*fs| for the k that lands the alias
+  // in [0, fs/2]; energy at the *original* frequency is gone there.
+  // Compare the slow stream's power at the alias location: if the energy
+  // moved, the slow rate is insufficient for this candidate.
+  const double fs = slow_rate_hz;
+  std::vector<double> loud;        // candidates above the power floor
+  std::vector<double> alias_freqs;  // their fold locations in the slow band
+  std::vector<double> loud_power;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (fast_power[i] < config_.power_fraction_threshold * fast_variance)
+      continue;
+    double alias = std::fmod(eligible[i], fs);
     if (alias > fs / 2.0) alias = fs - alias;
-    const double p_alias = dsp::goertzel_power(slow, fs, alias);
-    // Energy that reappears at a different frequency than it occupies in
-    // the fast stream = aliasing. (When alias == f the candidate did not
-    // actually fold; the band checks above exclude that case.)
-    if (p_alias > 0.25 * p_fast) {
-      out.offending_frequencies_hz.push_back(f);
+    loud.push_back(eligible[i]);
+    alias_freqs.push_back(alias);
+    loud_power.push_back(fast_power[i]);
+  }
+  if (!loud.empty()) {
+    const auto p_alias = dsp::goertzel_power_multi(slow, fs, alias_freqs);
+    for (std::size_t i = 0; i < loud.size(); ++i) {
+      // Energy that reappears at a different frequency than it occupies in
+      // the fast stream = aliasing. (When alias == f the candidate did not
+      // actually fold; the band checks above exclude that case.)
+      if (p_alias[i] > 0.25 * loud_power[i]) {
+        out.offending_frequencies_hz.push_back(loud[i]);
+      }
     }
   }
   out.aliasing_detected = !out.offending_frequencies_hz.empty();

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "dsp/simd.h"
+#include "dsp/workspace.h"
 #include "util/check.h"
 
 namespace nyqmon::rec {
@@ -76,23 +78,32 @@ CompressiveModel compressive_recover(const sig::TimeSeries& samples,
     y[i] = samples[i].v;
   }
 
+  const auto& kn = dsp::simd::ops();
+  auto& ws = dsp::this_thread_workspace();
+  auto frame = ws.frame();
+
   CompressiveModel model;
   // DC first (always in the model).
-  double mean = 0.0;
-  for (double v : y) mean += v;
-  mean /= static_cast<double>(n);
+  const double mean = kn.sum(y.data(), n) / static_cast<double>(n);
   model.dc = mean;
 
-  std::vector<double> residual(n);
-  double input_energy = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    residual[i] = y[i] - mean;
-    input_energy += residual[i] * residual[i];
-  }
+  std::vector<double> residual(y);
+  kn.sub_scalar_inplace(residual.data(), mean, n);
+  const double input_energy = kn.dot(residual.data(), residual.data(), n);
   if (input_energy == 0.0) {
     model.residual_energy_fraction = 0.0;
     return model;
   }
+
+  // Scratch for one candidate's cos/sin columns (greedy scoring) and for
+  // the design matrix columns of the joint solve. Two passes per
+  // candidate: scalar trig fills the columns, then the dispatched dot
+  // kernels compute every correlation — the reductions are where the
+  // vector lanes pay off.
+  double* cand_c = frame.doubles(n);
+  double* cand_s = frame.doubles(n);
+  const std::size_t max_dims = 1 + 2 * config.sparsity;
+  double* columns = frame.doubles(max_dims * n);
 
   std::vector<double> selected;  // chosen frequencies
   for (std::size_t iter = 0; iter < config.sparsity; ++iter) {
@@ -109,16 +120,15 @@ CompressiveModel compressive_recover(const sig::TimeSeries& samples,
           }) != selected.end()) {
         continue;
       }
-      double rc = 0.0, rs = 0.0, cc = 0.0, ss = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
         const double arg = kTwoPi * f * t[i];
-        const double c = std::cos(arg);
-        const double s = std::sin(arg);
-        rc += residual[i] * c;
-        rs += residual[i] * s;
-        cc += c * c;
-        ss += s * s;
+        cand_c[i] = std::cos(arg);
+        cand_s[i] = std::sin(arg);
       }
+      const double rc = kn.dot(residual.data(), cand_c, n);
+      const double rs = kn.dot(residual.data(), cand_s, n);
+      const double cc = kn.dot(cand_c, cand_c, n);
+      const double ss = kn.dot(cand_s, cand_s, n);
       double score = 0.0;
       if (cc > 0.0) score += rc * rc / cc;
       if (ss > 0.0) score += rs * rs / ss;
@@ -130,21 +140,27 @@ CompressiveModel compressive_recover(const sig::TimeSeries& samples,
     selected.push_back(best_f);
 
     // Joint least squares over DC + all selected cos/sin atoms.
+    // Materialize the design-matrix columns once, then every Gram entry is
+    // a dot product — the old formulation recomputed cos/sin for each of
+    // the n * dims^2 / 2 matrix entries.
     const std::size_t dims = 1 + 2 * selected.size();
-    auto design = [&](std::size_t i, std::size_t d) -> double {
-      if (d == 0) return 1.0;
-      const double f = selected[(d - 1) / 2];
-      const double arg = kTwoPi * f * t[i];
-      return (d - 1) % 2 == 0 ? std::cos(arg) : std::sin(arg);
-    };
+    for (std::size_t i = 0; i < n; ++i) columns[i] = 1.0;
+    for (std::size_t a = 0; a < selected.size(); ++a) {
+      double* col_c = columns + (1 + 2 * a) * n;
+      double* col_s = columns + (2 + 2 * a) * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double arg = kTwoPi * selected[a] * t[i];
+        col_c[i] = std::cos(arg);
+        col_s[i] = std::sin(arg);
+      }
+    }
     std::vector<std::vector<double>> gram(dims, std::vector<double>(dims, 0.0));
     std::vector<double> rhs(dims, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t a = 0; a < dims; ++a) {
-        const double da = design(i, a);
-        rhs[a] += da * y[i];
-        for (std::size_t b = a; b < dims; ++b) gram[a][b] += da * design(i, b);
-      }
+    for (std::size_t a = 0; a < dims; ++a) {
+      const double* col_a = columns + a * n;
+      rhs[a] = kn.dot(col_a, y.data(), n);
+      for (std::size_t b = a; b < dims; ++b)
+        gram[a][b] = kn.dot(col_a, columns + b * n, n);
     }
     for (std::size_t a = 0; a < dims; ++a)
       for (std::size_t b = 0; b < a; ++b) gram[a][b] = gram[b][a];
@@ -160,12 +176,13 @@ CompressiveModel compressive_recover(const sig::TimeSeries& samples,
       model.atoms.push_back(atom);
     }
 
-    // Update the residual and test the stopping rule.
-    double res_energy = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      residual[i] = y[i] - model.value(t[i]);
-      res_energy += residual[i] * residual[i];
-    }
+    // Update the residual (y minus the fitted columns — axpy over the
+    // already-materialized design matrix) and test the stopping rule.
+    std::copy(y.begin(), y.end(), residual.begin());
+    kn.sub_scalar_inplace(residual.data(), coeff[0], n);
+    for (std::size_t d = 1; d < dims; ++d)
+      kn.axpy(-coeff[d], columns + d * n, residual.data(), n);
+    const double res_energy = kn.dot(residual.data(), residual.data(), n);
     model.residual_energy_fraction = res_energy / input_energy;
     if (model.residual_energy_fraction < config.residual_tolerance) break;
   }

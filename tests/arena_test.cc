@@ -1,0 +1,169 @@
+// WorkArena accounting: the per-worker scratch arena must reach zero
+// workspace heap allocations once shapes repeat (the steady-state
+// guarantee the engine's throughput depends on), count re-warms honestly
+// in arena-off mode, and — in Debug builds — poison-fill popped scratch
+// frames and canary-check every allocation so cross-pair buffer reuse can
+// never leak stale samples silently.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "dsp/goertzel.h"
+#include "dsp/workspace.h"
+#include "engine/arena.h"
+
+namespace {
+
+using namespace nyqmon;
+
+// One pair's worth of fixed-shape DSP work: a radix-2 rfft round trip, a
+// Bluestein-length transform and a batched Goertzel — together they touch
+// every workspace plan cache and the scratch stack.
+void process_fixed_shape_pair() {
+  std::vector<double> x(256);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(0.05 * static_cast<double>(i));
+  const auto half = dsp::rfft(x);
+  const auto back = dsp::irfft(half, x.size());
+  ASSERT_EQ(back.size(), x.size());
+
+  std::vector<double> odd(100);
+  for (std::size_t i = 0; i < odd.size(); ++i)
+    odd[i] = static_cast<double>(i % 7) - 3.0;
+  const auto spec = dsp::fft_real(odd);
+  ASSERT_EQ(spec.size(), odd.size());
+
+  const double freqs[] = {1.0, 2.5, 7.75};
+  const auto powers = dsp::goertzel_power_multi(x, 64.0, freqs);
+  ASSERT_EQ(powers.size(), 3u);
+}
+
+TEST(WorkArena, ZeroWorkspaceAllocationsAfterWarmup) {
+  // A prior test on this thread may have warmed the workspace; wipe it so
+  // this arena observes a genuine cold start.
+  dsp::this_thread_workspace().reset();
+
+  eng::WorkArena arena;  // retain_across_pairs defaults on
+  constexpr std::size_t kPairs = 8;
+  std::uint64_t first_pair_allocs = 0;
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    arena.begin_pair();
+    process_fixed_shape_pair();
+    const std::uint64_t allocs = arena.end_pair();
+    if (p == 0) {
+      first_pair_allocs = allocs;
+      EXPECT_GT(allocs, 0u) << "cold pair must build plans and scratch";
+    } else {
+      EXPECT_EQ(allocs, 0u) << "warm pair " << p << " allocated";
+    }
+  }
+
+  const eng::WorkArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.pairs_processed, kPairs);
+  EXPECT_EQ(stats.warm_pairs_with_allocations, 0u);
+  EXPECT_EQ(stats.heap_allocations, first_pair_allocs);
+  EXPECT_EQ(stats.heap_allocations,
+            stats.plan_builds + stats.scratch_block_allocs);
+  EXPECT_GT(stats.plan_cache_bytes, 0u);
+  EXPECT_GT(stats.scratch_capacity_bytes, 0u);
+  EXPECT_EQ(stats.cache_flushes, 0u);
+}
+
+TEST(WorkArena, RetainOffRewarmsEveryPair) {
+  dsp::this_thread_workspace().reset();
+
+  eng::WorkArenaConfig cfg;
+  cfg.retain_across_pairs = false;
+  eng::WorkArena arena(cfg);
+  constexpr std::size_t kPairs = 5;
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    arena.begin_pair();
+    process_fixed_shape_pair();
+    EXPECT_GT(arena.end_pair(), 0u)
+        << "arena-off pair " << p << " should re-warm from scratch";
+  }
+  const eng::WorkArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.pairs_processed, kPairs);
+  // Every pair after the first allocated (the wipe forces it).
+  EXPECT_EQ(stats.warm_pairs_with_allocations, kPairs - 1);
+}
+
+TEST(WorkArena, StatsSumAcrossWorkers) {
+  eng::WorkArenaStats a;
+  a.heap_allocations = 3;
+  a.plan_builds = 2;
+  a.pairs_processed = 10;
+  a.scratch_capacity_bytes = 100;
+  eng::WorkArenaStats b;
+  b.heap_allocations = 4;
+  b.warm_pairs_with_allocations = 1;
+  b.pairs_processed = 6;
+  b.scratch_capacity_bytes = 250;
+  a += b;
+  EXPECT_EQ(a.heap_allocations, 7u);
+  EXPECT_EQ(a.plan_builds, 2u);
+  EXPECT_EQ(a.pairs_processed, 16u);
+  EXPECT_EQ(a.warm_pairs_with_allocations, 1u);
+  // Byte gauges combine as totals too (fleet-wide footprint).
+  EXPECT_EQ(a.scratch_capacity_bytes, 350u);
+}
+
+TEST(Workspace, CountersSurviveReset) {
+  dsp::Workspace ws;
+  ws.radix2_plan(64);
+  const std::uint64_t builds = ws.plan_builds();
+  EXPECT_GT(builds, 0u);
+  ws.reset();
+  EXPECT_EQ(ws.plan_builds(), builds);  // cumulative
+  EXPECT_EQ(ws.plan_cache_bytes(), 0u);
+  ws.radix2_plan(64);
+  EXPECT_GT(ws.plan_builds(), builds);  // rebuilt after the wipe
+}
+
+TEST(Workspace, ResetWithOpenFrameIsRejected) {
+  dsp::Workspace ws;
+  auto frame = ws.frame();
+  frame.doubles(8);
+  EXPECT_THROW(ws.reset(), std::invalid_argument);
+}
+
+#ifndef NDEBUG
+TEST(Workspace, DebugPoisonFillsPoppedFrames) {
+  dsp::Workspace ws;
+  constexpr std::size_t kN = 32;
+  {
+    auto frame = ws.frame();
+    double* p = frame.doubles(kN);
+    for (std::size_t i = 0; i < kN; ++i) p[i] = 42.0;
+  }
+  // The next frame's identically-shaped allocation lands on the same
+  // bytes; they must read back as poison, not as the 42.0s of the prior
+  // "pair".
+  auto frame = ws.frame();
+  const auto* bytes =
+      reinterpret_cast<const unsigned char*>(frame.doubles(kN));
+  for (std::size_t i = 0; i < kN * sizeof(double); ++i)
+    ASSERT_EQ(bytes[i], 0xA5u) << "byte " << i << " not poisoned";
+}
+
+using WorkspaceDeathTest = ::testing::Test;
+
+TEST(WorkspaceDeathTest, DebugCanaryCatchesOverrun) {
+  // Writing one element past an allocation smashes its trailing canary;
+  // the frame pop must abort loudly (the check throws from a destructor,
+  // which terminates) instead of corrupting a neighbouring buffer.
+  EXPECT_DEATH(
+      {
+        dsp::Workspace ws;
+        auto frame = ws.frame();
+        double* p = frame.doubles(4);
+        p[4] = 1.0;  // overrun into the canary
+      },
+      "canary");
+}
+#endif  // !NDEBUG
+
+}  // namespace

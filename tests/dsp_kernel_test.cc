@@ -1,0 +1,383 @@
+// SIMD kernel equivalence: every dispatch level of every dsp::simd kernel
+// must produce bit-identical output to the scalar reference — the contract
+// (simd.h) that keeps the engine's worker-count determinism digests and
+// the storage layer's cold-start bit-identity independent of the host CPU.
+//
+// The suite compares ops_for(kScalar) against every other available table
+// over adversarial inputs: odd lengths, non-aligned buffers, denormals,
+// NaN, infinities and signed zeros. It also exercises the process-wide
+// dispatch override paths (set_level and, when the CI leg sets it, the
+// NYQMON_SIMD environment variable) and proves a full FFT round-trip is
+// bit-stable across levels, not just the leaf kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "dsp/simd.h"
+
+namespace {
+
+using namespace nyqmon;
+using dsp::simd::Level;
+using dsp::simd::Ops;
+using cdouble = std::complex<double>;
+
+// Lengths chosen to cover empty, sub-vector-width, every tail residue of
+// the 2- and 4-lane kernels, and a few larger blocks.
+const std::size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9,
+                                13, 16, 17, 31, 32, 33, 64, 97};
+
+std::vector<const Ops*> available_levels() {
+  std::vector<const Ops*> out;
+  for (const Level level : {Level::kScalar, Level::kSSE2, Level::kAVX2}) {
+    if (const Ops* t = dsp::simd::ops_for(level)) out.push_back(t);
+  }
+  return out;
+}
+
+// Deterministic value stream with adversarial IEEE-754 specials mixed in:
+// denormals, NaN, +/-inf, -0.0 and huge/tiny magnitudes all appear, so a
+// kernel that diverges from the scalar reference only on special values
+// still fails the bit comparison.
+class ValueStream {
+ public:
+  explicit ValueStream(std::uint64_t seed) : state_(seed | 1) {}
+
+  double next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t r = state_ >> 33;
+    switch (r % 16) {
+      case 0:
+        return 4.9406564584124654e-324;  // smallest denormal
+      case 1:
+        return -1.2345e-310;  // denormal
+      case 2:
+        return std::numeric_limits<double>::quiet_NaN();
+      case 3:
+        return std::numeric_limits<double>::infinity();
+      case 4:
+        return -std::numeric_limits<double>::infinity();
+      case 5:
+        return -0.0;
+      case 6:
+        return 1e300;
+      case 7:
+        return -1e-300;
+      default:
+        return (static_cast<double>(r % 20011) - 10005.0) / 97.0;
+    }
+  }
+
+  void fill(double* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) p[i] = next();
+  }
+  void fill(cdouble* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) p[i] = cdouble(next(), next());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Buffers handed to kernels at a deliberate 8-byte offset from the vector's
+// natural (16/32-byte) alignment, so an implementation that silently
+// assumed aligned loads would fault or diverge.
+struct UnalignedDoubles {
+  explicit UnalignedDoubles(std::size_t n) : storage(n + 1) {}
+  double* data() { return storage.data() + 1; }
+  std::vector<double> storage;
+};
+
+struct UnalignedCdoubles {
+  explicit UnalignedCdoubles(std::size_t n) : storage(2 * (n + 1)) {}
+  cdouble* data() {
+    return reinterpret_cast<cdouble*>(storage.data() + 1);
+  }
+  std::vector<double> storage;  // doubles, so +1 is a half-cdouble offset
+};
+
+// Bit equality with one carve-out: when an element is NaN at both levels
+// it matches regardless of payload/sign. An operation with *two* NaN
+// operands (or that creates NaN, e.g. inf*0) has an IEEE-754-unspecified
+// result payload, and the compiler may commute the scalar reference's adds
+// — so payload-exact NaN equivalence is unattainable by any implementation.
+// What the kernels do guarantee (and this checks) is that no level ever
+// turns a NaN into a finite value or vice versa, and every non-NaN result
+// — denormals, signed zeros, infinities included — is bit-exact.
+bool bits_equal(double a, double b) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+bool bits_equal(const double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (!bits_equal(a[i], b[i])) return false;
+  return true;
+}
+bool bits_equal(const cdouble* a, const cdouble* b, std::size_t n) {
+  return bits_equal(reinterpret_cast<const double*>(a),
+                    reinterpret_cast<const double*>(b), 2 * n);
+}
+
+// ------------------------------------------------------ per-kernel tests --
+
+TEST(DspKernel, LevelsAvailable) {
+  ASSERT_NE(dsp::simd::ops_for(Level::kScalar), nullptr);
+  const auto levels = available_levels();
+  ASSERT_GE(levels.size(), 1u);
+  for (const Ops* t : levels) {
+    SCOPED_TRACE(t->name);
+    EXPECT_LE(static_cast<int>(t->level),
+              static_cast<int>(dsp::simd::detected_level()));
+  }
+}
+
+TEST(DspKernel, FftButterflyBlockBitEquivalent) {
+  const Ops* scalar = dsp::simd::ops_for(Level::kScalar);
+  for (const Ops* t : available_levels()) {
+    SCOPED_TRACE(t->name);
+    for (const std::size_t half : kLengths) {
+      ValueStream vs(half * 7919 + 1);
+      UnalignedCdoubles ref(2 * half), alt(2 * half), tw(half);
+      vs.fill(ref.data(), 2 * half);
+      vs.fill(tw.data(), half);
+      std::memcpy(alt.data(), ref.data(), 2 * half * sizeof(cdouble));
+      scalar->fft_butterfly_block(ref.data(), tw.data(), half);
+      t->fft_butterfly_block(alt.data(), tw.data(), half);
+      EXPECT_TRUE(bits_equal(ref.data(), alt.data(), 2 * half))
+          << "half=" << half;
+    }
+  }
+}
+
+TEST(DspKernel, ComplexMulBitEquivalent) {
+  const Ops* scalar = dsp::simd::ops_for(Level::kScalar);
+  for (const Ops* t : available_levels()) {
+    SCOPED_TRACE(t->name);
+    for (const std::size_t n : kLengths) {
+      ValueStream vs(n * 104729 + 2);
+      UnalignedCdoubles a(n), b(n), ref(n), alt(n), ref_ip(n), alt_ip(n);
+      vs.fill(a.data(), n);
+      vs.fill(b.data(), n);
+      scalar->complex_mul(ref.data(), a.data(), b.data(), n);
+      t->complex_mul(alt.data(), a.data(), b.data(), n);
+      EXPECT_TRUE(bits_equal(ref.data(), alt.data(), n)) << "n=" << n;
+
+      std::memcpy(ref_ip.data(), a.data(), n * sizeof(cdouble));
+      std::memcpy(alt_ip.data(), a.data(), n * sizeof(cdouble));
+      scalar->complex_mul_inplace(ref_ip.data(), b.data(), n);
+      t->complex_mul_inplace(alt_ip.data(), b.data(), n);
+      EXPECT_TRUE(bits_equal(ref_ip.data(), alt_ip.data(), n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(DspKernel, ElementwiseDoubleKernelsBitEquivalent) {
+  const Ops* scalar = dsp::simd::ops_for(Level::kScalar);
+  for (const Ops* t : available_levels()) {
+    SCOPED_TRACE(t->name);
+    for (const std::size_t n : kLengths) {
+      ValueStream vs(n * 31337 + 3);
+      UnalignedDoubles x(n), w(n), ref(n), alt(n);
+      vs.fill(x.data(), n);
+      vs.fill(w.data(), n);
+      const double c = vs.next();
+
+      auto reset = [&] {
+        std::memcpy(ref.data(), x.data(), n * sizeof(double));
+        std::memcpy(alt.data(), x.data(), n * sizeof(double));
+      };
+
+      reset();
+      scalar->mul_inplace(ref.data(), w.data(), n);
+      t->mul_inplace(alt.data(), w.data(), n);
+      EXPECT_TRUE(bits_equal(ref.data(), alt.data(), n))
+          << "mul_inplace n=" << n;
+
+      reset();
+      scalar->sub_scalar_inplace(ref.data(), c, n);
+      t->sub_scalar_inplace(alt.data(), c, n);
+      EXPECT_TRUE(bits_equal(ref.data(), alt.data(), n))
+          << "sub_scalar n=" << n;
+
+      reset();
+      scalar->div_scalar_inplace(ref.data(), c, n);
+      t->div_scalar_inplace(alt.data(), c, n);
+      EXPECT_TRUE(bits_equal(ref.data(), alt.data(), n))
+          << "div_scalar n=" << n;
+
+      reset();
+      const double a = vs.next();
+      scalar->axpy(a, w.data(), ref.data(), n);
+      t->axpy(a, w.data(), alt.data(), n);
+      EXPECT_TRUE(bits_equal(ref.data(), alt.data(), n)) << "axpy n=" << n;
+    }
+  }
+}
+
+TEST(DspKernel, ComplexScalarDivideBitEquivalent) {
+  const Ops* scalar = dsp::simd::ops_for(Level::kScalar);
+  for (const Ops* t : available_levels()) {
+    SCOPED_TRACE(t->name);
+    for (const std::size_t n : kLengths) {
+      ValueStream vs(n * 271 + 4);
+      UnalignedCdoubles ref(n), alt(n);
+      vs.fill(ref.data(), n);
+      std::memcpy(alt.data(), ref.data(), n * sizeof(cdouble));
+      const double c = vs.next();
+      scalar->div_scalar_complex_inplace(ref.data(), c, n);
+      t->div_scalar_complex_inplace(alt.data(), c, n);
+      EXPECT_TRUE(bits_equal(ref.data(), alt.data(), n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(DspKernel, ReductionsBitEquivalent) {
+  const Ops* scalar = dsp::simd::ops_for(Level::kScalar);
+  for (const Ops* t : available_levels()) {
+    SCOPED_TRACE(t->name);
+    for (const std::size_t n : kLengths) {
+      ValueStream vs(n * 65537 + 5);
+      UnalignedDoubles x(n), y(n);
+      vs.fill(x.data(), n);
+      vs.fill(y.data(), n);
+      EXPECT_TRUE(bits_equal(scalar->sum(x.data(), n), t->sum(x.data(), n)))
+          << "sum n=" << n;
+      EXPECT_TRUE(bits_equal(scalar->dot(x.data(), y.data(), n),
+                             t->dot(x.data(), y.data(), n)))
+          << "dot n=" << n;
+    }
+  }
+}
+
+TEST(DspKernel, SquaredMagnitudeBitEquivalent) {
+  const Ops* scalar = dsp::simd::ops_for(Level::kScalar);
+  for (const Ops* t : available_levels()) {
+    SCOPED_TRACE(t->name);
+    for (const std::size_t n : kLengths) {
+      ValueStream vs(n * 911 + 6);
+      UnalignedCdoubles x(n);
+      UnalignedDoubles ref(n), alt(n);
+      vs.fill(x.data(), n);
+      scalar->squared_magnitude(x.data(), ref.data(), n);
+      t->squared_magnitude(x.data(), alt.data(), n);
+      EXPECT_TRUE(bits_equal(ref.data(), alt.data(), n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(DspKernel, Goertzel4BitEquivalent) {
+  const Ops* scalar = dsp::simd::ops_for(Level::kScalar);
+  for (const Ops* t : available_levels()) {
+    SCOPED_TRACE(t->name);
+    for (const std::size_t n : kLengths) {
+      ValueStream vs(n * 48611 + 7);
+      UnalignedDoubles x(n);
+      vs.fill(x.data(), n);
+      // Realistic Goertzel coefficients (2*cos(w)) plus an idle zero lane,
+      // the shape the targeted detector batches with.
+      const double coeff[4] = {2.0 * std::cos(0.3), 2.0 * std::cos(1.1),
+                               -1.3125, 0.0};
+      double ref_s1[4] = {0, 0, 0, 0}, ref_s2[4] = {0, 0, 0, 0};
+      double alt_s1[4] = {0, 0, 0, 0}, alt_s2[4] = {0, 0, 0, 0};
+      scalar->goertzel4(x.data(), n, coeff, ref_s1, ref_s2);
+      t->goertzel4(x.data(), n, coeff, alt_s1, alt_s2);
+      EXPECT_TRUE(bits_equal(ref_s1, alt_s1, 4)) << "s1 n=" << n;
+      EXPECT_TRUE(bits_equal(ref_s2, alt_s2, 4)) << "s2 n=" << n;
+    }
+  }
+}
+
+// ----------------------------------------------------- dispatch override --
+
+TEST(DspKernel, SetLevelForcesEachAvailablePath) {
+  const Level original = dsp::simd::active_level();
+  for (const Ops* t : available_levels()) {
+    const Level installed = dsp::simd::set_level(t->level);
+    EXPECT_EQ(installed, t->level);
+    EXPECT_EQ(dsp::simd::active_level(), t->level);
+    EXPECT_EQ(&dsp::simd::ops(), t);
+    EXPECT_STREQ(dsp::simd::level_name(dsp::simd::ops().level), t->name);
+  }
+  // Requests above the CPU's capability clamp down, never up.
+  const Level clamped = dsp::simd::set_level(Level::kAVX2);
+  EXPECT_LE(static_cast<int>(clamped),
+            static_cast<int>(dsp::simd::detected_level()));
+  dsp::simd::set_level(original);
+}
+
+TEST(DspKernel, EnvironmentOverrideIsHonored) {
+  // The CI sanitizer leg runs this binary with NYQMON_SIMD set to scalar
+  // and then to the widest level; active_level() must have started from
+  // that value. Without the variable the default is full CPU capability.
+  // (set_level tests run after this one alphabetically within a fixture
+  // but gtest gives no cross-test ordering guarantee, so this only checks
+  // the *initial* parse result when it can still observe it.)
+  const char* env = std::getenv("NYQMON_SIMD");
+  if (env == nullptr) {
+    SUCCEED() << "NYQMON_SIMD not set; env path exercised by the CI leg";
+    return;
+  }
+  const std::string want(env);
+  Level expected = dsp::simd::detected_level();
+  if (want == "scalar") expected = Level::kScalar;
+  else if (want == "sse2") expected = Level::kSSE2;
+  else if (want == "avx2") expected = Level::kAVX2;
+  if (static_cast<int>(expected) >
+      static_cast<int>(dsp::simd::detected_level()))
+    expected = dsp::simd::detected_level();
+  EXPECT_EQ(dsp::simd::active_level(), expected)
+      << "NYQMON_SIMD=" << want << " was not honored at first dispatch";
+}
+
+// ------------------------------------------------- end-to-end transforms --
+
+TEST(DspKernel, FftBitIdenticalAcrossDispatchLevels) {
+  const Level original = dsp::simd::active_level();
+  // Power-of-two (radix-2 path) and odd (Bluestein path) sizes.
+  for (const std::size_t n : {64u, 129u, 200u}) {
+    std::vector<cdouble> input(n);
+    ValueStream vs(n * 17 + 8);
+    for (auto& v : input) {
+      // Finite values only: this test round-trips through the full FFT,
+      // whose *value* (not just bits) should survive a forward/inverse
+      // pair; the NaN/denormal torture lives in the kernel tests above.
+      double re = vs.next(), im = vs.next();
+      if (!std::isfinite(re)) re = 1.25;
+      if (!std::isfinite(im)) im = -0.5;
+      v = cdouble(re, im);
+    }
+
+    std::vector<std::vector<cdouble>> spectra;
+    std::vector<std::vector<cdouble>> rfft_out;
+    for (const Ops* t : available_levels()) {
+      dsp::simd::set_level(t->level);
+      // fft() picks radix-2 for n=64 and Bluestein for 129/200, so both
+      // transform paths cross every dispatch level.
+      spectra.push_back(dsp::fft(input));
+
+      std::vector<double> real(n);
+      for (std::size_t i = 0; i < n; ++i) real[i] = input[i].real();
+      rfft_out.push_back(dsp::rfft(real));
+    }
+    dsp::simd::set_level(original);
+
+    for (std::size_t i = 1; i < spectra.size(); ++i) {
+      EXPECT_TRUE(bits_equal(spectra[0].data(), spectra[i].data(),
+                             spectra[0].size()))
+          << "fft n=" << n << " level " << available_levels()[i]->name;
+      ASSERT_EQ(rfft_out[0].size(), rfft_out[i].size());
+      EXPECT_TRUE(bits_equal(rfft_out[0].data(), rfft_out[i].data(),
+                             rfft_out[0].size()))
+          << "rfft n=" << n << " level " << available_levels()[i]->name;
+    }
+  }
+}
+
+}  // namespace

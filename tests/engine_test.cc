@@ -8,6 +8,7 @@
 #include <set>
 #include <thread>
 
+#include "dsp/simd.h"
 #include "engine/engine.h"
 #include "engine/report.h"
 #include "engine/shard.h"
@@ -172,6 +173,63 @@ TEST(Engine, FivehundredPairsDeterministicAcrossWorkerCounts) {
   EXPECT_EQ(serial.baseline_cost.samples, parallel.baseline_cost.samples);
   EXPECT_TRUE(same_bits(serial.fleet_cost_savings(),
                         parallel.fleet_cost_savings()));
+}
+
+TEST(Engine, DeterminismStressAcrossWorkersSimdAndArenaModes) {
+  // The full matrix the scaling work must not perturb: every worker count
+  // x every SIMD dispatch level x arena retained/wiped has to produce the
+  // same run digest over a 500-pair fleet. This is what lets the repo
+  // change FFT internals, vectorize kernels, or reuse scratch buffers
+  // without ever re-baselining a digest: the digest is defined by the
+  // computation, not by the execution strategy.
+  tel::FleetConfig fleet_cfg;
+  fleet_cfg.target_pairs = 500;
+  fleet_cfg.seed = 424242;
+  const tel::Fleet fleet(fleet_cfg);
+  ASSERT_GE(fleet.size(), 500u);
+
+  // Scalar reference plus the widest level this CPU has (the levels in
+  // between share their kernels' definitions, and the kernel-equivalence
+  // suite covers all of them element-wise).
+  std::vector<dsp::simd::Level> levels = {dsp::simd::Level::kScalar};
+  if (dsp::simd::detected_level() != dsp::simd::Level::kScalar)
+    levels.push_back(dsp::simd::detected_level());
+
+  const dsp::simd::Level original = dsp::simd::active_level();
+  std::uint64_t reference_digest = 0;
+  bool have_reference = false;
+  for (const dsp::simd::Level level : levels) {
+    dsp::simd::set_level(level);
+    for (const bool arena_retain : {true, false}) {
+      for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+        eng::EngineConfig cfg;
+        cfg.workers = workers;
+        cfg.arena_retain = arena_retain;
+        // Trim per-pair work: the matrix is about scheduling, dispatch and
+        // buffer reuse, not trace length.
+        cfg.samples_per_window = 48;
+        cfg.windows_per_pair = 4;
+        eng::FleetMonitorEngine engine(fleet, cfg);
+        const auto result = engine.run();
+        const std::uint64_t digest = eng::run_digest(result);
+        if (!have_reference) {
+          reference_digest = digest;
+          have_reference = true;
+        }
+        EXPECT_EQ(digest, reference_digest)
+            << "level=" << dsp::simd::level_name(level)
+            << " arena_retain=" << arena_retain << " workers=" << workers;
+        EXPECT_EQ(result.arena.pairs_processed, fleet.size());
+        if (!arena_retain) {
+          // Wiped between pairs: every warm pair re-allocates, by design.
+          EXPECT_GE(result.arena.warm_pairs_with_allocations,
+                    fleet.size() - workers)
+              << "workers=" << workers;
+        }
+      }
+    }
+  }
+  dsp::simd::set_level(original);
 }
 
 TEST(Engine, RetainsQueryableStreamsAndReports) {
